@@ -1,0 +1,96 @@
+// Command genmesh generates the synthetic benchmark meshes of the
+// evaluation and stores them in the binary mesh format, or inspects an
+// existing mesh file.
+//
+// Examples:
+//
+//	genmesh -kind climate -n 100000 -seed 3 -out climate.ggm
+//	genmesh -info climate.ggm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"geographer/internal/mesh"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "delaunay2d", "delaunay2d|refined|bubbles|airfoil|rgg|climate|delaunay3d|tube3d")
+		n      = flag.Int("n", 100000, "approximate vertex count")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		out    = flag.String("out", "", "output file (binary mesh format)")
+		format = flag.String("format", "binary", "output format: binary|metis (metis writes <out>.graph and <out>.xyz)")
+		info   = flag.String("info", "", "inspect an existing mesh file and exit")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		m, err := mesh.ReadFile(*info)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(m)
+		min, med, max := mesh.EdgeLengthStats(m)
+		fmt.Printf("edge lengths: min=%.4g median=%.4g max=%.4g\n", min, med, max)
+		fmt.Printf("max degree: %d\n", m.G.MaxDegree())
+		if m.Points.Weight != nil {
+			fmt.Printf("total weight: %.4g\n", m.Points.TotalWeight())
+		}
+		return
+	}
+
+	var m *mesh.Mesh
+	var err error
+	switch *kind {
+	case "delaunay2d":
+		m, err = mesh.GenDelaunayUniform2D(*n, *seed)
+	case "refined":
+		m, err = mesh.GenRefinedTri(*n, *seed)
+	case "bubbles":
+		m, err = mesh.GenBubbles(*n, *seed)
+	case "airfoil":
+		m, err = mesh.GenAirfoil(*n, *seed)
+	case "rgg":
+		m, err = mesh.GenRGG2D(*n, *seed, 13)
+	case "climate":
+		m, err = mesh.GenClimate(*n, *seed)
+	case "delaunay3d":
+		m, err = mesh.GenDelaunay3D(*n, *seed)
+	case "tube3d":
+		m, err = mesh.GenTube3D(*n, *seed)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(m)
+	if *out == "" {
+		fmt.Println("(no -out given; mesh not saved)")
+		return
+	}
+	switch *format {
+	case "binary":
+		if err := mesh.WriteFile(*out, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	case "metis":
+		prefix := strings.TrimSuffix(*out, ".graph")
+		if err := mesh.WriteMETISFiles(prefix, m); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s.graph and %s.xyz\n", prefix, prefix)
+	default:
+		fatal(fmt.Errorf("unknown format %q", *format))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genmesh:", err)
+	os.Exit(1)
+}

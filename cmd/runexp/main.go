@@ -1,0 +1,160 @@
+// Command runexp regenerates the paper's tables and figures (§5).
+//
+// Examples:
+//
+//	runexp -exp table2                  # Table 2 at default scale
+//	runexp -exp fig3a -scale quick      # fast smoke run
+//	runexp -exp fig1 -outdir ./figs     # SVGs of the five partitioners
+//	runexp -exp all
+//
+// Default scale is the paper's setup shrunk ~1000× (see DESIGN.md);
+// results are printed in the same row/series structure as the paper so
+// the *shape* (who wins, by what factor) can be compared directly.
+// EXPERIMENTS.md records one full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"geographer/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|ablation|all")
+		scale   = flag.String("scale", "default", "default|quick")
+		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
+		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
+		csvDir  = flag.String("csv", "", "also dump raw results as CSV files into this directory")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "default":
+		sc = experiments.DefaultScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	if *repeats > 0 {
+		sc.Repeats = *repeats
+	}
+
+	run := func(name string, f func() error) {
+		t0 := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	all := *exp == "all"
+	any := false
+	if all || *exp == "fig1" {
+		any = true
+		run("fig1", func() error {
+			paths, err := experiments.Fig1(*outdir, sc)
+			for _, p := range paths {
+				fmt.Println("wrote", p)
+			}
+			return err
+		})
+	}
+	if all || *exp == "table2" {
+		any = true
+		run("table2", func() error {
+			rows, err := experiments.Table2(os.Stdout, sc)
+			return dumpRows(*csvDir, "table2.csv", rows, err)
+		})
+	}
+	if all || *exp == "table1" {
+		any = true
+		run("table1", func() error {
+			rows, err := experiments.Table1(os.Stdout, sc)
+			return dumpRows(*csvDir, "table1.csv", rows, err)
+		})
+	}
+	if all || *exp == "fig2" {
+		any = true
+		run("fig2", func() error {
+			ratios, err := experiments.Fig2(os.Stdout, sc)
+			if err != nil || *csvDir == "" {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, "fig2.csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return experiments.WriteRatiosCSV(f, ratios)
+		})
+	}
+	if all || *exp == "fig3a" {
+		any = true
+		run("fig3a", func() error {
+			pts, err := experiments.Fig3a(os.Stdout, sc)
+			return dumpScale(*csvDir, "fig3a.csv", pts, err)
+		})
+	}
+	if all || *exp == "fig3b" {
+		any = true
+		run("fig3b", func() error {
+			pts, err := experiments.Fig3b(os.Stdout, sc)
+			return dumpScale(*csvDir, "fig3b.csv", pts, err)
+		})
+	}
+	if all || *exp == "fig4" {
+		any = true
+		run("fig4", func() error {
+			rows, err := experiments.Fig4(os.Stdout, sc)
+			return dumpRows(*csvDir, "fig4.csv", rows, err)
+		})
+	}
+	if all || *exp == "components" {
+		any = true
+		run("components", func() error { _, err := experiments.Components(os.Stdout, sc); return err })
+	}
+	if all || *exp == "ablation" {
+		any = true
+		run("ablation", func() error { _, err := experiments.Ablation(os.Stdout, sc); return err })
+	}
+	if !any {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func dumpRows(dir, name string, rows []experiments.Row, err error) error {
+	if err != nil || dir == "" {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.WriteRowsCSV(f, rows)
+}
+
+func dumpScale(dir, name string, pts []experiments.ScalePoint, err error) error {
+	if err != nil || dir == "" {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiments.WriteScalePointsCSV(f, pts)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "runexp:", err)
+	os.Exit(1)
+}

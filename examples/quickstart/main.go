@@ -1,0 +1,44 @@
+// Quickstart: partition a Delaunay mesh of random points into balanced
+// blocks with Geographer's balanced k-means and print the quality
+// metrics. This is the smallest end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geographer"
+)
+
+func main() {
+	// 1. A benchmark mesh: Delaunay triangulation of 20 000 random points.
+	m, err := geographer.GenerateMesh(geographer.MeshDelaunay2D, 20000, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh %s: %d vertices\n", m.Name, m.N())
+
+	// 2. Partition into 16 balanced blocks (ε = 3%, the paper's setting).
+	blocks, err := geographer.Partition(m.Coords, m.Dim, m.Weights, geographer.Options{K: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Evaluate with the paper's graph metrics.
+	q, err := geographer.Evaluate(m.XAdj, m.Adj, m.Coords, m.Dim, m.Weights, blocks, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edge cut:            %d\n", q.EdgeCut)
+	fmt.Printf("total comm volume:   %d\n", q.TotalCommVol)
+	fmt.Printf("max comm volume:     %d\n", q.MaxCommVol)
+	fmt.Printf("imbalance:           %.4f (ε = 0.03)\n", q.Imbalance)
+	fmt.Printf("harm. mean diameter: %.1f\n", q.HarmDiameter)
+
+	// 4. How much SpMV communication does this partition cost?
+	modeled, _, err := geographer.SpMVCommTime(m.XAdj, m.Adj, blocks, 16, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SpMV comm (modeled): %.4g s/iteration\n", modeled)
+}

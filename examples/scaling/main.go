@@ -1,0 +1,29 @@
+// Scaling: a miniature of the paper's weak-scaling experiment (Figure
+// 3a). The Delaunay series grows with p = k while the per-process size
+// stays fixed; the modeled parallel time shows the scaling *shape*: the
+// recursive bisection methods pay one migration round per level (log k
+// rounds), MultiJagged only d rounds, HSFC one sort, and Geographer a
+// handful of k-means iterations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"geographer/internal/experiments"
+)
+
+func main() {
+	sc := experiments.DefaultScale()
+	sc.PerRank = 2000
+	sc.WeakMaxP = 32
+	if len(os.Args) > 1 && os.Args[1] == "quick" {
+		sc = experiments.QuickScale()
+	}
+	if _, err := experiments.Fig3a(os.Stdout, sc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nNote: wall[s] is bound by this host's cores; modeled[s] is the α-β")
+	fmt.Println("parallel-time model that recovers the paper's scaling shape (Fig. 3a).")
+}

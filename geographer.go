@@ -1,0 +1,293 @@
+// Package geographer is a Go implementation of Geographer, the balanced
+// k-means mesh partitioner of von Looz, Tzovas and Meyerhenke ("Balanced
+// k-means for Parallel Geometric Partitioning", ICPP 2018), together with
+// the geometric partitioners it is evaluated against (RCB, RIB,
+// MultiJagged, Hilbert-SFC) and the full evaluation harness of the paper.
+//
+// This root package is the stable facade: plain-slice inputs, no internal
+// types. The implementation lives under internal/ (see DESIGN.md for the
+// architecture and README.md for a tour).
+//
+// Quick start:
+//
+//	blocks, err := geographer.Partition(coords, 2, nil, geographer.Options{K: 16})
+//
+// partitions 2D points (x0,y0,x1,y1,...) into 16 balanced blocks.
+package geographer
+
+import (
+	"fmt"
+	"strings"
+
+	"geographer/internal/baselines"
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/graph"
+	"geographer/internal/mesh"
+	"geographer/internal/metrics"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+	"geographer/internal/refine"
+	"geographer/internal/spmv"
+	"geographer/internal/viz"
+)
+
+// Method names accepted by Options.Method.
+const (
+	MethodGeographer  = "geographer" // balanced k-means (the paper's algorithm)
+	MethodRCB         = "rcb"
+	MethodRIB         = "rib"
+	MethodMultiJagged = "multijagged"
+	MethodHSFC        = "hsfc"
+)
+
+// Options configures Partition.
+type Options struct {
+	// K is the number of blocks (required, >= 1).
+	K int
+	// Method selects the partitioner; empty means MethodGeographer.
+	Method string
+	// Epsilon is the allowed imbalance (default 0.03).
+	Epsilon float64
+	// Processes is the number of simulated parallel ranks (default 4).
+	// The result does not depend on it except through tie-level noise.
+	Processes int
+	// Seed drives the algorithm's internal sampling (default 1).
+	Seed int64
+	// Strict makes Epsilon a hard guarantee for MethodGeographer.
+	Strict bool
+	// TargetFractions optionally sets heterogeneous block sizes (must sum
+	// to 1, length K); only supported by MethodGeographer.
+	TargetFractions []float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Method == "" {
+		o.Method = MethodGeographer
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.03
+	}
+	if o.Processes == 0 {
+		o.Processes = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) tool() (partition.Distributed, error) {
+	switch strings.ToLower(o.Method) {
+	case MethodGeographer:
+		cfg := core.DefaultConfig()
+		cfg.Epsilon = o.Epsilon
+		cfg.Seed = o.Seed
+		cfg.Strict = o.Strict
+		cfg.TargetFractions = o.TargetFractions
+		return core.New(cfg), nil
+	case MethodRCB:
+		return baselines.RCB(), nil
+	case MethodRIB:
+		return baselines.RIB(), nil
+	case MethodMultiJagged, "mj":
+		return baselines.MultiJagged(), nil
+	case MethodHSFC, "sfc":
+		return baselines.HSFC{}, nil
+	default:
+		return nil, fmt.Errorf("geographer: unknown method %q", o.Method)
+	}
+}
+
+// Partition assigns each point to a block in [0, K). Coordinates are flat
+// (len = n·dim, dim ∈ {2,3}); weights may be nil for unit weights.
+func Partition(coords []float64, dim int, weights []float64, opts Options) ([]int32, error) {
+	opts = opts.withDefaults()
+	if opts.K < 1 {
+		return nil, fmt.Errorf("geographer: K=%d", opts.K)
+	}
+	ps := &geom.PointSet{Dim: dim, Coords: coords, Weight: weights}
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	tool, err := opts.tool()
+	if err != nil {
+		return nil, err
+	}
+	world := mpi.NewWorld(opts.Processes)
+	p, err := partition.Run(world, ps, opts.K, tool)
+	if err != nil {
+		return nil, err
+	}
+	return p.Assign, nil
+}
+
+// Quality holds the graph-based partition metrics of the paper (§2).
+type Quality struct {
+	EdgeCut      int64
+	MaxCommVol   int64
+	TotalCommVol int64
+	Imbalance    float64
+	HarmDiameter float64
+	Disconnected int
+	EmptyBlocks  int
+}
+
+// Evaluate computes partition quality over a CSR mesh graph: adjacency of
+// vertex v is adj[xadj[v]:xadj[v+1]].
+func Evaluate(xadj []int64, adj []int32, coords []float64, dim int, weights []float64, part []int32, k int) (Quality, error) {
+	n := len(xadj) - 1
+	g := &graph.Graph{N: n, Xadj: xadj, Adj: adj}
+	ps := &geom.PointSet{Dim: dim, Coords: coords, Weight: weights}
+	if err := ps.Validate(); err != nil {
+		return Quality{}, err
+	}
+	if ps.Len() != n {
+		return Quality{}, fmt.Errorf("geographer: %d points vs %d graph vertices", ps.Len(), n)
+	}
+	if len(part) != n {
+		return Quality{}, fmt.Errorf("geographer: %d assignments for %d vertices", len(part), n)
+	}
+	r := metrics.Evaluate(g, ps, part, k)
+	return Quality{
+		EdgeCut:      r.EdgeCut,
+		MaxCommVol:   r.MaxCommVol,
+		TotalCommVol: r.TotCommVol,
+		Imbalance:    r.Imbalance,
+		HarmDiameter: r.HarmDiam,
+		Disconnected: r.Disconnected,
+		EmptyBlocks:  r.EmptyBlocks,
+	}, nil
+}
+
+// MeshData is a self-contained mesh: points plus CSR adjacency.
+type MeshData struct {
+	Name    string
+	Dim     int
+	Coords  []float64 // flat, stride Dim
+	Weights []float64 // nil = unit
+	XAdj    []int64
+	Adj     []int32
+}
+
+// N returns the number of vertices.
+func (m *MeshData) N() int { return len(m.XAdj) - 1 }
+
+// Mesh kinds accepted by GenerateMesh.
+const (
+	MeshDelaunay2D = "delaunay2d" // Delaunay triangulation of uniform points
+	MeshRefined    = "refined"    // adaptively refined triangle mesh (hugetric-like)
+	MeshBubbles    = "bubbles"    // hugebubbles-like
+	MeshAirfoil    = "airfoil"    // FEM boundary-layer mesh (NACA-like)
+	MeshRGG        = "rgg"        // random geometric graph
+	MeshClimate    = "climate"    // 2.5D ocean mesh with layer weights
+	MeshDelaunay3D = "delaunay3d" // 3D Delaunay analog (kNN adjacency)
+	MeshTube3D     = "tube3d"     // branching-tube 3D mesh (alya-like)
+)
+
+// GenerateMesh produces one of the synthetic benchmark meshes used in the
+// evaluation (deterministic in n and seed).
+func GenerateMesh(kind string, n int, seed int64) (*MeshData, error) {
+	var m *mesh.Mesh
+	var err error
+	switch strings.ToLower(kind) {
+	case MeshDelaunay2D:
+		m, err = mesh.GenDelaunayUniform2D(n, seed)
+	case MeshRefined:
+		m, err = mesh.GenRefinedTri(n, seed)
+	case MeshBubbles:
+		m, err = mesh.GenBubbles(n, seed)
+	case MeshAirfoil:
+		m, err = mesh.GenAirfoil(n, seed)
+	case MeshRGG:
+		m, err = mesh.GenRGG2D(n, seed, 13)
+	case MeshClimate:
+		m, err = mesh.GenClimate(n, seed)
+	case MeshDelaunay3D:
+		m, err = mesh.GenDelaunay3D(n, seed)
+	case MeshTube3D:
+		m, err = mesh.GenTube3D(n, seed)
+	default:
+		return nil, fmt.Errorf("geographer: unknown mesh kind %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &MeshData{
+		Name:    m.Name,
+		Dim:     m.Points.Dim,
+		Coords:  m.Points.Coords,
+		Weights: m.Points.Weight,
+		XAdj:    m.G.Xadj,
+		Adj:     m.G.Adj,
+	}, nil
+}
+
+// SpMVCommTime runs the paper's SpMV communication benchmark (§2) on a
+// partitioned CSR graph and returns the modeled and wall-clock
+// communication seconds per multiplication.
+func SpMVCommTime(xadj []int64, adj []int32, part []int32, k, iters int) (modeled, wall float64, err error) {
+	g := &graph.Graph{N: len(xadj) - 1, Xadj: xadj, Adj: adj}
+	res, err := spmv.Benchmark(g, part, k, iters)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.ModeledCommSeconds, res.CommSeconds, nil
+}
+
+// Extrude materializes the 2.5D use case (paper §1): it builds the full
+// 3D mesh from a weighted 2D surface mesh (weight = vertical layer count)
+// and lifts a surface partition column-wise onto it. Returns the 3D mesh
+// and the lifted partition.
+func Extrude(surface *MeshData, part2d []int32, layerHeight float64) (*MeshData, []int32, error) {
+	m := &mesh.Mesh{
+		Name:   surface.Name,
+		Points: &geom.PointSet{Dim: surface.Dim, Coords: surface.Coords, Weight: surface.Weights},
+		G:      &graph.Graph{N: surface.N(), Xadj: surface.XAdj, Adj: surface.Adj},
+	}
+	m3, err := mesh.Extrude25D(m, layerHeight)
+	if err != nil {
+		return nil, nil, err
+	}
+	lifted, err := mesh.LiftPartition(m, part2d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &MeshData{
+		Name:   m3.Name,
+		Dim:    3,
+		Coords: m3.Points.Coords,
+		XAdj:   m3.G.Xadj,
+		Adj:    m3.G.Adj,
+	}, lifted, nil
+}
+
+// RefineResult reports what a refinement pass achieved.
+type RefineResult struct {
+	Moves     int
+	CutBefore int64
+	CutAfter  int64
+}
+
+// RefinePartition runs the optional Fiduccia–Mattheyses-style boundary
+// refinement (an extension the paper mentions as possible in §2) on a
+// partition, in place. Balance within epsilon is preserved.
+func RefinePartition(xadj []int64, adj []int32, coords []float64, dim int, weights []float64, part []int32, k int, epsilon float64) (RefineResult, error) {
+	g := &graph.Graph{N: len(xadj) - 1, Xadj: xadj, Adj: adj}
+	ps := &geom.PointSet{Dim: dim, Coords: coords, Weight: weights}
+	opts := refine.DefaultOptions()
+	if epsilon > 0 {
+		opts.Epsilon = epsilon
+	}
+	res, err := refine.Refine(g, ps, part, k, opts)
+	if err != nil {
+		return RefineResult{}, err
+	}
+	return RefineResult{Moves: res.Moves, CutBefore: res.CutBefore, CutAfter: res.CutAfter}, nil
+}
+
+// RenderSVG writes a colored 2D partition image (Figure 1 style).
+func RenderSVG(path string, coords []float64, part []int32, k int) error {
+	ps := &geom.PointSet{Dim: 2, Coords: coords}
+	return viz.RenderToFile(path, ps, part, k, viz.DefaultOptions())
+}

@@ -1,0 +1,243 @@
+package geographer
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func randomCoords(n, dim int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n*dim)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+func TestPartitionFacade(t *testing.T) {
+	coords := randomCoords(2000, 2, 1)
+	blocks, err := Partition(coords, 2, nil, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2000 {
+		t.Fatalf("%d assignments", len(blocks))
+	}
+	sizes := make([]int, 8)
+	for _, b := range blocks {
+		if b < 0 || b >= 8 {
+			t.Fatalf("invalid block %d", b)
+		}
+		sizes[b]++
+	}
+	for b, s := range sizes {
+		if s < 200 || s > 300 {
+			t.Errorf("block %d has %d points (ε=0.03 → ~250)", b, s)
+		}
+	}
+}
+
+func TestPartitionAllMethods(t *testing.T) {
+	coords := randomCoords(1000, 3, 2)
+	for _, m := range []string{MethodGeographer, MethodRCB, MethodRIB, MethodMultiJagged, MethodHSFC} {
+		blocks, err := Partition(coords, 3, nil, Options{K: 4, Method: m})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(blocks) != 1000 {
+			t.Fatalf("%s: %d assignments", m, len(blocks))
+		}
+	}
+	if _, err := Partition(coords, 3, nil, Options{K: 4, Method: "nope"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := Partition(coords, 3, nil, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Partition([]float64{1, 2, 3}, 2, nil, Options{K: 2}); err == nil {
+		t.Fatal("odd coords accepted")
+	}
+}
+
+func TestGenerateEvaluateRoundTrip(t *testing.T) {
+	m, err := GenerateMesh(MeshRefined, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() < 2500 {
+		t.Fatalf("n = %d", m.N())
+	}
+	blocks, err := Partition(m.Coords, m.Dim, m.Weights, Options{K: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Evaluate(m.XAdj, m.Adj, m.Coords, m.Dim, m.Weights, blocks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EdgeCut <= 0 || q.TotalCommVol <= 0 {
+		t.Errorf("degenerate quality: %+v", q)
+	}
+	if q.Imbalance > 0.031 {
+		t.Errorf("imbalance %.4f", q.Imbalance)
+	}
+	if q.EmptyBlocks != 0 {
+		t.Errorf("%d empty blocks", q.EmptyBlocks)
+	}
+}
+
+func TestGenerateMeshKinds(t *testing.T) {
+	for _, kind := range []string{MeshDelaunay2D, MeshRefined, MeshBubbles, MeshAirfoil,
+		MeshRGG, MeshClimate, MeshDelaunay3D, MeshTube3D} {
+		m, err := GenerateMesh(kind, 800, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if m.N() < 500 {
+			t.Errorf("%s: n=%d", kind, m.N())
+		}
+	}
+	if _, err := GenerateMesh("granite", 10, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestClimateWeightedPartition(t *testing.T) {
+	m, err := GenerateMesh(MeshClimate, 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weights == nil {
+		t.Fatal("climate mesh must carry weights")
+	}
+	blocks, err := Partition(m.Coords, m.Dim, m.Weights, Options{K: 8, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Evaluate(m.XAdj, m.Adj, m.Coords, m.Dim, m.Weights, blocks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Imbalance > 0.031 {
+		t.Errorf("weighted imbalance %.4f", q.Imbalance)
+	}
+}
+
+func TestSpMVCommTimeFacade(t *testing.T) {
+	m, err := GenerateMesh(MeshDelaunay2D, 1500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := Partition(m.Coords, m.Dim, nil, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modeled, wall, err := SpMVCommTime(m.XAdj, m.Adj, blocks, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modeled <= 0 || wall < 0 {
+		t.Errorf("times: %g %g", modeled, wall)
+	}
+}
+
+func TestRenderSVGFacade(t *testing.T) {
+	m, err := GenerateMesh(MeshDelaunay2D, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := Partition(m.Coords, 2, nil, Options{K: 4, Method: MethodRCB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderSVG(filepath.Join(t.TempDir(), "p.svg"), m.Coords, blocks, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefinePartitionFacade(t *testing.T) {
+	m, err := GenerateMesh(MeshDelaunay2D, 2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HSFC partitions have wrinkled boundaries: refinement should help.
+	blocks, err := Partition(m.Coords, m.Dim, nil, Options{K: 8, Method: MethodHSFC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RefinePartition(m.XAdj, m.Adj, m.Coords, m.Dim, nil, blocks, 8, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CutAfter > res.CutBefore {
+		t.Errorf("refinement worsened cut: %d -> %d", res.CutBefore, res.CutAfter)
+	}
+	if res.Moves == 0 {
+		t.Error("refinement of an SFC partition should move at least one vertex")
+	}
+	q, err := Evaluate(m.XAdj, m.Adj, m.Coords, m.Dim, nil, blocks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Imbalance > 0.031 {
+		t.Errorf("refinement broke balance: %.4f", q.Imbalance)
+	}
+}
+
+func TestExtrudeFacade(t *testing.T) {
+	surface, err := GenerateMesh(MeshClimate, 1500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := Partition(surface.Coords, surface.Dim, surface.Weights, Options{K: 4, Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol, lifted, err := Extrude(surface, blocks, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.Dim != 3 || vol.N() <= surface.N() {
+		t.Fatalf("extruded mesh: dim=%d n=%d (surface %d)", vol.Dim, vol.N(), surface.N())
+	}
+	if len(lifted) != vol.N() {
+		t.Fatalf("lifted partition length %d != %d", len(lifted), vol.N())
+	}
+	// The lifted 3D imbalance equals the weighted 2D imbalance up to the
+	// weight flooring.
+	q3, err := Evaluate(vol.XAdj, vol.Adj, vol.Coords, 3, nil, lifted, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Imbalance > 0.04 {
+		t.Errorf("lifted imbalance %.4f", q3.Imbalance)
+	}
+	// Error paths.
+	if _, _, err := Extrude(surface, blocks[:1], 0.01); err == nil {
+		t.Error("short partition accepted")
+	}
+	surface.Weights = nil
+	if _, _, err := Extrude(surface, blocks, 0.01); err == nil {
+		t.Error("unweighted surface accepted")
+	}
+}
+
+func TestHeterogeneousTargetsFacade(t *testing.T) {
+	coords := randomCoords(2000, 2, 6)
+	blocks, err := Partition(coords, 2, nil, Options{
+		K: 2, TargetFractions: []float64{0.7, 0.3}, Strict: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := 0
+	for _, b := range blocks {
+		if b == 0 {
+			n0++
+		}
+	}
+	if n0 < 1300 || n0 > 1500 {
+		t.Errorf("block 0 holds %d of 2000, want ~1400", n0)
+	}
+}

@@ -1,0 +1,287 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geographer/internal/geom"
+	"geographer/internal/metrics"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+func uniformPoints(n int, dim int, seed int64) *geom.PointSet {
+	rng := rand.New(rand.NewSource(seed))
+	ps := geom.NewPointSet(dim, n)
+	for i := 0; i < n; i++ {
+		var p geom.Point
+		for d := 0; d < dim; d++ {
+			p[d] = rng.Float64()
+		}
+		ps.Append(p, 1)
+	}
+	return ps
+}
+
+func weightedPoints(n int, seed int64) *geom.PointSet {
+	rng := rand.New(rand.NewSource(seed))
+	ps := geom.NewPointSet(2, n)
+	ps.Weight = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		ps.Append(geom.Point{rng.Float64(), rng.Float64()}, 0.5+4*rng.Float64())
+	}
+	return ps
+}
+
+func allTools() []partition.Distributed {
+	return []partition.Distributed{RCB(), RIB(), MultiJagged(), HSFC{}}
+}
+
+func TestToolsProduceValidBalancedPartitions(t *testing.T) {
+	for _, tool := range allTools() {
+		for _, dim := range []int{2, 3} {
+			for _, k := range []int{2, 7, 16} {
+				for _, p := range []int{1, 2, 4} {
+					ps := uniformPoints(4000, dim, 99)
+					w := mpi.NewWorld(p)
+					part, err := partition.Run(w, ps, k, tool)
+					if err != nil {
+						t.Fatalf("%s dim=%d k=%d p=%d: %v", tool.Name(), dim, k, p, err)
+					}
+					if err := part.Validate(true); err != nil {
+						t.Fatalf("%s dim=%d k=%d p=%d: %v", tool.Name(), dim, k, p, err)
+					}
+					imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, k))
+					if imb > 0.05 {
+						t.Errorf("%s dim=%d k=%d p=%d: imbalance %.4f > 0.05", tool.Name(), dim, k, p, imb)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestToolsWeightedBalance(t *testing.T) {
+	ps := weightedPoints(5000, 3)
+	for _, tool := range allTools() {
+		for _, p := range []int{1, 3} {
+			w := mpi.NewWorld(p)
+			part, err := partition.Run(w, ps, 8, tool)
+			if err != nil {
+				t.Fatalf("%s: %v", tool.Name(), err)
+			}
+			imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, 8))
+			if imb > 0.05 {
+				t.Errorf("%s p=%d: weighted imbalance %.4f", tool.Name(), p, imb)
+			}
+		}
+	}
+}
+
+func TestRCBProducesAxisAlignedQuadrants(t *testing.T) {
+	// 4 well-separated clusters in the unit square corners: RCB with k=4
+	// must put each cluster into its own block.
+	rng := rand.New(rand.NewSource(1))
+	ps := geom.NewPointSet(2, 400)
+	centers := []geom.Point{{0.1, 0.1}, {0.9, 0.1}, {0.1, 0.9}, {0.9, 0.9}}
+	for i := 0; i < 400; i++ {
+		c := centers[i%4]
+		ps.Append(geom.Point{c[0] + rng.Float64()*0.05, c[1] + rng.Float64()*0.05}, 1)
+	}
+	w := mpi.NewWorld(2)
+	part, err := partition.Run(w, ps, 4, RCB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points of one cluster share a block.
+	for cluster := 0; cluster < 4; cluster++ {
+		want := part.Assign[cluster]
+		for i := cluster; i < 400; i += 4 {
+			if part.Assign[i] != want {
+				t.Fatalf("cluster %d split between blocks %d and %d", cluster, want, part.Assign[i])
+			}
+		}
+	}
+}
+
+func TestRIBHandlesRotatedGeometry(t *testing.T) {
+	// A thin diagonal strip: RIB's inertial axis should cut across the
+	// strip, giving each half ~contiguous pieces; RCB can only cut
+	// axis-aligned. Check RIB's cut is roughly perpendicular to the strip:
+	// both blocks should have similar x-extent midpoints separated along
+	// the diagonal.
+	rng := rand.New(rand.NewSource(2))
+	ps := geom.NewPointSet(2, 2000)
+	for i := 0; i < 2000; i++ {
+		tpos := rng.Float64()
+		off := rng.NormFloat64() * 0.01
+		ps.Append(geom.Point{tpos - off/math.Sqrt2, tpos + off/math.Sqrt2}, 1)
+	}
+	w := mpi.NewWorld(2)
+	part, err := partition.Run(w, ps, 2, RIB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean diagonal position (x+y) of the blocks must differ clearly.
+	var sum [2]float64
+	var cnt [2]int
+	for i := 0; i < ps.Len(); i++ {
+		b := part.Assign[i]
+		sum[b] += ps.At(i)[0] + ps.At(i)[1]
+		cnt[b]++
+	}
+	m0, m1 := sum[0]/float64(cnt[0]), sum[1]/float64(cnt[1])
+	if math.Abs(m0-m1) < 0.5 {
+		t.Errorf("RIB did not separate along the strip: means %.3f vs %.3f", m0, m1)
+	}
+}
+
+func TestMultiJaggedGridStructure(t *testing.T) {
+	// k=9 on uniform 2D points: MJ should produce a 3x3 jagged grid, so
+	// each block's bounding box should be much smaller than the domain.
+	ps := uniformPoints(9000, 2, 5)
+	w := mpi.NewWorld(3)
+	part, err := partition.Run(w, ps, 9, MultiJagged())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := make([]geom.Box, 9)
+	for b := range boxes {
+		boxes[b] = geom.EmptyBox(2)
+	}
+	for i := 0; i < ps.Len(); i++ {
+		boxes[part.Assign[i]].Extend(ps.At(i))
+	}
+	for b, box := range boxes {
+		if box.Side(0)*box.Side(1) > 0.35 {
+			t.Errorf("block %d covers area %.2f, expected compact ~0.11", b, box.Side(0)*box.Side(1))
+		}
+	}
+}
+
+func TestHSFCContiguousOnCurve(t *testing.T) {
+	ps := uniformPoints(3000, 2, 8)
+	w := mpi.NewWorld(4)
+	part, err := partition.Run(w, ps, 8, HSFC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// Perfect weight balance up to one point per cut.
+	sizes := part.Sizes()
+	for b, s := range sizes {
+		if s < 3000/8-8 || s > 3000/8+8 {
+			t.Errorf("block %d size %d, want ~375", b, s)
+		}
+	}
+}
+
+func TestHeterogeneousRanksAndK(t *testing.T) {
+	// k not a power of two, p not dividing k.
+	ps := uniformPoints(1100, 2, 13)
+	for _, tool := range allTools() {
+		w := mpi.NewWorld(3)
+		part, err := partition.Run(w, ps, 5, tool)
+		if err != nil {
+			t.Fatalf("%s: %v", tool.Name(), err)
+		}
+		if err := part.Validate(true); err != nil {
+			t.Fatalf("%s: %v", tool.Name(), err)
+		}
+		imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, 5))
+		if imb > 0.06 {
+			t.Errorf("%s: imbalance %.4f", tool.Name(), imb)
+		}
+	}
+}
+
+func TestKEqualsOneAndKEqualsN(t *testing.T) {
+	ps := uniformPoints(64, 2, 4)
+	for _, tool := range allTools() {
+		w := mpi.NewWorld(2)
+		part, err := partition.Run(w, ps, 1, tool)
+		if err != nil {
+			t.Fatalf("%s k=1: %v", tool.Name(), err)
+		}
+		for _, b := range part.Assign {
+			if b != 0 {
+				t.Fatalf("%s k=1: nonzero block", tool.Name())
+			}
+		}
+		part, err = partition.Run(w, ps, 64, tool)
+		if err != nil {
+			t.Fatalf("%s k=n: %v", tool.Name(), err)
+		}
+		if err := part.Validate(false); err != nil {
+			t.Fatalf("%s k=n: %v", tool.Name(), err)
+		}
+	}
+}
+
+func TestSplitBlocks(t *testing.T) {
+	cases := []struct {
+		k, s int
+		want []int
+	}{
+		{4, 2, []int{2, 2}},
+		{5, 2, []int{3, 2}},
+		{7, 3, []int{3, 2, 2}},
+		{3, 3, []int{1, 1, 1}},
+	}
+	for _, c := range cases {
+		got := splitBlocks(c.k, c.s)
+		if len(got) != len(c.want) {
+			t.Fatalf("splitBlocks(%d,%d) = %v", c.k, c.s, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("splitBlocks(%d,%d) = %v, want %v", c.k, c.s, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPrincipalAxisDiagonal(t *testing.T) {
+	cv := &covariance{}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 1000; i++ {
+		tpos := rng.Float64()
+		cv.accumulate(geom.Point{tpos, tpos + rng.NormFloat64()*0.001}, 1, 2)
+	}
+	axis := cv.principalAxis(2)
+	// Expect ±(1,1)/√2.
+	if math.Abs(math.Abs(axis[0])-math.Sqrt2/2) > 0.02 || math.Abs(math.Abs(axis[1])-math.Sqrt2/2) > 0.02 {
+		t.Errorf("principal axis = %v, want ~(0.707, 0.707)", axis)
+	}
+}
+
+func TestPrincipalAxisDegenerate(t *testing.T) {
+	cv := &covariance{}
+	cv.accumulate(geom.Point{0.5, 0.5}, 1, 2) // single point
+	axis := cv.principalAxis(2)
+	if math.IsNaN(axis[0]) || math.IsNaN(axis[1]) {
+		t.Errorf("degenerate axis NaN: %v", axis)
+	}
+	empty := &covariance{}
+	axis = empty.principalAxis(3)
+	if axis != (geom.Point{1, 0, 0}) {
+		t.Errorf("empty covariance axis = %v", axis)
+	}
+}
+
+func BenchmarkTools(b *testing.B) {
+	ps := uniformPoints(50000, 2, 42)
+	for _, tool := range allTools() {
+		b.Run(tool.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := mpi.NewWorld(4)
+				if _, err := partition.Run(w, ps, 16, tool); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

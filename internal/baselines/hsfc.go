@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"geographer/internal/dsort"
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+	"geographer/internal/sfc"
+)
+
+// HSFC partitions by cutting the Hilbert space-filling curve into k
+// consecutive weight-balanced pieces (zoltanSFC, §3.1): compute each
+// point's Hilbert index over the global bounding box, sort all points by
+// index with the distributed sample sort, and assign blocks by global
+// weight prefix. One sort is the only communication — the most scalable
+// and lowest-quality method in the paper's comparison.
+type HSFC struct{}
+
+// Name implements partition.Distributed.
+func (HSFC) Name() string { return "Hsfc" }
+
+// Partition implements partition.Distributed.
+func (HSFC) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]int64, []int32, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("hsfc: k=%d", k)
+	}
+	dim := pts.Dim
+
+	// Global bounding box.
+	mins := make([]float64, dim)
+	maxs := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		mins[d] = math.Inf(1)
+		maxs[d] = math.Inf(-1)
+	}
+	for _, x := range pts.X {
+		for d := 0; d < dim; d++ {
+			mins[d] = math.Min(mins[d], x[d])
+			maxs[d] = math.Max(maxs[d], x[d])
+		}
+	}
+	mins = mpi.AllreduceMin(c, mins)
+	maxs = mpi.AllreduceMax(c, maxs)
+	box := geom.Box{Dim: dim}
+	for d := 0; d < dim; d++ {
+		box.Min[d] = mins[d]
+		box.Max[d] = maxs[d]
+	}
+	curve := sfc.NewCurve(box, dim)
+
+	items := make([]dsort.Item, pts.Len())
+	for i := range items {
+		items[i] = dsort.Item{
+			Key: curve.Key(pts.X[i]),
+			ID:  pts.IDs[i],
+			W:   pts.Weight(i),
+			X:   pts.X[i],
+		}
+	}
+	c.AddOps(int64(len(items)))
+
+	sorted := dsort.SampleSort(c, items)
+
+	// Weight prefix over the global order.
+	localW := 0.0
+	for _, it := range sorted {
+		localW += it.W
+	}
+	totalW := mpi.ReduceScalarSum(c, localW)
+	prefix := mpi.ExscanSum(c, localW)
+	if totalW <= 0 {
+		totalW = 1
+	}
+	perBlock := totalW / float64(k)
+
+	ids := make([]int64, len(sorted))
+	blocks := make([]int32, len(sorted))
+	cum := prefix
+	for i, it := range sorted {
+		// Block of the weight midpoint of this item.
+		b := int32((cum + it.W/2) / perBlock)
+		if b > int32(k-1) {
+			b = int32(k - 1)
+		}
+		ids[i] = it.ID
+		blocks[i] = b
+		cum += it.W
+	}
+	c.AddOps(int64(len(sorted)))
+	return ids, blocks, nil
+}
+
+// Name implements partition.Distributed for the engine-based methods.
+func (e *engine) Name() string { return e.m.name() }

@@ -1,0 +1,71 @@
+package baselines
+
+import (
+	"math"
+
+	"geographer/internal/geom"
+)
+
+// RCB is Recursive Coordinate Bisection (Berger & Bokhari; Simon): split
+// the widest dimension of the bounding box at the weighted median,
+// recurse. The classic Zoltan default.
+func RCB() *engine { return &engine{m: rcbMethod{}} }
+
+type rcbMethod struct{}
+
+func (rcbMethod) name() string          { return "Rcb" }
+func (rcbMethod) needsCovariance() bool { return false }
+
+func (rcbMethod) plan(k, level, dim int, box geom.Box, _ *covariance) (geom.Point, []int) {
+	var dir geom.Point
+	dir[box.WidestAxis()] = 1
+	return dir, []int{(k + 1) / 2, k / 2}
+}
+
+// RIB is Recursive Inertial Bisection (Taylor & Nour-Omid; Williams):
+// like RCB, but the cut is orthogonal to the principal inertial axis of
+// the subproblem's points, which adapts to non-axis-aligned geometry.
+func RIB() *engine { return &engine{m: ribMethod{}} }
+
+type ribMethod struct{}
+
+func (ribMethod) name() string          { return "Rib" }
+func (ribMethod) needsCovariance() bool { return true }
+
+func (ribMethod) plan(k, level, dim int, box geom.Box, cov *covariance) (geom.Point, []int) {
+	dir := cov.principalAxis(dim)
+	if dir.Dot(dir, dim) < 1e-20 {
+		dir = geom.Point{}
+		dir[box.WidestAxis()] = 1
+	}
+	return dir, []int{(k + 1) / 2, k / 2}
+}
+
+// MultiJagged is the multisection algorithm of Deveci et al. (§3.1): a
+// generalization of recursive bisection that cuts each dimension into
+// ~k^(1/d) slabs, finishing after d levels instead of log₂ k. Fewer
+// levels mean fewer migration rounds, which is why MJ scales better than
+// RCB/RIB in the paper's experiments.
+func MultiJagged() *engine { return &engine{m: mjMethod{}} }
+
+type mjMethod struct{}
+
+func (mjMethod) name() string          { return "MultiJagged" }
+func (mjMethod) needsCovariance() bool { return false }
+
+func (mjMethod) plan(k, level, dim int, box geom.Box, _ *covariance) (geom.Point, []int) {
+	remaining := dim - level
+	if remaining < 1 {
+		remaining = 1
+	}
+	s := int(math.Round(math.Pow(float64(k), 1/float64(remaining))))
+	if s < 2 {
+		s = 2
+	}
+	if s > k {
+		s = k
+	}
+	var dir geom.Point
+	dir[level%dim] = 1
+	return dir, splitBlocks(k, s)
+}

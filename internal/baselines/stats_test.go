@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"testing"
+
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// The scaling story of the paper's Figures 3 and 4 rests on how many
+// communication rounds each method needs: RCB/RIB pay one cut search +
+// migration per bisection level (log₂ k), MultiJagged one per dimension,
+// HSFC a single sort. Verify that mechanism directly from the runtime's
+// collective counters.
+func TestCommunicationRoundsOrdering(t *testing.T) {
+	ps := uniformPoints(8000, 2, 77)
+	k, p := 16, 8
+	collectives := func(tool partition.Distributed) int64 {
+		w := mpi.NewWorld(p)
+		if _, err := partition.Run(w, ps, k, tool); err != nil {
+			t.Fatalf("%s: %v", tool.Name(), err)
+		}
+		var total int64
+		for _, s := range w.Stats() {
+			total += s.Collectives
+		}
+		return total
+	}
+	rcb := collectives(RCB())
+	mj := collectives(MultiJagged())
+	hsfc := collectives(HSFC{})
+	if !(hsfc < mj && mj < rcb) {
+		t.Errorf("collective counts out of order: hsfc=%d mj=%d rcb=%d (want hsfc < mj < rcb)",
+			hsfc, mj, rcb)
+	}
+}
+
+// Migration must leave every rank with a reasonable share of the points
+// (no rank starves or hoards during the world phase).
+func TestMigrationKeepsRanksLoaded(t *testing.T) {
+	ps := uniformPoints(8000, 2, 78)
+	for _, tool := range []partition.Distributed{RCB(), MultiJagged()} {
+		w := mpi.NewWorld(8)
+		if _, err := partition.Run(w, ps, 16, tool); err != nil {
+			t.Fatal(err)
+		}
+		// Traffic symmetry proxy: every rank participated in collectives.
+		for r, s := range w.Stats() {
+			if s.Collectives == 0 {
+				t.Errorf("%s: rank %d never joined a collective", tool.Name(), r)
+			}
+		}
+	}
+}
+
+// Modeled communication time must grow with p for the recursive methods
+// on fixed-size input (the strong-scaling mechanism of Fig. 3b).
+func TestRecursiveMethodsCommGrowsWithP(t *testing.T) {
+	ps := uniformPoints(6000, 2, 79)
+	commAt := func(p int) float64 {
+		w := mpi.NewWorld(p)
+		if _, err := partition.Run(w, ps, 32, RCB()); err != nil {
+			t.Fatal(err)
+		}
+		_, comm := w.CostModel().ModeledTime(w.Stats())
+		return comm
+	}
+	small, large := commAt(2), commAt(16)
+	if large <= small {
+		t.Errorf("RCB modeled comm did not grow with p: %g (p=2) vs %g (p=16)", small, large)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+)
+
+// assignAndBalance is Algorithm 1 of the paper: repeatedly assign every
+// (sampled) local point to the cluster with the smallest *effective*
+// distance dist(p,c)/influence(c), then adapt the influence values until
+// the blocks are balanced or MaxBalanceIter rounds are spent. Returns
+// whether the ε constraint was met.
+func (st *state) assignAndBalance() bool {
+	sample := st.perm[:st.nSample]
+
+	// Line 1: bounding box around the local (sampled) points.
+	bb := geom.EmptyBox(st.dim)
+	localSampleW := 0.0
+	for _, i := range sample {
+		bb.Extend(st.X[i])
+		localSampleW += st.W[i]
+	}
+
+	// Scale global targets to the current global sample weight.
+	sampleW := mpi.ReduceScalarSum(st.c, localSampleW)
+	totalTarget := 0.0
+	for _, t := range st.targets {
+		totalTarget += t
+	}
+	scale := 1.0
+	if totalTarget > 0 {
+		scale = sampleW / totalTarget
+	}
+
+	oldInfluence := make([]float64, st.k)
+	balanced := false
+
+	for round := 0; round < st.cfg.MaxBalanceIter; round++ {
+		st.info.BalanceRounds++
+
+		// Lines 2–6: effective distance of every center to the local box,
+		// centers sorted ascending (sound pruning order; see DESIGN.md on
+		// the paper's maxDist typo).
+		for b := 0; b < st.k; b++ {
+			st.orderedCenters[b] = int32(b)
+			if bb.Empty() {
+				st.distToBB[b] = 0
+			} else {
+				st.distToBB[b] = bb.MinDist(st.centers[b]) / st.influence[b]
+			}
+			st.localW[b] = 0
+		}
+		if st.cfg.BBoxPruning {
+			sort.Slice(st.orderedCenters, func(a, b int) bool {
+				ca, cb := st.orderedCenters[a], st.orderedCenters[b]
+				if st.distToBB[ca] != st.distToBB[cb] {
+					return st.distToBB[ca] < st.distToBB[cb]
+				}
+				return ca < cb
+			})
+		}
+
+		// Lines 8–30: assignment loop.
+		var distCalcs, skips, breaks int64
+		switch st.cfg.Bounds {
+		case BoundsElkan:
+			// Elkan-style: one raw-distance lower bound per (point,
+			// center); a center whose bound (after influence division)
+			// cannot beat the current best is skipped without a distance
+			// evaluation (§3.3).
+			for _, i := range sample {
+				x := st.X[i]
+				best := math.Inf(1)
+				bestC := int32(0)
+				if a := st.A[i]; a >= 0 {
+					raw := geom.Dist(x, st.centers[a], st.dim)
+					distCalcs++
+					st.lbk[int(i)*st.k+int(a)] = raw
+					best = raw / st.influence[a]
+					bestC = a
+				}
+				base := int(i) * st.k
+				for _, bc := range st.orderedCenters {
+					if bc == st.A[i] {
+						continue
+					}
+					if st.cfg.BBoxPruning && st.distToBB[bc] > best {
+						breaks++
+						break
+					}
+					if st.lbk[base+int(bc)]/st.influence[bc] >= best {
+						skips++
+						continue
+					}
+					raw := geom.Dist(x, st.centers[bc], st.dim)
+					distCalcs++
+					st.lbk[base+int(bc)] = raw
+					if d := raw / st.influence[bc]; d < best {
+						best = d
+						bestC = bc
+					}
+				}
+				st.A[i] = bestC
+				st.ub[i] = best
+				st.localW[bestC] += st.W[i]
+			}
+		default:
+			hamerly := st.cfg.Bounds == BoundsHamerly
+			for _, i := range sample {
+				if hamerly && st.A[i] >= 0 && st.ub[i] < st.lb[i] {
+					skips++ // line 10: assignment cannot have changed
+				} else {
+					x := st.X[i]
+					best, second := math.Inf(1), math.Inf(1)
+					bestC := int32(0)
+					for _, bc := range st.orderedCenters {
+						if st.cfg.BBoxPruning && st.distToBB[bc] > second {
+							breaks++ // line 16: no remaining center can win
+							break
+						}
+						d := geom.Dist(x, st.centers[bc], st.dim) / st.influence[bc]
+						distCalcs++
+						if d < best {
+							second = best
+							best = d
+							bestC = bc
+						} else if d < second {
+							second = d
+						}
+					}
+					st.A[i] = bestC
+					st.ub[i] = best   // line 26
+					st.lb[i] = second // line 27
+				}
+				st.localW[st.A[i]] += st.W[i] // line 29
+			}
+		}
+		st.info.DistCalcs += distCalcs
+		st.info.HamerlySkips += skips
+		st.info.BBoxBreaks += breaks
+		st.c.AddOps(distCalcs + int64(len(sample)))
+
+		// Line 31: the only communication of the balance routine.
+		globalW := mpi.AllreduceSum(st.c, st.localW)
+
+		// Line 32: balanced?
+		imb := 0.0
+		for b := 0; b < st.k; b++ {
+			target := st.targets[b] * scale
+			if target <= 0 {
+				continue
+			}
+			if r := globalW[b]/target - 1; r > imb {
+				imb = r
+			}
+		}
+		st.info.Imbalance = imb
+		if imb <= st.cfg.Epsilon {
+			balanced = true
+			break
+		}
+
+		// Lines 35–37: adapt influence values (Eq. (1), direction
+		// corrected, capped at ±InfluenceCap per round; see DESIGN.md).
+		copy(oldInfluence, st.influence)
+		lo, hi := 1-st.cfg.InfluenceCap, 1+st.cfg.InfluenceCap
+		for b := 0; b < st.k; b++ {
+			target := st.targets[b] * scale
+			if target <= 0 {
+				continue
+			}
+			gamma := globalW[b] / target // current/target
+			var factor float64
+			if gamma <= 0 {
+				factor = hi // empty block: grow as fast as allowed
+			} else {
+				factor = math.Pow(gamma, -1/float64(st.dim))
+				if factor < lo {
+					factor = lo
+				}
+				if factor > hi {
+					factor = hi
+				}
+			}
+			st.influence[b] *= factor
+			if st.influence[b] < 1e-10 {
+				st.influence[b] = 1e-10
+			}
+			if st.influence[b] > 1e10 {
+				st.influence[b] = 1e10
+			}
+		}
+
+		// Lines 38–39: bounds must follow the influence change.
+		st.scaleBoundsForInfluence(oldInfluence)
+	}
+
+	st.info.Balanced = balanced
+	return balanced
+}

@@ -1,0 +1,152 @@
+// Package core implements the paper's contribution: weighted balanced
+// k-means for mesh partitioning (§4), the algorithm behind Geographer.
+//
+// The implementation follows Algorithms 1 and 2 of the paper:
+//
+//   - bootstrap: global sort and redistribution of the points by their
+//     Hilbert space-filling curve index (§4.1), initial centers placed at
+//     equal distances along the curve (Algorithm 2, line 7);
+//   - balancing: per-cluster influence values dividing the distance in
+//     the assignment step (weighted Voronoi diagrams, §4.2), adapted by
+//     Eq. (1) with a ±5% cap per step, plus the sigmoid influence erosion
+//     of Eqs. (2)–(3) after center movements;
+//   - geometric optimizations: Hamerly-style distance bounds carried in
+//     effective-distance space (§4.3, Eqs. (4)–(5) with the signs
+//     corrected, see DESIGN.md), and pruning of far clusters against the
+//     bounding box of the process-local points (§4.4);
+//   - sampled initialization: the first rounds run on a doubling random
+//     sample of the local points (§4.5, "random initialization").
+//
+// Everything runs SPMD over the simulated MPI runtime; cluster centers
+// and influence values are replicated, points are distributed (§4.1).
+package core
+
+// Config collects the tuning parameters of balanced k-means. The zero
+// value is not useful; start from DefaultConfig.
+type Config struct {
+	// Epsilon is the maximum allowed imbalance ε: every block's weight
+	// must be at most (1+ε)·target. The paper evaluates ε ∈ {0.03, 0.05}.
+	Epsilon float64
+
+	// MaxIter bounds the outer center-movement iterations (Algorithm 2).
+	MaxIter int
+
+	// MaxBalanceIter bounds the influence-adaptation rounds between two
+	// center movements (Algorithm 1; "a tuning parameter", §4.2).
+	MaxBalanceIter int
+
+	// DeltaThreshold stops the outer loop once the maximum center
+	// movement falls below DeltaThreshold × (global bounding box
+	// diagonal).
+	DeltaThreshold float64
+
+	// InfluenceCap limits the relative influence change per balance round
+	// ("we restrict the maximum influence change in one step to 5%").
+	InfluenceCap float64
+
+	// Erosion enables the sigmoid influence erosion after center movement
+	// (Eqs. (2)–(3)); disable only for ablation studies.
+	Erosion bool
+
+	// Bounds selects the distance-bound acceleration (§4.3 / §3.3):
+	// BoundsHamerly (the paper's choice: one upper + one lower bound per
+	// point), BoundsElkan (k lower bounds per point: fewer distance
+	// evaluations, O(n·k) memory — the alternative the paper rejects for
+	// its memory cost at large k), or BoundsNone.
+	Bounds BoundsKind
+
+	// BBoxPruning enables the bounding-box cluster pruning of §4.4.
+	BBoxPruning bool
+
+	// SampledInit enables the doubling-sample initialization rounds.
+	SampledInit bool
+
+	// SFCBootstrap enables the space-filling-curve sort/redistribution and
+	// curve-spaced initial centers. When false, points stay in input
+	// distribution and initial centers are drawn uniformly at random — the
+	// configuration the paper argues against; kept for ablations.
+	SFCBootstrap bool
+
+	// TargetFractions optionally gives non-uniform per-block target
+	// weights (paper footnote 1); nil means uniform.
+	TargetFractions []float64
+
+	// Strict makes ε a hard guarantee: after convergence, extra
+	// balance-only rounds (with a growing influence cap) run until the
+	// partition fits ε. Off by default, matching the paper's setup where
+	// balance "was always achieved" with enough iterations.
+	Strict bool
+
+	// Seed drives the sampled-initialization permutations and random
+	// center placement in non-SFC mode.
+	Seed int64
+}
+
+// BoundsKind selects the distance-bound strategy of the assignment loop.
+type BoundsKind string
+
+// The supported bound strategies.
+const (
+	BoundsHamerly BoundsKind = "hamerly" // paper §4.3 (default)
+	BoundsElkan   BoundsKind = "elkan"   // per-center lower bounds (§3.3)
+	BoundsNone    BoundsKind = "none"    // plain Lloyd assignment
+)
+
+// DefaultConfig returns the configuration used in the paper's experiments
+// (ε = 3%, all optimizations on).
+func DefaultConfig() Config {
+	return Config{
+		Epsilon:        0.03,
+		MaxIter:        60,
+		MaxBalanceIter: 20,
+		DeltaThreshold: 2e-3,
+		InfluenceCap:   0.05,
+		Erosion:        true,
+		Bounds:         BoundsHamerly,
+		BBoxPruning:    true,
+		SampledInit:    true,
+		SFCBootstrap:   true,
+	}
+}
+
+// Info reports what happened during one Partition call: phase wall times
+// (for the paper's §5.3.2 component breakdown), iteration counts, and the
+// effectiveness counters of the geometric optimizations.
+type Info struct {
+	Iterations    int     // outer (center movement) iterations
+	BalanceRounds int     // total inner balance rounds
+	Balanced      bool    // final imbalance ≤ ε
+	Imbalance     float64 // achieved imbalance
+
+	// Phase wall-clock seconds, measured on rank 0 (§5.3.2: "initial
+	// partition with a Hilbert curve, the redistribution of coordinates
+	// ... and finally the balanced k-means itself").
+	SFCSeconds    float64
+	SortSeconds   float64
+	KMeansSeconds float64
+
+	// Optimization effectiveness (the paper reports ~80% of inner loops
+	// skipped by the distance bounds, §4.3).
+	DistCalcs    int64 // full point-center distance evaluations
+	HamerlySkips int64 // points whose inner loop was skipped entirely
+	BBoxBreaks   int64 // inner loops cut short by the bounding-box order
+}
+
+// SkipRate returns the fraction of point visits resolved by the Hamerly
+// bounds alone.
+func (in Info) SkipRate() float64 {
+	total := in.HamerlySkips + in.DistCalcsVisits()
+	if total == 0 {
+		return 0
+	}
+	return float64(in.HamerlySkips) / float64(total)
+}
+
+// DistCalcsVisits approximates the number of point visits that required
+// distance work (at least one distance evaluation).
+func (in Info) DistCalcsVisits() int64 {
+	if in.DistCalcs == 0 {
+		return 0
+	}
+	return in.DistCalcs
+}

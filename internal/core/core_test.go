@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geographer/internal/geom"
+	"geographer/internal/metrics"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+func uniformPoints(n, dim int, seed int64) *geom.PointSet {
+	rng := rand.New(rand.NewSource(seed))
+	ps := geom.NewPointSet(dim, n)
+	for i := 0; i < n; i++ {
+		var p geom.Point
+		for d := 0; d < dim; d++ {
+			p[d] = rng.Float64()
+		}
+		ps.Append(p, 1)
+	}
+	return ps
+}
+
+func runPartition(t *testing.T, ps *geom.PointSet, k, p int, cfg Config) (partition.P, *BalancedKMeans) {
+	t.Helper()
+	bkm := New(cfg)
+	w := mpi.NewWorld(p)
+	part, err := partition.Run(w, ps, k, bkm)
+	if err != nil {
+		t.Fatalf("k=%d p=%d: %v", k, p, err)
+	}
+	if err := part.Validate(false); err != nil {
+		t.Fatalf("k=%d p=%d: %v", k, p, err)
+	}
+	return part, bkm
+}
+
+func TestBalancedPartitionUniform(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for _, k := range []int{4, 16} {
+			for _, p := range []int{1, 2, 4} {
+				ps := uniformPoints(4000, dim, 11)
+				part, bkm := runPartition(t, ps, k, p, DefaultConfig())
+				imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, k))
+				if imb > 0.031 {
+					t.Errorf("dim=%d k=%d p=%d: imbalance %.4f > ε", dim, k, p, imb)
+				}
+				info := bkm.LastInfo()
+				if !info.Balanced {
+					t.Errorf("dim=%d k=%d p=%d: not balanced (imb %.4f)", dim, k, p, info.Imbalance)
+				}
+				if info.Iterations < 1 {
+					t.Errorf("no iterations recorded")
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := geom.NewPointSet(2, 5000)
+	ps.Weight = make([]float64, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		ps.Append(geom.Point{rng.Float64(), rng.Float64()}, 0.2+5*rng.Float64())
+	}
+	part, _ := runPartition(t, ps, 8, 3, DefaultConfig())
+	imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, 8))
+	if imb > 0.031 {
+		t.Errorf("weighted imbalance %.4f", imb)
+	}
+}
+
+func TestHeterogeneousTargets(t *testing.T) {
+	// Footnote 1: non-uniform block sizes.
+	cfg := DefaultConfig()
+	cfg.TargetFractions = []float64{0.5, 0.25, 0.125, 0.125}
+	ps := uniformPoints(4000, 2, 17)
+	part, _ := runPartition(t, ps, 4, 2, cfg)
+	w := metrics.BlockWeights(ps, part.Assign, 4)
+	total := w[0] + w[1] + w[2] + w[3]
+	for b, frac := range cfg.TargetFractions {
+		got := w[b] / total
+		if math.Abs(got-frac) > frac*0.05 {
+			t.Errorf("block %d holds %.3f of weight, want %.3f±5%%", b, got, frac)
+		}
+	}
+}
+
+func TestTargetFractionsLengthError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TargetFractions = []float64{0.5, 0.5}
+	bkm := New(cfg)
+	w := mpi.NewWorld(1)
+	_, err := partition.Run(w, uniformPoints(100, 2, 1), 4, bkm)
+	if err == nil {
+		t.Fatal("expected error for mismatched fractions")
+	}
+}
+
+// The geometric optimizations must be pure accelerations: turning them
+// off must give the exact same partition.
+func TestOptimizationsPreserveResult(t *testing.T) {
+	ps := uniformPoints(3000, 2, 23)
+	base := DefaultConfig()
+
+	ref, refB := runPartition(t, ps, 12, 2, base)
+	refInfo := refB.LastInfo()
+
+	noBounds := base
+	noBounds.Bounds = BoundsNone
+	gotH, _ := runPartition(t, ps, 12, 2, noBounds)
+	for i := range ref.Assign {
+		if ref.Assign[i] != gotH.Assign[i] {
+			t.Fatalf("Hamerly bounds changed the result at point %d", i)
+		}
+	}
+
+	elkan := base
+	elkan.Bounds = BoundsElkan
+	gotE, elkanB := runPartition(t, ps, 12, 2, elkan)
+	for i := range ref.Assign {
+		if ref.Assign[i] != gotE.Assign[i] {
+			t.Fatalf("Elkan bounds changed the result at point %d", i)
+		}
+	}
+
+	noBBox := base
+	noBBox.BBoxPruning = false
+	gotB, _ := runPartition(t, ps, 12, 2, noBBox)
+	for i := range ref.Assign {
+		if ref.Assign[i] != gotB.Assign[i] {
+			t.Fatalf("BBox pruning changed the result at point %d", i)
+		}
+	}
+
+	// And they must actually save distance computations.
+	if refInfo.HamerlySkips == 0 {
+		t.Error("Hamerly bounds never skipped a point")
+	}
+	noneCfg := base
+	noneCfg.Bounds = BoundsNone
+	noneCfg.BBoxPruning = false
+	_, noneB := runPartition(t, ps, 12, 2, noneCfg)
+	if refInfo.DistCalcs >= noneB.LastInfo().DistCalcs {
+		t.Errorf("optimizations did not reduce distance calcs: %d vs %d",
+			refInfo.DistCalcs, noneB.LastInfo().DistCalcs)
+	}
+	if elkanB.LastInfo().DistCalcs >= noneB.LastInfo().DistCalcs {
+		t.Errorf("Elkan bounds did not reduce distance calcs: %d vs %d",
+			elkanB.LastInfo().DistCalcs, noneB.LastInfo().DistCalcs)
+	}
+}
+
+func TestHamerlySkipRate(t *testing.T) {
+	// Paper §4.3: "the innermost loop can be skipped in about 80% of the
+	// cases". Demand a healthy margin at our scale.
+	ps := uniformPoints(8000, 2, 31)
+	_, bkm := runPartition(t, ps, 16, 2, DefaultConfig())
+	info := bkm.LastInfo()
+	rate := float64(info.HamerlySkips) / float64(info.HamerlySkips+int64(info.BalanceRounds)) // rough
+	_ = rate
+	// More robust: skips must dominate full scans of later rounds.
+	if info.HamerlySkips*3 < info.DistCalcs/int64(16) {
+		t.Errorf("suspiciously few Hamerly skips: %d skips, %d dist calcs", info.HamerlySkips, info.DistCalcs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	ps := uniformPoints(2000, 2, 41)
+	a, _ := runPartition(t, ps, 8, 3, DefaultConfig())
+	b, _ := runPartition(t, ps, 8, 3, DefaultConfig())
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("non-deterministic at point %d", i)
+		}
+	}
+}
+
+func TestKIndependentOfP(t *testing.T) {
+	// "the number of blocks ... is completely independent from the number
+	// of parallel processes" (§4.5): k=10 must work for any p.
+	ps := uniformPoints(1500, 2, 43)
+	for _, p := range []int{1, 2, 5, 8} {
+		part, _ := runPartition(t, ps, 10, p, DefaultConfig())
+		imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, 10))
+		if imb > 0.031 {
+			t.Errorf("p=%d: imbalance %.4f", p, imb)
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	ps := uniformPoints(300, 2, 47)
+	// k = 1.
+	part, _ := runPartition(t, ps, 1, 2, DefaultConfig())
+	for _, b := range part.Assign {
+		if b != 0 {
+			t.Fatal("k=1 must assign everything to block 0")
+		}
+	}
+	// More ranks than points on some ranks.
+	tiny := uniformPoints(5, 2, 48)
+	part, _ = runPartition(t, tiny, 2, 4, DefaultConfig())
+	if err := part.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	// k close to n.
+	part, _ = runPartition(t, uniformPoints(64, 2, 49), 32, 2, DefaultConfig())
+	if err := part.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictModeOnSkewedWeights(t *testing.T) {
+	// Adversarial: almost all weight concentrated in one corner cluster.
+	rng := rand.New(rand.NewSource(53))
+	ps := geom.NewPointSet(2, 4000)
+	ps.Weight = make([]float64, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		if i%4 == 0 {
+			ps.Append(geom.Point{rng.Float64() * 0.1, rng.Float64() * 0.1}, 10)
+		} else {
+			ps.Append(geom.Point{rng.Float64(), rng.Float64()}, 0.5)
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Strict = true
+	part, bkm := runPartition(t, ps, 8, 2, cfg)
+	imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, 8))
+	if imb > cfg.Epsilon+1e-9 {
+		t.Errorf("strict mode missed ε: imbalance %.4f (info: %+v)", imb, bkm.LastInfo())
+	}
+}
+
+func TestSFCBootstrapAblation(t *testing.T) {
+	// Random init must still produce a valid (if worse) partition.
+	cfg := DefaultConfig()
+	cfg.SFCBootstrap = false
+	cfg.Strict = true
+	ps := uniformPoints(2000, 2, 59)
+	part, _ := runPartition(t, ps, 8, 2, cfg)
+	imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, 8))
+	if imb > cfg.Epsilon+1e-9 {
+		t.Errorf("random-init imbalance %.4f", imb)
+	}
+}
+
+func TestSampledInitOffStillWorks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampledInit = false
+	ps := uniformPoints(2000, 2, 61)
+	part, _ := runPartition(t, ps, 8, 2, cfg)
+	imb := metrics.Imbalance(metrics.BlockWeights(ps, part.Assign, 8))
+	if imb > 0.031 {
+		t.Errorf("imbalance %.4f", imb)
+	}
+}
+
+func TestClusterCompactness(t *testing.T) {
+	// k-means blocks should be compact: mean block bbox area ≈ domain/k,
+	// clearly below a strip partition's.
+	ps := uniformPoints(6000, 2, 67)
+	k := 9
+	part, _ := runPartition(t, ps, k, 2, DefaultConfig())
+	boxes := make([]geom.Box, k)
+	for b := range boxes {
+		boxes[b] = geom.EmptyBox(2)
+	}
+	for i := 0; i < ps.Len(); i++ {
+		boxes[part.Assign[i]].Extend(ps.At(i))
+	}
+	meanArea := 0.0
+	for _, bx := range boxes {
+		meanArea += bx.Side(0) * bx.Side(1)
+	}
+	meanArea /= float64(k)
+	if meanArea > 3.0/float64(k) {
+		t.Errorf("blocks not compact: mean bbox area %.3f (domain/k = %.3f)", meanArea, 1.0/float64(k))
+	}
+}
+
+func TestInfoPhases(t *testing.T) {
+	ps := uniformPoints(1000, 2, 71)
+	_, bkm := runPartition(t, ps, 4, 2, DefaultConfig())
+	info := bkm.LastInfo()
+	if info.SFCSeconds < 0 || info.SortSeconds < 0 || info.KMeansSeconds <= 0 {
+		t.Errorf("phase timers: %+v", info)
+	}
+	if info.BalanceRounds < info.Iterations {
+		t.Errorf("balance rounds %d < iterations %d", info.BalanceRounds, info.Iterations)
+	}
+}
+
+func TestMeanNearestCenterDistance(t *testing.T) {
+	centers := []geom.Point{{0, 0}, {1, 0}, {5, 0}}
+	got := meanNearestCenterDistance(centers, 3, 2)
+	want := (1.0 + 1.0 + 4.0) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("β = %g, want %g", got, want)
+	}
+	if meanNearestCenterDistance(centers[:1], 1, 2) != 0 {
+		t.Error("single center should give 0")
+	}
+}
+
+func TestInvalidK(t *testing.T) {
+	bkm := New(DefaultConfig())
+	w := mpi.NewWorld(1)
+	if _, err := partition.Run(w, uniformPoints(10, 2, 1), 0, bkm); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func BenchmarkBalancedKMeans(b *testing.B) {
+	ps := uniformPoints(50000, 2, 42)
+	for i := 0; i < b.N; i++ {
+		bkm := New(DefaultConfig())
+		w := mpi.NewWorld(4)
+		if _, err := partition.Run(w, ps, 16, bkm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

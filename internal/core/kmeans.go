@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"geographer/internal/dsort"
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+	"geographer/internal/sfc"
+)
+
+// BalancedKMeans is the Geographer partitioner. It implements
+// partition.Distributed; one value may be used for several Partition
+// calls (the Info of the most recent call is retained).
+type BalancedKMeans struct {
+	Cfg Config
+
+	mu   sync.Mutex
+	info Info
+}
+
+// New returns a partitioner with the given configuration.
+func New(cfg Config) *BalancedKMeans { return &BalancedKMeans{Cfg: cfg} }
+
+// Name implements partition.Distributed.
+func (b *BalancedKMeans) Name() string { return "Geographer" }
+
+// LastInfo returns diagnostics of the most recent Partition call
+// (aggregated over ranks).
+func (b *BalancedKMeans) LastInfo() Info {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.info
+}
+
+// state is the per-rank working set of Algorithm 1/2.
+type state struct {
+	c   *mpi.Comm
+	cfg Config
+	dim int
+	k   int
+
+	// Local points (possibly redistributed by the SFC sort).
+	X   []geom.Point
+	W   []float64
+	IDs []int64
+
+	perm    []int32 // random order for the sampled initialization
+	nSample int     // currently active prefix of perm
+
+	A      []int32 // assignment per local point (-1 = unassigned)
+	ub, lb []float64
+	lbk    []float64 // Elkan mode: raw-distance lower bounds, len n·k
+
+	centers   []geom.Point
+	influence []float64
+	targets   []float64 // per-block global target weights
+
+	// Scratch reused across rounds.
+	orderedCenters []int32
+	distToBB       []float64
+	localW         []float64
+
+	diag float64 // global bounding-box diagonal
+
+	info Info
+}
+
+// Partition implements partition.Distributed: Algorithm 2 of the paper.
+func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]int64, []int32, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: k=%d", k)
+	}
+	cfg := b.Cfg
+	if cfg.MaxIter == 0 { // zero-value safety
+		cfg = DefaultConfig()
+	}
+	if cfg.TargetFractions != nil && len(cfg.TargetFractions) != k {
+		return nil, nil, fmt.Errorf("core: %d target fractions for k=%d", len(cfg.TargetFractions), k)
+	}
+	st := &state{c: c, cfg: cfg, dim: pts.Dim, k: k}
+
+	// ---- Phase 1: space-filling curve keys (§4.1). -----------------------
+	tStart := time.Now()
+	box := globalBounds(c, pts)
+	st.diag = box.Diagonal()
+	if st.diag == 0 {
+		st.diag = 1
+	}
+	var items []dsort.Item
+	if cfg.SFCBootstrap {
+		curve := sfc.NewCurve(box, pts.Dim)
+		items = make([]dsort.Item, pts.Len())
+		for i := range items {
+			items[i] = dsort.Item{Key: curve.Key(pts.X[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i]}
+		}
+		c.AddOps(int64(len(items)))
+	} else {
+		items = make([]dsort.Item, pts.Len())
+		for i := range items {
+			items[i] = dsort.Item{Key: uint64(pts.IDs[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i]}
+		}
+	}
+	st.info.SFCSeconds = time.Since(tStart).Seconds()
+
+	// ---- Phase 2: global sort + redistribution (Algorithm 2, l. 4–6). ----
+	tSort := time.Now()
+	if cfg.SFCBootstrap {
+		items = dsort.SampleSort(c, items)
+		items = dsort.Rebalance(c, items)
+	}
+	st.X = make([]geom.Point, len(items))
+	st.W = make([]float64, len(items))
+	st.IDs = make([]int64, len(items))
+	for i, it := range items {
+		st.X[i], st.W[i], st.IDs[i] = it.X, it.W, it.ID
+	}
+	st.info.SortSeconds = time.Since(tSort).Seconds()
+
+	// ---- Phase 3: balanced k-means (Algorithm 2, l. 7–19). ---------------
+	tKM := time.Now()
+	if err := st.initCentersAndTargets(); err != nil {
+		return nil, nil, err
+	}
+	st.run()
+	st.info.KMeansSeconds = time.Since(tKM).Seconds()
+
+	// Aggregate diagnostics (rank 0 keeps the result).
+	st.info.DistCalcs = mpi.ReduceScalarSum(c, st.info.DistCalcs)
+	st.info.HamerlySkips = mpi.ReduceScalarSum(c, st.info.HamerlySkips)
+	st.info.BBoxBreaks = mpi.ReduceScalarSum(c, st.info.BBoxBreaks)
+	if c.Rank() == 0 {
+		b.mu.Lock()
+		b.info = st.info
+		b.mu.Unlock()
+	}
+	return st.IDs, st.A, nil
+}
+
+// globalBounds computes the bounding box of the distributed point set.
+func globalBounds(c *mpi.Comm, pts *partition.Local) geom.Box {
+	dim := pts.Dim
+	mins := make([]float64, dim)
+	maxs := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		mins[d] = math.Inf(1)
+		maxs[d] = math.Inf(-1)
+	}
+	for _, x := range pts.X {
+		for d := 0; d < dim; d++ {
+			mins[d] = math.Min(mins[d], x[d])
+			maxs[d] = math.Max(maxs[d], x[d])
+		}
+	}
+	mins = mpi.AllreduceMin(c, mins)
+	maxs = mpi.AllreduceMax(c, maxs)
+	box := geom.Box{Dim: dim}
+	for d := 0; d < dim; d++ {
+		box.Min[d] = mins[d]
+		box.Max[d] = maxs[d]
+	}
+	return box
+}
+
+// initCentersAndTargets places the k initial centers at equal distances
+// along the sorted point order (Algorithm 2, line 7: C[i] =
+// sortedPoints[i·n/k + n/2k]) and computes per-block target weights.
+func (st *state) initCentersAndTargets() error {
+	n := mpi.ReduceScalarSum(st.c, int64(len(st.X)))
+	if n == 0 {
+		return fmt.Errorf("core: empty global point set")
+	}
+	start := mpi.ExscanSum(st.c, int64(len(st.X)))
+
+	type seed struct {
+		Idx int32
+		X   geom.Point
+	}
+	var mine []seed
+	if st.cfg.SFCBootstrap {
+		for i := 0; i < st.k; i++ {
+			gi := int64(i)*n/int64(st.k) + n/(2*int64(st.k))
+			if gi >= start && gi < start+int64(len(st.X)) {
+				mine = append(mine, seed{Idx: int32(i), X: st.X[gi-start]})
+			}
+		}
+	} else {
+		// Ablation mode: uniform random global indices, chosen identically
+		// on every rank from the shared seed.
+		rng := rand.New(rand.NewSource(st.cfg.Seed + 1))
+		for i := 0; i < st.k; i++ {
+			gi := int64(rng.Uint64() % uint64(n))
+			if gi >= start && gi < start+int64(len(st.X)) {
+				mine = append(mine, seed{Idx: int32(i), X: st.X[gi-start]})
+			}
+		}
+	}
+	all := mpi.AllgatherFlat(st.c, mine)
+	if len(all) != st.k {
+		return fmt.Errorf("core: gathered %d centers, want %d", len(all), st.k)
+	}
+	st.centers = make([]geom.Point, st.k)
+	for _, s := range all {
+		st.centers[s.Idx] = s.X
+	}
+
+	localW := 0.0
+	for _, w := range st.W {
+		localW += w
+	}
+	totalW := mpi.ReduceScalarSum(st.c, localW)
+	st.targets = make([]float64, st.k)
+	for b := 0; b < st.k; b++ {
+		if st.cfg.TargetFractions != nil {
+			st.targets[b] = totalW * st.cfg.TargetFractions[b]
+		} else {
+			st.targets[b] = totalW / float64(st.k)
+		}
+	}
+
+	st.influence = make([]float64, st.k)
+	for i := range st.influence {
+		st.influence[i] = 1
+	}
+	st.A = make([]int32, len(st.X))
+	st.ub = make([]float64, len(st.X))
+	st.lb = make([]float64, len(st.X))
+	for i := range st.A {
+		st.A[i] = -1
+		st.ub[i] = math.Inf(1)
+	}
+	if st.cfg.Bounds == BoundsElkan {
+		st.lbk = make([]float64, len(st.X)*st.k) // zero = trivially valid
+	}
+	st.perm = make([]int32, len(st.X))
+	for i := range st.perm {
+		st.perm[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(st.cfg.Seed + int64(st.c.Rank())*65537 + 7))
+	rng.Shuffle(len(st.perm), func(i, j int) { st.perm[i], st.perm[j] = st.perm[j], st.perm[i] })
+
+	st.nSample = len(st.X)
+	if st.cfg.SampledInit && len(st.X) > 100 {
+		st.nSample = 100
+	}
+	st.orderedCenters = make([]int32, st.k)
+	st.distToBB = make([]float64, st.k)
+	st.localW = make([]float64, st.k)
+	return nil
+}
+
+// run is the main loop of Algorithm 2.
+func (st *state) run() {
+	threshold := st.cfg.DeltaThreshold * st.diag
+	oldInfluence := make([]float64, st.k)
+	newCenters := make([]geom.Point, st.k)
+	deltas := make([]float64, st.k)
+
+	for iter := 0; iter < st.cfg.MaxIter; iter++ {
+		st.info.Iterations++
+		sampling := st.nSample < len(st.X)
+		// Sampling is a local decision but must stay collectively
+		// consistent; ranks may have different local sizes, so agree on
+		// whether anyone is still sampling.
+		anySampling := mpi.ReduceScalarMax(st.c, boolTo64(sampling)) == 1
+
+		balanced := st.assignAndBalance()
+
+		// New centers: weighted mean of assigned sample points
+		// (Algorithm 2, l. 12–13) — one global vector sum.
+		moved := st.computeCenters(newCenters)
+
+		maxDelta := 0.0
+		for b := 0; b < st.k; b++ {
+			deltas[b] = geom.Dist(st.centers[b], newCenters[b], st.dim)
+			if deltas[b] > maxDelta {
+				maxDelta = deltas[b]
+			}
+		}
+
+		if !anySampling && balanced && maxDelta < threshold {
+			copy(st.centers, newCenters)
+			break
+		}
+
+		// Adapt the distance bounds for the upcoming movement
+		// (Eqs. (4)–(5), signs corrected; see DESIGN.md).
+		switch st.cfg.Bounds {
+		case BoundsHamerly:
+			maxShift := 0.0
+			for b := 0; b < st.k; b++ {
+				if s := deltas[b] / st.influence[b]; s > maxShift {
+					maxShift = s
+				}
+			}
+			for _, i := range st.perm[:st.nSample] {
+				if a := st.A[i]; a >= 0 {
+					st.ub[i] += deltas[a] / st.influence[a]
+					st.lb[i] -= maxShift
+				}
+			}
+		case BoundsElkan:
+			// Raw-distance bounds shrink by each center's own movement;
+			// the upper bound (effective space) grows like Hamerly's.
+			for _, i := range st.perm[:st.nSample] {
+				base := int(i) * st.k
+				for b := 0; b < st.k; b++ {
+					if deltas[b] > 0 {
+						st.lbk[base+b] -= deltas[b]
+					}
+				}
+				if a := st.A[i]; a >= 0 {
+					st.ub[i] += deltas[a] / st.influence[a]
+				}
+			}
+		}
+
+		// Influence erosion after movement (Eqs. (2)–(3)): centers that
+		// moved far regress their influence toward 1.
+		if st.cfg.Erosion && moved {
+			copy(oldInfluence, st.influence)
+			beta := meanNearestCenterDistance(st.centers, st.k, st.dim)
+			if beta > 0 {
+				for b := 0; b < st.k; b++ {
+					alpha := 2/(1+math.Exp(-deltas[b]/beta)) - 1
+					st.influence[b] = math.Exp((1 - alpha) * math.Log(st.influence[b]))
+				}
+				st.scaleBoundsForInfluence(oldInfluence)
+			}
+		}
+
+		copy(st.centers, newCenters)
+
+		// Grow the sample (§4.5: "After each round with center movement,
+		// the sample size is doubled").
+		if sampling {
+			st.nSample *= 2
+			if st.nSample > len(st.X) {
+				st.nSample = len(st.X)
+			}
+		}
+	}
+
+	// Every point must be assigned: points outside the final sample only
+	// exist if MaxIter ran out during sampling; assign them now.
+	if st.nSample < len(st.X) {
+		st.nSample = len(st.X)
+		st.assignAndBalance()
+	}
+	for i := range st.A {
+		if st.A[i] < 0 {
+			st.A[i] = st.nearestCenter(st.X[i])
+		}
+	}
+
+	if st.cfg.Strict && !st.info.Balanced {
+		st.strictFinish()
+	}
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// nearestCenter returns the cluster with minimal effective distance to x.
+func (st *state) nearestCenter(x geom.Point) int32 {
+	best, bestV := int32(0), math.Inf(1)
+	for b := 0; b < st.k; b++ {
+		v := geom.Dist(x, st.centers[b], st.dim) / st.influence[b]
+		if v < bestV {
+			best, bestV = int32(b), v
+		}
+	}
+	st.info.DistCalcs += int64(st.k)
+	return best
+}
+
+// computeCenters sets out[b] to the weighted mean of the points assigned
+// to b (keeping the old center for empty clusters) and reports whether any
+// center is based on at least one point.
+func (st *state) computeCenters(out []geom.Point) bool {
+	vec := make([]float64, st.k*(st.dim+1))
+	for _, i := range st.perm[:st.nSample] {
+		a := st.A[i]
+		if a < 0 {
+			continue
+		}
+		base := int(a) * (st.dim + 1)
+		for d := 0; d < st.dim; d++ {
+			vec[base+d] += st.W[i] * st.X[i][d]
+		}
+		vec[base+st.dim] += st.W[i]
+	}
+	st.c.AddOps(int64(st.nSample))
+	vec = mpi.AllreduceSum(st.c, vec)
+	any := false
+	for b := 0; b < st.k; b++ {
+		base := b * (st.dim + 1)
+		w := vec[base+st.dim]
+		if w <= 0 {
+			out[b] = st.centers[b]
+			continue
+		}
+		any = true
+		var p geom.Point
+		for d := 0; d < st.dim; d++ {
+			p[d] = vec[base+d] / w
+		}
+		out[b] = p
+	}
+	return any
+}
+
+// meanNearestCenterDistance approximates the paper's β(C) ("average
+// cluster diameter") by the mean nearest-neighbor distance among centers.
+func meanNearestCenterDistance(centers []geom.Point, k, dim int) float64 {
+	if k < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < k; i++ {
+		best := math.Inf(1)
+		for j := 0; j < k; j++ {
+			if i == j {
+				continue
+			}
+			if d := geom.Dist2(centers[i], centers[j], dim); d < best {
+				best = d
+			}
+		}
+		sum += math.Sqrt(best)
+	}
+	return sum / float64(k)
+}
+
+// scaleBoundsForInfluence rescales the distance bounds after influence
+// values changed: effective distances to cluster b scale by
+// old(b)/new(b), so ub scales by the own cluster's ratio and the Hamerly
+// lb by the global minimum ratio (conservative). Elkan's per-center
+// bounds live in raw-distance space and are untouched by influence.
+func (st *state) scaleBoundsForInfluence(oldInfluence []float64) {
+	if st.cfg.Bounds == BoundsNone {
+		return
+	}
+	minRatio := math.Inf(1)
+	for b := 0; b < st.k; b++ {
+		r := oldInfluence[b] / st.influence[b]
+		if r < minRatio {
+			minRatio = r
+		}
+	}
+	hamerly := st.cfg.Bounds == BoundsHamerly
+	for _, i := range st.perm[:st.nSample] {
+		if a := st.A[i]; a >= 0 {
+			st.ub[i] *= oldInfluence[a] / st.influence[a]
+			if hamerly {
+				st.lb[i] *= minRatio
+			}
+		}
+	}
+}
+
+// strictFinish runs balance-only rounds with a growing influence cap until
+// the ε constraint holds (Strict mode; an extension over the paper, which
+// relies on enough regular iterations).
+func (st *state) strictFinish() {
+	saved := st.cfg.InfluenceCap
+	for round := 0; round < 300 && !st.info.Balanced; round++ {
+		if round > 100 {
+			st.cfg.InfluenceCap = 0.25
+		}
+		st.assignAndBalance()
+	}
+	st.cfg.InfluenceCap = saved
+}

@@ -1,0 +1,205 @@
+package dsort
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+)
+
+// makeItems builds a deterministic random item set for one rank.
+func makeItems(rank, n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed + int64(rank)*7919))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Key: rng.Uint64() >> 16, // collisions likely at small sizes: exercises ID tiebreak
+			ID:  int64(rank*1_000_000 + i),
+			W:   rng.Float64(),
+			X:   geom.Point{rng.Float64(), rng.Float64(), 0},
+		}
+	}
+	return items
+}
+
+func collectAll(t *testing.T, p int, run func(c *mpi.Comm) []Item) [][]Item {
+	t.Helper()
+	w := mpi.NewWorld(p)
+	results := make([][]Item, p)
+	var mu sync.Mutex
+	if err := w.Run(func(c *mpi.Comm) {
+		out := run(c)
+		mu.Lock()
+		results[c.Rank()] = out
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func TestSampleSortGlobalOrder(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		for _, nPer := range []int{0, 1, 100, 1000} {
+			results := collectAll(t, p, func(c *mpi.Comm) []Item {
+				local := makeItems(c.Rank(), nPer, 42)
+				out := SampleSort(c, local)
+				if !IsGloballySorted(c, out) {
+					t.Errorf("p=%d n=%d: not globally sorted", p, nPer)
+				}
+				return out
+			})
+			// Multiset preservation: all IDs present exactly once.
+			seen := make(map[int64]Item)
+			total := 0
+			for _, chunk := range results {
+				for _, it := range chunk {
+					if _, dup := seen[it.ID]; dup {
+						t.Fatalf("p=%d: duplicate id %d", p, it.ID)
+					}
+					seen[it.ID] = it
+					total++
+				}
+			}
+			if total != p*nPer {
+				t.Fatalf("p=%d nPer=%d: %d items after sort", p, nPer, total)
+			}
+			// Payload integrity: regenerate inputs and compare.
+			for r := 0; r < p; r++ {
+				for _, want := range makeItems(r, nPer, 42) {
+					got, ok := seen[want.ID]
+					if !ok || got != want {
+						t.Fatalf("p=%d: item %d corrupted: got %+v want %+v", p, want.ID, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSampleSortSkewedKeys(t *testing.T) {
+	// All ranks contribute nearly identical keys — the worst case for
+	// splitter selection; correctness (not balance) must hold.
+	p := 4
+	results := collectAll(t, p, func(c *mpi.Comm) []Item {
+		local := make([]Item, 500)
+		for i := range local {
+			local[i] = Item{Key: uint64(i % 3), ID: int64(c.Rank()*1000 + i)}
+		}
+		out := SampleSort(c, local)
+		if !IsGloballySorted(c, out) {
+			t.Error("skewed: not globally sorted")
+		}
+		return out
+	})
+	total := 0
+	for _, chunk := range results {
+		total += len(chunk)
+	}
+	if total != p*500 {
+		t.Fatalf("lost items: %d", total)
+	}
+}
+
+func TestRebalanceExact(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7} {
+		// Heavily imbalanced input: rank r has r*100 items.
+		results := collectAll(t, p, func(c *mpi.Comm) []Item {
+			local := makeItems(c.Rank(), c.Rank()*100, 7)
+			sorted := SampleSort(c, local)
+			bal := Rebalance(c, sorted)
+			if !IsGloballySorted(c, bal) {
+				t.Errorf("p=%d: rebalanced sequence lost order", p)
+			}
+			return bal
+		})
+		n := 0
+		for _, chunk := range results {
+			n += len(chunk)
+		}
+		lo, hi := n/p, (n+p-1)/p
+		for r, chunk := range results {
+			if len(chunk) < lo-1 || len(chunk) > hi+1 {
+				t.Errorf("p=%d rank %d: %d items, want ~[%d,%d] of %d", p, r, len(chunk), lo, hi, n)
+			}
+		}
+	}
+}
+
+func TestRebalanceEmptyWorld(t *testing.T) {
+	collectAll(t, 3, func(c *mpi.Comm) []Item {
+		out := Rebalance(c, nil)
+		if len(out) != 0 {
+			t.Error("empty rebalance should stay empty")
+		}
+		return out
+	})
+}
+
+func TestGlobalIndexOf(t *testing.T) {
+	p := 4
+	w := mpi.NewWorld(p)
+	if err := w.Run(func(c *mpi.Comm) {
+		g := GlobalIndexOf(c, 10)
+		if g != int64(c.Rank()*10) {
+			t.Errorf("rank %d: global index %d", c.Rank(), g)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsGloballySortedDetectsViolations(t *testing.T) {
+	p := 2
+	w := mpi.NewWorld(p)
+	if err := w.Run(func(c *mpi.Comm) {
+		// Rank 0 holds larger keys than rank 1: boundary violation.
+		var local []Item
+		if c.Rank() == 0 {
+			local = []Item{{Key: 100, ID: 0}}
+		} else {
+			local = []Item{{Key: 50, ID: 1}}
+		}
+		if IsGloballySorted(c, local) {
+			t.Error("boundary violation not detected")
+		}
+		// Local violation.
+		local = []Item{{Key: 9, ID: 0}, {Key: 3, ID: 1}}
+		if IsGloballySorted(c, local) {
+			t.Error("local violation not detected")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessTotalOrder(t *testing.T) {
+	a := Item{Key: 1, ID: 5}
+	b := Item{Key: 1, ID: 6}
+	cIt := Item{Key: 2, ID: 0}
+	if !Less(a, b) || Less(b, a) {
+		t.Error("ID tiebreak broken")
+	}
+	if !Less(b, cIt) {
+		t.Error("key order broken")
+	}
+	if Less(a, a) {
+		t.Error("irreflexivity broken")
+	}
+}
+
+func BenchmarkSampleSort(b *testing.B) {
+	p := 4
+	const nPer = 20000
+	for i := 0; i < b.N; i++ {
+		w := mpi.NewWorld(p)
+		if err := w.Run(func(c *mpi.Comm) {
+			local := makeItems(c.Rank(), nPer, 42)
+			SampleSort(c, local)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRowsCSV dumps measurement rows as CSV for external plotting.
+func WriteRowsCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"graph", "n", "m", "tool", "k", "p", "wall_s", "modeled_s",
+		"cut", "max_comm", "tot_comm", "harm_diam", "imbalance", "spmv_comm_s", "spmv_wall_s"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Graph,
+			strconv.Itoa(r.N),
+			strconv.FormatInt(r.M, 10),
+			r.Tool,
+			strconv.Itoa(r.K),
+			strconv.Itoa(r.P),
+			fmtF(r.Seconds),
+			fmtF(r.ModelSeconds),
+			strconv.FormatInt(r.Cut, 10),
+			strconv.FormatInt(r.MaxComm, 10),
+			strconv.FormatInt(r.TotComm, 10),
+			fmtF(r.HarmDiam),
+			fmtF(r.Imbalance),
+			fmtF(r.SpMVComm),
+			fmtF(r.SpMVWall),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalePointsCSV dumps scaling series (Figures 3a/3b).
+func WriteScalePointsCSV(w io.Writer, pts []ScalePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tool", "p", "k", "n", "wall_s", "modeled_s"}); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		rec := []string{pt.Tool, strconv.Itoa(pt.P), strconv.Itoa(pt.K), strconv.Itoa(pt.N),
+			fmtF(pt.Seconds), fmtF(pt.ModelSeconds)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRatiosCSV dumps Figure 2 class ratios.
+func WriteRatiosCSV(w io.Writer, ratios []ClassRatios) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"class", "tool", "edge_cut", "max_comm", "tot_comm", "harm_diam", "time_comm", "instances"}); err != nil {
+		return err
+	}
+	for _, r := range ratios {
+		rec := []string{r.Class, r.Tool, fmtF(r.EdgeCut), fmtF(r.MaxComm), fmtF(r.TotComm),
+			fmtF(r.HarmDiam), fmtF(r.TimeComm), strconv.Itoa(r.Instances)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%g", v) }

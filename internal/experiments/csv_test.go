@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteRowsCSV(t *testing.T) {
+	rows := []Row{
+		{Graph: "g1", N: 100, M: 300, Tool: "Geographer", K: 8, P: 4,
+			Seconds: 0.5, ModelSeconds: 0.001, Cut: 42, MaxComm: 7, TotComm: 80,
+			HarmDiam: 3.5, Imbalance: 0.02, SpMVComm: 1e-5, SpMVWall: 2e-5},
+	}
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[1][0] != "g1" || recs[1][8] != "42" {
+		t.Errorf("row: %v", recs[1])
+	}
+}
+
+func TestWriteScalePointsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	pts := []ScalePoint{{Tool: "Rcb", P: 8, K: 8, N: 1000, Seconds: 1, ModelSeconds: 0.01}}
+	if err := WriteScalePointsCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Rcb,8,8,1000") {
+		t.Errorf("csv: %s", buf.String())
+	}
+}
+
+func TestWriteRatiosCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rs := []ClassRatios{{Class: "2D", Tool: "Hsfc", EdgeCut: 1.5, Instances: 10}}
+	if err := WriteRatiosCSV(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2D,Hsfc,1.5") {
+		t.Errorf("csv: %s", buf.String())
+	}
+}
+
+func TestFitTrendsRecoversPowerLaw(t *testing.T) {
+	// Synthetic rows with time = 2e-9·n^1.5 must fit slope 1.5.
+	var rows []Row
+	for _, n := range []int{1000, 2000, 4000, 8000, 16000} {
+		rows = append(rows, Row{Tool: "X", N: n, ModelSeconds: 2e-9 * math.Pow(float64(n), 1.5)})
+	}
+	fits := FitTrends(rows)
+	if len(fits) != 1 {
+		t.Fatalf("%d fits", len(fits))
+	}
+	if math.Abs(fits[0].Slope-1.5) > 1e-9 {
+		t.Errorf("slope = %g, want 1.5", fits[0].Slope)
+	}
+	if fits[0].Points != 5 {
+		t.Errorf("points = %d", fits[0].Points)
+	}
+}
+
+func TestFitTrendsSkipsDegenerate(t *testing.T) {
+	fits := FitTrends([]Row{{Tool: "X", N: 0, ModelSeconds: 1}, {Tool: "X", N: 10, ModelSeconds: 0}})
+	if len(fits) != 0 {
+		t.Errorf("degenerate rows produced fits: %v", fits)
+	}
+}

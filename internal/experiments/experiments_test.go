@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversAllClasses(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 15 {
+		t.Fatalf("registry has only %d instances", len(reg))
+	}
+	counts := map[string]int{}
+	names := map[string]bool{}
+	for _, in := range reg {
+		counts[in.Class]++
+		if names[in.Name] {
+			t.Errorf("duplicate instance name %s", in.Name)
+		}
+		names[in.Name] = true
+	}
+	if counts[Class2D] < 8 || counts[ClassClimate] < 3 || counts[Class3D] < 4 {
+		t.Errorf("class counts: %v", counts)
+	}
+	if len(ByClass(Class2D)) != counts[Class2D] {
+		t.Error("ByClass filter wrong")
+	}
+}
+
+func TestMaterializeCaching(t *testing.T) {
+	in := Registry()[0]
+	a, err := in.Materialize(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := in.Materialize(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache miss for identical key")
+	}
+	c, err := in.Materialize(1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different sizes must not share a mesh")
+	}
+}
+
+func TestToolsLineup(t *testing.T) {
+	tools := Tools()
+	if len(tools) != 5 {
+		t.Fatalf("%d tools", len(tools))
+	}
+	if tools[0].Name() != "Geographer" {
+		t.Errorf("Tools() must lead with Geographer (fig2 baseline), got %s", tools[0].Name())
+	}
+	tt := TableTools()
+	if len(tt) != 4 {
+		t.Fatalf("%d table tools", len(tt))
+	}
+	for _, tool := range tt {
+		if tool.Name() == "Rib" {
+			t.Error("tables must omit RIB like the paper")
+		}
+	}
+}
+
+func TestRunOneProducesCompleteRow(t *testing.T) {
+	sc := QuickScale()
+	in := Registry()[0]
+	m, err := in.Materialize(sc.Table2N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := RunOne(m, TableTools()[0], 8, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Cut <= 0 || row.TotComm <= 0 || row.MaxComm <= 0 {
+		t.Errorf("degenerate metrics: %+v", row)
+	}
+	if row.Seconds <= 0 || row.ModelSeconds <= 0 {
+		t.Errorf("no timing: %+v", row)
+	}
+	if row.SpMVComm <= 0 {
+		t.Errorf("no SpMV time: %+v", row)
+	}
+	if row.Imbalance > 0.031 {
+		t.Errorf("Geographer imbalance %.4f", row.Imbalance)
+	}
+	if row.HarmDiam <= 0 {
+		t.Errorf("no diameter: %+v", row)
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	rows, err := Table2(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(Registry()) * len(TableTools())
+	if len(rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rows), wantRows)
+	}
+	out := buf.String()
+	for _, tool := range []string{"Geographer", "Hsfc", "MultiJagged", "Rcb"} {
+		if !strings.Contains(out, tool) {
+			t.Errorf("output missing tool %s", tool)
+		}
+	}
+	// Geographer rows must respect ε.
+	for _, r := range rows {
+		if r.Tool == "Geographer" && r.Imbalance > 0.031 {
+			t.Errorf("%s: Geographer imbalance %.4f", r.Graph, r.Imbalance)
+		}
+	}
+}
+
+func TestFig2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	ratios, err := Fig2(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 classes × 4 non-Geographer tools.
+	if len(ratios) != 12 {
+		t.Fatalf("%d ratio rows", len(ratios))
+	}
+	for _, cr := range ratios {
+		if cr.TotComm <= 0 {
+			t.Errorf("%s/%s: zero totComm ratio", cr.Class, cr.Tool)
+		}
+	}
+}
+
+func TestFig3aQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	pts, err := Fig3a(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no scale points")
+	}
+	for _, pt := range pts {
+		if pt.ModelSeconds <= 0 {
+			t.Errorf("%s p=%d: no modeled time", pt.Tool, pt.P)
+		}
+	}
+}
+
+func TestFig3bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	pts, err := Fig3b(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < len(Tools())*2 {
+		t.Fatalf("only %d scale points", len(pts))
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	rows, err := Fig4(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Registry())*len(Tools()) {
+		t.Fatalf("%d rows", len(rows))
+	}
+}
+
+func TestFig1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	dir := t.TempDir()
+	paths, err := Fig1(dir, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 5 {
+		t.Fatalf("%d SVGs, want 5", len(paths))
+	}
+}
+
+func TestComponentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	shares, err := Components(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range shares {
+		total := cs.SFCShare + cs.SortShare + cs.KMeansShare
+		if total < 0.99 || total > 1.01 {
+			t.Errorf("p=%d: shares sum to %g", cs.P, total)
+		}
+	}
+}
+
+func TestAblationQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	rows, err := Ablation(io.Discard, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = buf
+	if len(rows) != 7 {
+		t.Fatalf("%d ablation rows", len(rows))
+	}
+	var full, noBounds *AblationRow
+	for i := range rows {
+		switch rows[i].Config {
+		case "full":
+			full = &rows[i]
+		case "no-bounds":
+			noBounds = &rows[i]
+		}
+	}
+	if full == nil || noBounds == nil {
+		t.Fatal("missing configs")
+	}
+	if full.DistCalcs >= noBounds.DistCalcs {
+		t.Errorf("Hamerly bounds saved nothing: %d vs %d", full.DistCalcs, noBounds.DistCalcs)
+	}
+}
+
+func TestNearestPow2(t *testing.T) {
+	cases := map[int]int{0: 2, 1: 2, 2: 2, 3: 2, 5: 4, 6: 4 /* tie rounds down */, 7: 8, 8: 8, 11: 8, 13: 16, 100: 128}
+	for in, want := range cases {
+		if got := nearestPow2(in); got != want {
+			t.Errorf("nearestPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"geographer/internal/metrics"
+	"geographer/internal/viz"
+)
+
+// Fig1 reproduces Figure 1: a hugetric-style mesh partitioned into 8
+// blocks by every tool, rendered to one SVG per tool in dir. It returns
+// the written file paths.
+func Fig1(dir string, sc Scale) ([]string, error) {
+	in := Registry()[0] // hugetric analog
+	m, err := in.Materialize(sc.Fig1N)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, tool := range Tools() {
+		row, err := RunOne(m, tool, 8, 8, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("fig1-%s.svg", row.Tool))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		err = viz.RenderMesh(f, m.Points, m.G.Neighbors, row.Assignment.Assign, 8, viz.DefaultOptions())
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// ClassRatios holds Figure 2's aggregated tool-vs-Geographer ratios for
+// one instance class: >1 means the tool is worse than Geographer on that
+// metric.
+type ClassRatios struct {
+	Class     string
+	Tool      string
+	EdgeCut   float64
+	MaxComm   float64
+	TotComm   float64
+	HarmDiam  float64
+	TimeComm  float64
+	Instances int
+}
+
+// Fig2 reproduces Figure 2: per instance class, the geometric mean (over
+// instances) of each tool's metric ratio relative to Geographer.
+func Fig2(w io.Writer, sc Scale) ([]ClassRatios, error) {
+	var out []ClassRatios
+	for _, class := range []string{Class2D, ClassClimate, Class3D} {
+		instances := ByClass(class)
+		// ratios[tool][metric] collects per-instance ratios.
+		type acc struct{ cut, maxc, totc, diam, tcomm []float64 }
+		ratios := map[string]*acc{}
+		var toolOrder []string
+		for _, in := range instances {
+			rows, err := RunInstance(in, in.ScaledN(sc.Table2N), sc.KTable2, sc.KTable2, sc.SpMVIters, sc.Repeats, Tools())
+			if err != nil {
+				return nil, err
+			}
+			geo := rows[0] // Tools() leads with Geographer
+			for _, r := range rows[1:] {
+				a := ratios[r.Tool]
+				if a == nil {
+					a = &acc{}
+					ratios[r.Tool] = a
+					toolOrder = append(toolOrder, r.Tool)
+				}
+				a.cut = append(a.cut, ratio(float64(r.Cut), float64(geo.Cut)))
+				a.maxc = append(a.maxc, ratio(float64(r.MaxComm), float64(geo.MaxComm)))
+				a.totc = append(a.totc, ratio(float64(r.TotComm), float64(geo.TotComm)))
+				a.diam = append(a.diam, ratio(r.HarmDiam, geo.HarmDiam))
+				a.tcomm = append(a.tcomm, ratio(r.SpMVComm, geo.SpMVComm))
+			}
+		}
+		fmt.Fprintf(w, "Fig. 2 (%s class, %d instances; ratios vs Geographer, geometric mean):\n", class, len(instances))
+		fmt.Fprintf(w, "  %-14s %8s %11s %11s %10s %10s\n", "tool", "edgeCut", "maxCommVol", "totCommVol", "harmDiam", "timeComm")
+		for _, tool := range toolOrder {
+			a := ratios[tool]
+			cr := ClassRatios{
+				Class: class, Tool: tool,
+				EdgeCut:   metrics.GeometricMean(a.cut),
+				MaxComm:   metrics.GeometricMean(a.maxc),
+				TotComm:   metrics.GeometricMean(a.totc),
+				HarmDiam:  metrics.GeometricMean(a.diam),
+				TimeComm:  metrics.GeometricMean(a.tcomm),
+				Instances: len(instances),
+			}
+			out = append(out, cr)
+			fmt.Fprintf(w, "  %-14s %8.3f %11.3f %11.3f %10.3f %10.3f\n",
+				tool, cr.EdgeCut, cr.MaxComm, cr.TotComm, cr.HarmDiam, cr.TimeComm)
+		}
+	}
+	return out, nil
+}
+
+func ratio(v, base float64) float64 {
+	if base <= 0 || v <= 0 {
+		return 0 // skipped by the geometric mean
+	}
+	return v / base
+}
+
+// Fig4 reproduces Figure 4: running time of every tool on every registry
+// graph, with k = p chosen as the power of two bringing the local size
+// closest to sc.PerRank points per block (the paper's 250 000).
+func Fig4(w io.Writer, sc Scale) ([]Row, error) {
+	var all []Row
+	fmt.Fprintf(w, "Fig. 4: running times, target %d points per block (k = p = nearest power of 2)\n", sc.PerRank)
+	fmt.Fprintf(w, "%-16s %8s %5s %-12s %12s %14s\n", "graph", "n", "k", "tool", "wall[s]", "modeled[s]")
+	for _, in := range Registry() {
+		m, err := in.Materialize(in.ScaledN(sc.Table2N))
+		if err != nil {
+			return nil, err
+		}
+		k := nearestPow2(m.N() / sc.PerRank)
+		for _, tool := range Tools() {
+			row, err := RunOne(m, tool, k, k, 0, sc.Repeats)
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, row)
+			fmt.Fprintf(w, "%-16s %8d %5d %-12s %12.3f %14.3g\n",
+				row.Graph, row.N, k, row.Tool, row.Seconds, row.ModelSeconds)
+		}
+	}
+	fmt.Fprintln(w, "least-squares trend fits, modeled time ≈ C·n^slope:")
+	for _, tf := range FitTrends(all) {
+		fmt.Fprintf(w, "  %-14s slope %.2f over %d graphs\n", tf.Tool, tf.Slope, tf.Points)
+	}
+	return all, nil
+}
+
+func nearestPow2(v int) int {
+	if v < 2 {
+		return 2
+	}
+	p := 2
+	for p*2 <= v {
+		p *= 2
+	}
+	// p <= v < 2p: pick the closer one.
+	if v-p > 2*p-v {
+		return 2 * p
+	}
+	return p
+}
+
+// TrendFit is a least-squares power-law fit time ≈ C·n^Slope (the fitted
+// trend lines of the paper's Figure 4).
+type TrendFit struct {
+	Tool   string
+	Slope  float64
+	LogC   float64
+	Points int
+}
+
+// FitTrends fits one power law per tool over (N, ModelSeconds).
+func FitTrends(rows []Row) []TrendFit {
+	byTool := map[string][][2]float64{}
+	var order []string
+	for _, r := range rows {
+		if r.N <= 0 || r.ModelSeconds <= 0 {
+			continue
+		}
+		if _, ok := byTool[r.Tool]; !ok {
+			order = append(order, r.Tool)
+		}
+		byTool[r.Tool] = append(byTool[r.Tool], [2]float64{math.Log(float64(r.N)), math.Log(r.ModelSeconds)})
+	}
+	var out []TrendFit
+	for _, tool := range order {
+		pts := byTool[tool]
+		if len(pts) < 2 {
+			continue
+		}
+		var sx, sy, sxx, sxy float64
+		for _, p := range pts {
+			sx += p[0]
+			sy += p[1]
+			sxx += p[0] * p[0]
+			sxy += p[0] * p[1]
+		}
+		n := float64(len(pts))
+		den := n*sxx - sx*sx
+		if den == 0 {
+			continue
+		}
+		slope := (n*sxy - sx*sy) / den
+		out = append(out, TrendFit{
+			Tool:   tool,
+			Slope:  slope,
+			LogC:   (sy - slope*sx) / n,
+			Points: len(pts),
+		})
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table2 reproduces the paper's Table 2: small and medium graphs at
+// k = p = 64 (scaled). Columns: time, cut, maxCommVol, Σ commVol,
+// diameter, timeSpMVComm. Best values per graph are marked with '*'.
+func Table2(w io.Writer, sc Scale) ([]Row, error) {
+	return runTable(w, sc, Registry(), sc.Table2N, sc.KTable2,
+		"Table 2: small/medium graphs, k = p = "+fmt.Sprint(sc.KTable2))
+}
+
+// table1Instances returns the large-graph subset mirroring the paper's
+// Table 1 (alyaTestCaseB, delaunay, fesom-jigsaw, refinedtrace).
+func table1Instances() []Instance {
+	want := map[string]bool{
+		"alyaTestCaseB": true,
+		"delaunay2d":    true,
+		"fesom-jigsaw":  true,
+		"hugetrace":     true, // stands in for refinedtrace-0000{6,7}
+		"hugetric":      true,
+	}
+	var out []Instance
+	for _, in := range Registry() {
+		if want[in.Name] {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Table1 reproduces the paper's Table 1: large graphs at k = p = 1024
+// (scaled to sc.KTable1).
+func Table1(w io.Writer, sc Scale) ([]Row, error) {
+	return runTable(w, sc, table1Instances(), sc.Table1N, sc.KTable1,
+		"Table 1: large graphs, k = p = "+fmt.Sprint(sc.KTable1))
+}
+
+func runTable(w io.Writer, sc Scale, instances []Instance, n, k int, title string) ([]Row, error) {
+	var all []Row
+	fmt.Fprintf(w, "%s (base n ≈ %d, per-instance size factors, %d repeat(s))\n", title, n, sc.Repeats)
+	fmt.Fprintf(w, "%-16s %-12s %10s %10s %12s %12s %10s %14s\n",
+		"graph", "tool", "time[s]", "cut", "maxCommVol", "ΣcommVol", "harmDiam", "spmvComm[s]")
+	for _, in := range instances {
+		rows, err := RunInstance(in, in.ScaledN(n), k, k, sc.SpMVIters, sc.Repeats, TableTools())
+		if err != nil {
+			return nil, err
+		}
+		best := bestMarks(rows)
+		for i, r := range rows {
+			fmt.Fprintf(w, "%-16s %-12s %10.3f %9d%s %11d%s %11d%s %9.1f%s %13.3g%s\n",
+				name(in, i), r.Tool, r.Seconds,
+				r.Cut, best.mark(i, 0), r.MaxComm, best.mark(i, 1),
+				r.TotComm, best.mark(i, 2), r.HarmDiam, best.mark(i, 3),
+				r.SpMVComm, best.mark(i, 4))
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}
+
+func name(in Instance, i int) string {
+	if i == 0 {
+		return in.Name
+	}
+	return ""
+}
+
+// marks tracks which tool has the best (lowest) value per metric column.
+type marks struct{ best [5]int }
+
+func bestMarks(rows []Row) marks {
+	var m marks
+	vals := func(r Row) [5]float64 {
+		return [5]float64{float64(r.Cut), float64(r.MaxComm), float64(r.TotComm), r.HarmDiam, r.SpMVComm}
+	}
+	for col := 0; col < 5; col++ {
+		bi := 0
+		for i := 1; i < len(rows); i++ {
+			if vals(rows[i])[col] < vals(rows[bi])[col] {
+				bi = i
+			}
+		}
+		m.best[col] = bi
+	}
+	return m
+}
+
+func (m marks) mark(row, col int) string {
+	if m.best[col] == row {
+		return "*"
+	}
+	return " "
+}

@@ -1,0 +1,222 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// path returns a path graph 0-1-2-...-n-1.
+func path(n int) *Graph {
+	edges := make([][2]int32, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	return FromEdges(n, edges)
+}
+
+// grid returns an r×c grid graph.
+func grid(r, c int) *Graph {
+	var edges [][2]int32
+	id := func(i, j int) int32 { return int32(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				edges = append(edges, [2]int32{id(i, j), id(i, j+1)})
+			}
+			if i+1 < r {
+				edges = append(edges, [2]int32{id(i, j), id(i+1, j)})
+			}
+		}
+	}
+	return FromEdges(r*c, edges)
+}
+
+func TestFromEdgesBasics(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if g.N != 4 || g.M() != 5 {
+		t.Fatalf("N=%d M=%d", g.N, g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 3 || g.Degree(1) != 2 {
+		t.Fatalf("degrees: %d %d", g.Degree(0), g.Degree(1))
+	}
+	if !g.HasEdge(0, 2) || g.HasEdge(1, 3) {
+		t.Fatal("HasEdge wrong")
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d", g.MaxDegree())
+	}
+	if g.AvgDegree() != 2.5 {
+		t.Fatalf("AvgDegree = %g", g.AvgDegree())
+	}
+}
+
+func TestFromEdgesDedupAndSelfLoops(t *testing.T) {
+	g := FromEdges(3, [][2]int32{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}})
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2 (dedup + self-loop drop)", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesEmpty(t *testing.T) {
+	g := FromEdges(5, nil)
+	if g.N != 5 || g.M() != 0 {
+		t.Fatal("empty graph wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	comp, k := Components(g)
+	if k != 5 {
+		t.Fatalf("%d components, want 5", k)
+	}
+	_ = comp
+}
+
+func TestBFSDistancesOnPath(t *testing.T) {
+	g := path(10)
+	bfs := NewBFS(g.N)
+	far, ecc, visited := bfs.Run(g, 0, nil)
+	if far != 9 || ecc != 9 || visited != 10 {
+		t.Fatalf("far=%d ecc=%d visited=%d", far, ecc, visited)
+	}
+	for v := 0; v < 10; v++ {
+		if bfs.Dist[v] != int32(v) {
+			t.Fatalf("dist[%d] = %d", v, bfs.Dist[v])
+		}
+	}
+	// From the middle.
+	_, ecc, _ = bfs.Run(g, 5, nil)
+	if ecc != 5 {
+		t.Fatalf("ecc from middle = %d", ecc)
+	}
+}
+
+func TestBFSRestricted(t *testing.T) {
+	g := grid(4, 4)
+	// Restrict to the first row: behaves like a path of length 3.
+	allow := func(v int32) bool { return v < 4 }
+	bfs := NewBFS(g.N)
+	far, ecc, visited := bfs.Run(g, 0, allow)
+	if ecc != 3 || visited != 4 || far != 3 {
+		t.Fatalf("restricted: far=%d ecc=%d visited=%d", far, ecc, visited)
+	}
+	if bfs.Seen(5) {
+		t.Fatal("visited disallowed vertex")
+	}
+}
+
+func TestBFSEpochReuse(t *testing.T) {
+	g := path(5)
+	bfs := NewBFS(g.N)
+	bfs.Run(g, 0, nil)
+	if !bfs.Seen(4) {
+		t.Fatal("first run should reach 4")
+	}
+	// Second run restricted to {0}: previous marks must not leak.
+	_, _, visited := bfs.Run(g, 0, func(v int32) bool { return v == 0 })
+	if visited != 1 || bfs.Seen(4) {
+		t.Fatalf("epoch leak: visited=%d seen(4)=%v", visited, bfs.Seen(4))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two triangles and an isolated vertex.
+	g := FromEdges(7, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}})
+	comp, k := Components(g)
+	if k != 3 {
+		t.Fatalf("%d components, want 3", k)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("triangle 1 split")
+	}
+	if comp[3] != comp[4] || comp[4] != comp[5] {
+		t.Fatal("triangle 2 split")
+	}
+	if comp[6] == comp[0] || comp[6] == comp[3] {
+		t.Fatal("isolated vertex merged")
+	}
+}
+
+func TestGridDiameterViaDoubleSweep(t *testing.T) {
+	g := grid(5, 9)
+	bfs := NewBFS(g.N)
+	far, _, _ := bfs.Run(g, 22, nil) // from center-ish
+	_, ecc, _ := bfs.Run(g, far, nil)
+	// True diameter of a 5x9 grid is (5-1)+(9-1) = 12; double sweep finds it.
+	if ecc != 12 {
+		t.Fatalf("double sweep ecc = %d, want 12", ecc)
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := &Graph{N: 2, Xadj: []int64{0, 1, 1}, Adj: []int32{1}}
+	if g.Validate() == nil {
+		t.Fatal("asymmetric graph passed validation")
+	}
+	g = &Graph{N: 2, Xadj: []int64{0, 1}, Adj: []int32{1}}
+	if g.Validate() == nil {
+		t.Fatal("short Xadj passed validation")
+	}
+	g = &Graph{N: 1, Xadj: []int64{0, 1}, Adj: []int32{5}}
+	if g.Validate() == nil {
+		t.Fatal("out-of-range neighbor passed validation")
+	}
+}
+
+func TestRandomGraphInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		m := rng.Intn(3 * n)
+		edges := make([][2]int32, m)
+		for i := range edges {
+			edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+		g := FromEdges(n, edges)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// BFS visit count equals component size of the start vertex.
+		comp, _ := Components(g)
+		bfs := NewBFS(g.N)
+		start := int32(rng.Intn(n))
+		_, _, visited := bfs.Run(g, start, nil)
+		size := 0
+		for v := 0; v < n; v++ {
+			if comp[v] == comp[start] {
+				size++
+			}
+		}
+		if visited != size {
+			t.Fatalf("trial %d: BFS visited %d, component size %d", trial, visited, size)
+		}
+	}
+}
+
+func BenchmarkBFSGrid(b *testing.B) {
+	g := grid(300, 300)
+	bfs := NewBFS(g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bfs.Run(g, 0, nil)
+	}
+}
+
+func BenchmarkFromEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 10000
+	edges := make([][2]int32, 3*n)
+	for i := range edges {
+		edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(n, edges)
+	}
+}

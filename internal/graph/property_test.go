@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: FromEdges always yields a valid symmetric CSR graph for
+// arbitrary (including garbage-free but unordered, duplicated) edge lists.
+func TestFromEdgesAlwaysValidProperty(t *testing.T) {
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		edges := make([][2]int32, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int32{int32(raw[i]) % int32(n), int32(raw[i+1]) % int32(n)})
+		}
+		g := FromEdges(n, edges)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of directed adjacency entries is even and equals
+// 2·M (handshake lemma), and degrees sum to it.
+func TestHandshakeProperty(t *testing.T) {
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		edges := make([][2]int32, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int32{int32(raw[i]) % int32(n), int32(raw[i+1]) % int32(n)})
+		}
+		g := FromEdges(n, edges)
+		degSum := 0
+		for v := 0; v < n; v++ {
+			degSum += g.Degree(int32(v))
+		}
+		return int64(degSum) == 2*g.M() && degSum == len(g.Adj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BFS distances satisfy the 1-Lipschitz property along edges
+// within the visited component.
+func TestBFSLipschitzProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(80)
+		edges := make([][2]int32, 2*n)
+		for i := range edges {
+			edges[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		}
+		g := FromEdges(n, edges)
+		bfs := NewBFS(n)
+		start := int32(rng.Intn(n))
+		bfs.Run(g, start, nil)
+		for v := 0; v < n; v++ {
+			if !bfs.Seen(int32(v)) {
+				continue
+			}
+			for _, u := range g.Neighbors(int32(v)) {
+				if !bfs.Seen(u) {
+					t.Fatalf("trial %d: neighbor %d of visited %d not visited", trial, u, v)
+				}
+				diff := bfs.Dist[v] - bfs.Dist[u]
+				if diff < -1 || diff > 1 {
+					t.Fatalf("trial %d: dist jump %d between neighbors %d,%d", trial, diff, v, u)
+				}
+			}
+		}
+	}
+}
+
+// Property: component labels are consistent with edges (endpoints share a
+// component) and component count matches label range.
+func TestComponentsConsistentProperty(t *testing.T) {
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		edges := make([][2]int32, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, [2]int32{int32(raw[i]) % int32(n), int32(raw[i+1]) % int32(n)})
+		}
+		g := FromEdges(n, edges)
+		comp, count := Components(g)
+		seen := make(map[int32]bool)
+		for v := 0; v < n; v++ {
+			if comp[v] < 0 || int(comp[v]) >= count {
+				return false
+			}
+			seen[comp[v]] = true
+			for _, u := range g.Neighbors(int32(v)) {
+				if comp[u] != comp[v] {
+					return false
+				}
+			}
+		}
+		return len(seen) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

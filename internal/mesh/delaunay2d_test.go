@@ -1,0 +1,195 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"geographer/internal/geom"
+)
+
+func randomPoints2D(n int, seed int64) *geom.PointSet {
+	rng := rand.New(rand.NewSource(seed))
+	ps := geom.NewPointSet(2, n)
+	for i := 0; i < n; i++ {
+		ps.Append(geom.Point{rng.Float64(), rng.Float64()}, 1)
+	}
+	return ps
+}
+
+// bruteDelaunayEdges computes Delaunay edges by the O(n⁴) definition: a
+// triangle (i,j,k) is Delaunay iff no other point lies inside its
+// circumcircle; its three edges are Delaunay edges.
+func bruteDelaunayEdges(ps *geom.PointSet) map[[2]int32]bool {
+	n := ps.Len()
+	edges := make(map[[2]int32]bool)
+	addEdge := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		edges[[2]int32{a, b}] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := j + 1; k < n; k++ {
+				a, b, c := ps.At(i), ps.At(j), ps.At(k)
+				// Orient CCW.
+				if orient2d(a[0], a[1], b[0], b[1], c[0], c[1]) < 0 {
+					b, c = c, b
+				}
+				empty := true
+				for l := 0; l < n && empty; l++ {
+					if l == i || l == j || l == k {
+						continue
+					}
+					p := ps.At(l)
+					if incircle(a[0], a[1], b[0], b[1], c[0], c[1], p[0], p[1]) > 0 {
+						empty = false
+					}
+				}
+				if empty {
+					addEdge(int32(i), int32(j))
+					addEdge(int32(j), int32(k))
+					addEdge(int32(i), int32(k))
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func TestDelaunayMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		for seed := int64(0); seed < 3; seed++ {
+			ps := randomPoints2D(n, 100+seed)
+			g, err := Delaunay2D(ps)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			want := bruteDelaunayEdges(ps)
+			got := make(map[[2]int32]bool)
+			for v := 0; v < g.N; v++ {
+				for _, u := range g.Neighbors(int32(v)) {
+					if int32(v) < u {
+						got[[2]int32{int32(v), u}] = true
+					}
+				}
+			}
+			for e := range want {
+				if !got[e] {
+					t.Errorf("n=%d seed=%d: missing Delaunay edge %v", n, seed, e)
+				}
+			}
+			// The incremental algorithm may keep a few extra hull-adjacent
+			// edges due to the finite super-triangle; interior edges must
+			// agree exactly, so bound the surplus.
+			if len(got) > len(want)+n/4+2 {
+				t.Errorf("n=%d seed=%d: %d edges vs brute-force %d", n, seed, len(got), len(want))
+			}
+		}
+	}
+}
+
+func TestDelaunayStructuralInvariants(t *testing.T) {
+	for _, n := range []int{100, 1000, 5000} {
+		ps := randomPoints2D(n, int64(n))
+		g, err := Delaunay2D(ps)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Planarity: m <= 3n - 6.
+		if g.M() > int64(3*n-6) {
+			t.Errorf("n=%d: %d edges violates planarity bound %d", n, g.M(), 3*n-6)
+		}
+		// A Delaunay triangulation of a point set in general position is
+		// connected and has at least the hull edges; expect close to 3n.
+		if g.M() < int64(2*n) {
+			t.Errorf("n=%d: only %d edges, implausibly sparse", n, g.M())
+		}
+		m := &Mesh{Name: "t", Points: ps, G: g}
+		lc := LargestComponent(m)
+		if lc.N() != n {
+			t.Errorf("n=%d: triangulation disconnected (%d in largest component)", n, lc.N())
+		}
+	}
+}
+
+func TestDelaunayDegeneracies(t *testing.T) {
+	// Fewer than 3 points.
+	for n := 0; n <= 2; n++ {
+		ps := randomPoints2D(n, 1)
+		g, err := Delaunay2D(ps)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.N != n {
+			t.Fatalf("n=%d: wrong vertex count %d", n, g.N)
+		}
+	}
+	// Cocircular points (square grid) with jitter: must not fail.
+	ps := geom.NewPointSet(2, 0)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			ps.Append(geom.Point{
+				float64(i) + rng.Float64()*1e-6,
+				float64(j) + rng.Float64()*1e-6,
+			}, 1)
+		}
+	}
+	g, err := Delaunay2D(ps)
+	if err != nil {
+		t.Fatalf("jittered grid: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelaunayWrongDim(t *testing.T) {
+	ps := geom.NewPointSet(3, 1)
+	ps.Append(geom.Point{1, 2, 3}, 1)
+	if _, err := Delaunay2D(ps); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func BenchmarkDelaunay2D(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		ps := randomPoints2D(n, 42)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Delaunay2D(ps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000000:
+		return itoa(n/1000000) + "M"
+	case n >= 1000:
+		return itoa(n/1000) + "k"
+	default:
+		return itoa(n)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,70 @@
+package mesh
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMETIS checks the METIS parser never panics and that anything it
+// accepts is a structurally valid graph.
+func FuzzReadMETIS(f *testing.F) {
+	f.Add("7 11\n5 3 2\n1 3 4\n5 4 2 1\n2 3 6 7\n1 3 6\n5 4 7\n6 4\n")
+	f.Add("3 2 010\n4 2\n1 1 3\n2 2\n")
+	f.Add("2 1 001\n2 9\n1 9\n")
+	f.Add("% comment\n1 0\n\n")
+	f.Add("0 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, vwgt, err := ReadMETIS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted invalid graph: %v", err)
+		}
+		if vwgt != nil && len(vwgt) != g.N {
+			t.Fatalf("weights length %d for %d vertices", len(vwgt), g.N)
+		}
+	})
+}
+
+// FuzzMeshBinaryRead checks the binary reader rejects corrupt input
+// without panicking and never accepts a structurally broken mesh.
+func FuzzMeshBinaryRead(f *testing.F) {
+	m, err := GenDelaunayUniform2D(60, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("GGM1 garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("accepted invalid mesh: %v", err)
+		}
+	})
+}
+
+// FuzzReadXYZ checks the coordinate parser.
+func FuzzReadXYZ(f *testing.F) {
+	f.Add("1 2\n3 4\n")
+	f.Add("1 2 3\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		ps, err := ReadXYZ(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := ps.Validate(); err != nil {
+			t.Fatalf("accepted invalid point set: %v", err)
+		}
+	})
+}

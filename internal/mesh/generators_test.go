@@ -1,0 +1,295 @@
+package mesh
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"geographer/internal/geom"
+)
+
+type genFunc func(n int, seed int64) (*Mesh, error)
+
+func allGenerators() map[string]genFunc {
+	return map[string]genFunc{
+		"delaunay2d": GenDelaunayUniform2D,
+		"refinedtri": GenRefinedTri,
+		"bubbles":    GenBubbles,
+		"airfoil":    GenAirfoil,
+		"rgg2d":      func(n int, seed int64) (*Mesh, error) { return GenRGG2D(n, seed, 13) },
+		"climate":    GenClimate,
+		"delaunay3d": GenDelaunay3D,
+		"tube3d":     GenTube3D,
+	}
+}
+
+func TestGeneratorsProduceValidMeshes(t *testing.T) {
+	for name, gen := range allGenerators() {
+		t.Run(name, func(t *testing.T) {
+			m, err := gen(2000, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			// Generators may trim (largest component); stay in the ballpark.
+			if m.N() < 1500 || m.N() > 2000 {
+				t.Errorf("n = %d, want ~2000", m.N())
+			}
+			if m.G.M() < int64(m.N()) {
+				t.Errorf("implausibly sparse: %d edges for %d vertices", m.G.M(), m.N())
+			}
+			lc := LargestComponent(m)
+			if lc.N() != m.N() {
+				t.Errorf("mesh not connected: %d of %d in largest component", lc.N(), m.N())
+			}
+			if m.String() == "" {
+				t.Error("empty String()")
+			}
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for name, gen := range allGenerators() {
+		a, err := gen(500, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := gen(500, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.N() != b.N() || a.G.M() != b.G.M() {
+			t.Errorf("%s: not deterministic (n %d vs %d, m %d vs %d)", name, a.N(), b.N(), a.G.M(), b.G.M())
+			continue
+		}
+		for i := range a.Points.Coords {
+			if a.Points.Coords[i] != b.Points.Coords[i] {
+				t.Errorf("%s: coordinates differ at %d", name, i)
+				break
+			}
+		}
+	}
+}
+
+func TestClimateWeights(t *testing.T) {
+	m, err := GenClimate(3000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Points.Weight == nil {
+		t.Fatal("climate mesh must be weighted")
+	}
+	minW, maxW := m.Points.W(0), m.Points.W(0)
+	for i := 0; i < m.N(); i++ {
+		w := m.Points.W(i)
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if minW < 1 || maxW > 70 {
+		t.Errorf("layer weights out of range: [%g, %g]", minW, maxW)
+	}
+	if maxW/minW < 3 {
+		t.Errorf("weights not heterogeneous enough: [%g, %g]", minW, maxW)
+	}
+}
+
+func TestDelaunay3DDegree(t *testing.T) {
+	m, err := GenDelaunay3D(3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric kNN with k=10 should land near 3D-Delaunay mean degree ~14.
+	if d := m.G.AvgDegree(); d < 10 || d > 18 {
+		t.Errorf("avg degree %g, want ~10-18 (3D Delaunay-like)", d)
+	}
+}
+
+func TestRGGDegree(t *testing.T) {
+	m, err := GenRGG2D(5000, 5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.G.AvgDegree(); d < 9 || d > 17 {
+		t.Errorf("avg degree %g, want ~13", d)
+	}
+}
+
+func TestKNNGraphExactOnSmallSet(t *testing.T) {
+	// 5 collinear points: 2-NN of each are its closest two.
+	ps := geom.NewPointSet(2, 5)
+	for i := 0; i < 5; i++ {
+		ps.Append(geom.Point{float64(i), 0}, 1)
+	}
+	g, err := KNNGraph(ps, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point 0's 2-NN: 1,2. Point 2's: 1,3. Symmetric closure adds more.
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Errorf("missing kNN edges from 0: %v", g.Neighbors(0))
+	}
+	if g.HasEdge(0, 4) {
+		t.Error("0-4 should not be an edge")
+	}
+}
+
+func TestKNNGraphEdgeCases(t *testing.T) {
+	ps := geom.NewPointSet(2, 0)
+	g, err := KNNGraph(ps, 3)
+	if err != nil || g.N != 0 {
+		t.Fatalf("empty: %v %v", g, err)
+	}
+	ps.Append(geom.Point{0, 0}, 1)
+	g, err = KNNGraph(ps, 3)
+	if err != nil || g.N != 1 || g.M() != 0 {
+		t.Fatalf("single point: %v %v", g, err)
+	}
+}
+
+func TestRadiusGraphExact(t *testing.T) {
+	ps := geom.NewPointSet(2, 4)
+	ps.Append(geom.Point{0, 0}, 1)
+	ps.Append(geom.Point{0.5, 0}, 1)
+	ps.Append(geom.Point{1.2, 0}, 1)
+	ps.Append(geom.Point{5, 5}, 1)
+	g, err := RadiusGraph(ps, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Error("missing radius edges")
+	}
+	if g.HasEdge(0, 2) || g.Degree(3) != 0 {
+		t.Error("spurious radius edges")
+	}
+	if _, err := RadiusGraph(ps, -1); err == nil {
+		t.Error("negative radius should error")
+	}
+}
+
+func TestFilterLongEdges(t *testing.T) {
+	// A tight cluster (10 short pairwise edges) plus one far-away point
+	// (5 long edges): the median edge is short, so a 3× median threshold
+	// must cut exactly the outlier's edges.
+	ps := geom.NewPointSet(2, 6)
+	cluster := []geom.Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0.5, 0.5}}
+	for _, p := range cluster {
+		ps.Append(p, 1)
+	}
+	outlier := 5
+	ps.Append(geom.Point{50, 50}, 1)
+	g, err := RadiusGraph(ps, 100) // complete graph
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Mesh{Name: "t", Points: ps, G: g}
+	filtered := FilterLongEdges(m, 3)
+	if filtered.G.Degree(int32(outlier)) != 0 {
+		t.Errorf("long edges to outlier survived: deg=%d", filtered.G.Degree(int32(outlier)))
+	}
+	if !filtered.G.HasEdge(0, 1) || !filtered.G.HasEdge(0, 4) {
+		t.Error("short cluster edges removed")
+	}
+}
+
+func TestMeshIORoundTrip(t *testing.T) {
+	for _, gen := range []genFunc{GenDelaunayUniform2D, GenClimate, GenDelaunay3D} {
+		m, err := gen(800, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Name != m.Name || back.N() != m.N() || back.G.M() != m.G.M() {
+			t.Fatalf("roundtrip mismatch: %s vs %s", back, m)
+		}
+		for i := range m.Points.Coords {
+			if back.Points.Coords[i] != m.Points.Coords[i] {
+				t.Fatal("coords corrupted")
+			}
+		}
+		if (m.Points.Weight == nil) != (back.Points.Weight == nil) {
+			t.Fatal("weight presence lost")
+		}
+	}
+}
+
+func TestMeshIOFiles(t *testing.T) {
+	dir := t.TempDir()
+	m, err := GenDelaunayUniform2D(200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "test.ggm")
+	if err := WriteFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != m.N() {
+		t.Fatal("file roundtrip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.ggm")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestMeshIOBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE1234567890"))); err == nil {
+		t.Error("bad magic should error")
+	}
+}
+
+func TestEdgeLengthStats(t *testing.T) {
+	m, err := GenDelaunayUniform2D(500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, med, max := EdgeLengthStats(m)
+	if !(min > 0 && min <= med && med <= max) {
+		t.Errorf("stats disordered: %g %g %g", min, med, max)
+	}
+}
+
+func BenchmarkGenRefinedTri10k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenRefinedTri(10000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNNGraph3D10k(b *testing.B) {
+	ps := randomPoints3D(10000, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KNNGraph(ps, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randomPoints3D(n int, seed int64) *geom.PointSet {
+	rng := rand.New(rand.NewSource(seed))
+	ps := geom.NewPointSet(3, n)
+	for i := 0; i < n; i++ {
+		ps.Append(geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}, 1)
+	}
+	return ps
+}

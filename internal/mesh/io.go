@@ -1,0 +1,154 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"geographer/internal/geom"
+	"geographer/internal/graph"
+)
+
+// Binary mesh format ("GGM1"): a compact serialization so generated
+// meshes can be produced once with cmd/genmesh and reused across
+// experiment runs.
+//
+//	magic   [4]byte  "GGM1"
+//	dim     uint8
+//	flags   uint8    bit 0: has weights
+//	nameLen uint16   followed by name bytes
+//	n       int64    vertices
+//	adjLen  int64    length of Adj
+//	coords  n*dim float64
+//	weights n float64 (if flag set)
+//	xadj    (n+1) int64
+//	adj     adjLen int32
+var meshMagic = [4]byte{'G', 'G', 'M', '1'}
+
+// Write serializes m.
+func Write(w io.Writer, m *Mesh) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(meshMagic[:]); err != nil {
+		return err
+	}
+	var flags uint8
+	if m.Points.Weight != nil {
+		flags |= 1
+	}
+	name := []byte(m.Name)
+	if len(name) > 65535 {
+		name = name[:65535]
+	}
+	hdr := []any{uint8(m.Points.Dim), flags, uint16(len(name))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	n := int64(m.Points.Len())
+	if err := binary.Write(bw, binary.LittleEndian, n); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(m.G.Adj))); err != nil {
+		return err
+	}
+	for _, blk := range []any{m.Points.Coords, m.Points.Weight, m.G.Xadj, m.G.Adj} {
+		if blk == nil {
+			continue
+		}
+		if w, ok := blk.([]float64); ok && w == nil {
+			continue
+		}
+		if err := binary.Write(bw, binary.LittleEndian, blk); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a mesh written by Write.
+func Read(r io.Reader) (*Mesh, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != meshMagic {
+		return nil, fmt.Errorf("mesh: bad magic %q", magic)
+	}
+	var dim, flags uint8
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var n, adjLen int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &adjLen); err != nil {
+		return nil, err
+	}
+	if dim < 1 || dim > geom.MaxDim || n < 0 || adjLen < 0 {
+		return nil, fmt.Errorf("mesh: corrupt header (dim=%d n=%d adjLen=%d)", dim, n, adjLen)
+	}
+	ps := &geom.PointSet{Dim: int(dim), Coords: make([]float64, n*int64(dim))}
+	if err := binary.Read(br, binary.LittleEndian, ps.Coords); err != nil {
+		return nil, err
+	}
+	if flags&1 != 0 {
+		ps.Weight = make([]float64, n)
+		if err := binary.Read(br, binary.LittleEndian, ps.Weight); err != nil {
+			return nil, err
+		}
+	}
+	g := &graph.Graph{N: int(n), Xadj: make([]int64, n+1), Adj: make([]int32, adjLen)}
+	if err := binary.Read(br, binary.LittleEndian, g.Xadj); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Adj); err != nil {
+		return nil, err
+	}
+	m := &Mesh{Name: string(name), Points: ps, G: g}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("mesh: corrupt file: %w", err)
+	}
+	return m, nil
+}
+
+// WriteFile writes m to path.
+func WriteFile(path string, m *Mesh) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a mesh from path.
+func ReadFile(path string) (*Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,275 @@
+package mesh
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"geographer/internal/geom"
+	"geographer/internal/graph"
+)
+
+// METIS graph format support. The DIMACS challenge instances the paper
+// evaluates on ship in this format; supporting it makes the repository
+// interoperable with ParMetis/Zoltan tool chains. Coordinates travel in
+// the companion ".xyz" format (one whitespace-separated coordinate line
+// per vertex), as used by KaHIP and Geographer's original implementation.
+//
+// Graph file layout:
+//
+//	% comment lines
+//	n m [fmt]          fmt: 3 digits "abc" — a: vertex sizes (unsupported),
+//	                   b: vertex weights, c: edge weights (parsed, dropped)
+//	<one line per vertex: [vwgt] neighbor1 neighbor2 ...>  (1-indexed)
+
+// WriteMETIS serializes the mesh graph (with vertex weights when present)
+// in METIS format.
+func WriteMETIS(w io.Writer, m *Mesh) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%% %s, written by geographer\n", m.Name)
+	format := "000"
+	if m.Points.Weight != nil {
+		format = "010"
+	}
+	fmt.Fprintf(bw, "%d %d %s\n", m.G.N, m.G.M(), format)
+	for v := 0; v < m.G.N; v++ {
+		first := true
+		if m.Points.Weight != nil {
+			// METIS vertex weights are integers.
+			fmt.Fprintf(bw, "%d", int64(m.Points.Weight[v]+0.5))
+			first = false
+		}
+		for _, u := range m.G.Neighbors(int32(v)) {
+			if !first {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprint(bw, u+1)
+			first = false
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a METIS graph file, returning the graph and the vertex
+// weights (nil when the file has none). Edge weights are parsed and
+// dropped (this repository's metrics are unweighted, like the paper's).
+func ReadMETIS(r io.Reader) (*graph.Graph, []float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	line, err := nextDataLine(sc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("metis: missing header: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, nil, fmt.Errorf("metis: bad header %q", line)
+	}
+	n, err := strconv.Atoi(fields[0])
+	if err != nil || n < 0 {
+		return nil, nil, fmt.Errorf("metis: bad vertex count %q", fields[0])
+	}
+	mEdges, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || mEdges < 0 {
+		return nil, nil, fmt.Errorf("metis: bad edge count %q", fields[1])
+	}
+	hasVWgt, hasEWgt := false, false
+	if len(fields) >= 3 {
+		f := fields[2]
+		if len(f) > 3 {
+			return nil, nil, fmt.Errorf("metis: bad format field %q", f)
+		}
+		for len(f) < 3 {
+			f = "0" + f
+		}
+		if f[0] != '0' {
+			return nil, nil, fmt.Errorf("metis: vertex sizes (fmt %q) unsupported", fields[2])
+		}
+		hasVWgt = f[1] != '0'
+		hasEWgt = f[2] != '0'
+	}
+
+	var vwgt []float64
+	if hasVWgt {
+		vwgt = make([]float64, n)
+	}
+	edges := make([][2]int32, 0, mEdges)
+	for v := 0; v < n; v++ {
+		line, err := nextDataLine(sc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("metis: vertex %d: %w", v+1, err)
+		}
+		fs := strings.Fields(line)
+		i := 0
+		if hasVWgt {
+			if len(fs) == 0 {
+				return nil, nil, fmt.Errorf("metis: vertex %d: missing weight", v+1)
+			}
+			w, err := strconv.ParseFloat(fs[0], 64)
+			if err != nil || w < 0 {
+				return nil, nil, fmt.Errorf("metis: vertex %d: bad weight %q", v+1, fs[0])
+			}
+			vwgt[v] = w
+			i = 1
+		}
+		for ; i < len(fs); i++ {
+			u, err := strconv.Atoi(fs[i])
+			if err != nil || u < 1 || u > n {
+				return nil, nil, fmt.Errorf("metis: vertex %d: bad neighbor %q", v+1, fs[i])
+			}
+			if hasEWgt {
+				i++ // skip the edge weight token
+				if i >= len(fs) {
+					return nil, nil, fmt.Errorf("metis: vertex %d: dangling edge weight", v+1)
+				}
+			}
+			if int32(u-1) > int32(v) { // each edge once; symmetry restored by FromEdges
+				edges = append(edges, [2]int32{int32(v), int32(u - 1)})
+			} else {
+				edges = append(edges, [2]int32{int32(u - 1), int32(v)})
+			}
+		}
+	}
+	g := graph.FromEdges(n, edges)
+	if g.M() != mEdges {
+		// Not fatal: some writers count self-loops or duplicates
+		// differently; report only gross mismatches.
+		if g.M() < mEdges/2 || g.M() > 2*mEdges {
+			return nil, nil, fmt.Errorf("metis: header claims %d edges, file has %d", mEdges, g.M())
+		}
+	}
+	return g, vwgt, nil
+}
+
+func nextDataLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// WriteXYZ writes one coordinate line per vertex.
+func WriteXYZ(w io.Writer, ps *geom.PointSet) error {
+	bw := bufio.NewWriter(w)
+	n := ps.Len()
+	for i := 0; i < n; i++ {
+		p := ps.At(i)
+		for d := 0; d < ps.Dim; d++ {
+			if d > 0 {
+				fmt.Fprint(bw, " ")
+			}
+			fmt.Fprintf(bw, "%g", p[d])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadXYZ parses coordinate lines; the dimension is inferred from the
+// first line (2 or 3 columns).
+func ReadXYZ(r io.Reader) (*geom.PointSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var ps *geom.PointSet
+	lineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		lineNo++
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fs := strings.Fields(line)
+		if ps == nil {
+			if len(fs) < 2 || len(fs) > 3 {
+				return nil, fmt.Errorf("xyz: line %d: %d coordinates (want 2 or 3)", lineNo, len(fs))
+			}
+			ps = geom.NewPointSet(len(fs), 1024)
+		}
+		if len(fs) != ps.Dim {
+			return nil, fmt.Errorf("xyz: line %d: %d coordinates, expected %d", lineNo, len(fs), ps.Dim)
+		}
+		var p geom.Point
+		for d := 0; d < ps.Dim; d++ {
+			v, err := strconv.ParseFloat(fs[d], 64)
+			if err != nil {
+				return nil, fmt.Errorf("xyz: line %d: %w", lineNo, err)
+			}
+			p[d] = v
+		}
+		ps.Append(p, 1)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ps == nil {
+		return nil, fmt.Errorf("xyz: empty file")
+	}
+	return ps, nil
+}
+
+// WriteMETISFiles writes mesh.graph (METIS) and mesh.xyz next to each
+// other with the given path prefix.
+func WriteMETISFiles(prefix string, m *Mesh) error {
+	gf, err := os.Create(prefix + ".graph")
+	if err != nil {
+		return err
+	}
+	defer gf.Close()
+	if err := WriteMETIS(gf, m); err != nil {
+		return err
+	}
+	if err := gf.Close(); err != nil {
+		return err
+	}
+	xf, err := os.Create(prefix + ".xyz")
+	if err != nil {
+		return err
+	}
+	defer xf.Close()
+	if err := WriteXYZ(xf, m.Points); err != nil {
+		return err
+	}
+	return xf.Close()
+}
+
+// ReadMETISFiles loads a mesh from a METIS graph file plus a coordinate
+// file.
+func ReadMETISFiles(graphPath, xyzPath string) (*Mesh, error) {
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return nil, err
+	}
+	defer gf.Close()
+	g, vwgt, err := ReadMETIS(gf)
+	if err != nil {
+		return nil, err
+	}
+	xf, err := os.Open(xyzPath)
+	if err != nil {
+		return nil, err
+	}
+	defer xf.Close()
+	ps, err := ReadXYZ(xf)
+	if err != nil {
+		return nil, err
+	}
+	if ps.Len() != g.N {
+		return nil, fmt.Errorf("metis: %d coordinates for %d vertices", ps.Len(), g.N)
+	}
+	ps.Weight = vwgt
+	m := &Mesh{Name: strings.TrimSuffix(graphPath, ".graph"), Points: ps, G: g}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,173 @@
+package mesh
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMETISRoundTrip(t *testing.T) {
+	for _, gen := range []genFunc{GenDelaunayUniform2D, GenClimate, GenDelaunay3D} {
+		m, err := gen(600, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gbuf bytes.Buffer
+		if err := WriteMETIS(&gbuf, m); err != nil {
+			t.Fatal(err)
+		}
+		g, vwgt, err := ReadMETIS(&gbuf)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if g.N != m.G.N || g.M() != m.G.M() {
+			t.Fatalf("%s: n/m mismatch: %d/%d vs %d/%d", m.Name, g.N, g.M(), m.G.N, m.G.M())
+		}
+		if (vwgt == nil) != (m.Points.Weight == nil) {
+			t.Fatalf("%s: weight presence lost", m.Name)
+		}
+		for v := 0; v < g.N; v++ {
+			a, b := g.Neighbors(int32(v)), m.G.Neighbors(int32(v))
+			if len(a) != len(b) {
+				t.Fatalf("%s: vertex %d adjacency differs", m.Name, v)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: vertex %d adjacency differs at %d", m.Name, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMETISParsesReferenceFile(t *testing.T) {
+	// The example from the METIS manual: 7 vertices, 11 edges.
+	input := `% example graph
+7 11
+5 3 2
+1 3 4
+5 4 2 1
+2 3 6 7
+1 3 6
+5 4 7
+6 4
+`
+	g, vwgt, err := ReadMETIS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vwgt != nil {
+		t.Error("unweighted file produced weights")
+	}
+	if g.N != 7 || g.M() != 11 {
+		t.Fatalf("n=%d m=%d, want 7/11", g.N, g.M())
+	}
+	if !g.HasEdge(0, 4) || !g.HasEdge(3, 6) {
+		t.Error("missing expected edges")
+	}
+}
+
+func TestMETISVertexWeights(t *testing.T) {
+	input := "3 2 010\n4 2\n1 1 3\n2 2\n"
+	g, vwgt, err := ReadMETIS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N, g.M())
+	}
+	if vwgt == nil || vwgt[0] != 4 || vwgt[1] != 1 || vwgt[2] != 2 {
+		t.Fatalf("vwgt = %v", vwgt)
+	}
+}
+
+func TestMETISEdgeWeightsDropped(t *testing.T) {
+	input := "2 1 001\n2 9\n1 9\n"
+	g, _, err := ReadMETIS(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || !g.HasEdge(0, 1) {
+		t.Fatal("edge-weighted graph parsed wrong")
+	}
+}
+
+func TestMETISErrors(t *testing.T) {
+	cases := []string{
+		"",                       // empty
+		"x y\n",                  // bad header
+		"2 1 100\n2\n1\n",        // vertex sizes unsupported
+		"2 1\n3\n1\n",            // out-of-range neighbor
+		"2 1 010\n\n1\n",         // missing weight
+		"3 1 001\n2\n1 5 3\n2 5", // dangling edge weight token
+	}
+	for i, in := range cases {
+		if _, _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: error expected", i)
+		}
+	}
+}
+
+func TestXYZRoundTrip(t *testing.T) {
+	m, err := GenDelaunay3D(200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteXYZ(&buf, m.Points); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := ReadXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Dim != 3 || ps.Len() != m.N() {
+		t.Fatalf("dim=%d n=%d", ps.Dim, ps.Len())
+	}
+	for i := 0; i < ps.Len(); i++ {
+		a, b := ps.At(i), m.Points.At(i)
+		for d := 0; d < 3; d++ {
+			if a[d] != b[d] {
+				t.Fatalf("point %d coordinate %d: %g vs %g", i, d, a[d], b[d])
+			}
+		}
+	}
+}
+
+func TestXYZErrors(t *testing.T) {
+	if _, err := ReadXYZ(strings.NewReader("")); err == nil {
+		t.Error("empty xyz accepted")
+	}
+	if _, err := ReadXYZ(strings.NewReader("1 2 3 4\n")); err == nil {
+		t.Error("4D xyz accepted")
+	}
+	if _, err := ReadXYZ(strings.NewReader("1 2\n3\n")); err == nil {
+		t.Error("ragged xyz accepted")
+	}
+	if _, err := ReadXYZ(strings.NewReader("1 banana\n")); err == nil {
+		t.Error("non-numeric xyz accepted")
+	}
+}
+
+func TestMETISFilesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m, err := GenClimate(800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(dir, "ocean")
+	if err := WriteMETISFiles(prefix, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMETISFiles(prefix+".graph", prefix+".xyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != m.N() || back.G.M() != m.G.M() {
+		t.Fatalf("roundtrip: %s vs %s", back, m)
+	}
+	if back.Points.Weight == nil {
+		t.Fatal("weights lost")
+	}
+}

@@ -1,0 +1,233 @@
+package mpi
+
+import "unsafe"
+
+// Number constrains element types usable in reductions and scans.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 |
+		~float32 | ~float64
+}
+
+// sizeOf returns the in-memory element size of T, used only for traffic
+// statistics (a proxy for wire size).
+func sizeOf[T any]() int64 {
+	var z T
+	return int64(unsafe.Sizeof(z))
+}
+
+// collectiveEnter records stats for a collective where this rank
+// contributes `bytes` bytes, then synchronizes. The matching
+// collectiveExit synchronizes again so exchange slots can be reused.
+func (c *Comm) collectiveEnter(bytes int64) {
+	st := &c.w.stats[c.rank]
+	st.Collectives++
+	st.CollectiveBytes += bytes
+	st.ModeledCommSec += c.w.model.CollectiveTime(c.w.size, bytes)
+	c.w.bar.wait()
+}
+
+func (c *Comm) collectiveExit() {
+	c.w.bar.wait()
+}
+
+// allreduce is the shared skeleton: all ranks deposit their contribution,
+// rank 0 folds them in rank order (so float results are bit-identical on
+// every rank and across runs), publishes the result, and every rank takes
+// a private copy. Total work is O(p·len) rather than the O(p²·len) of
+// everyone-reduces-everything, which matters for the simulated worlds with
+// hundreds of ranks used in the scaling experiments.
+func allreduce[T Number](c *Comm, in []T, fold func(acc, v T) T) []T {
+	c.w.slots[c.rank] = in
+	c.collectiveEnter(int64(len(in)) * sizeOf[T]())
+	if c.rank == 0 {
+		res := make([]T, len(in))
+		copy(res, in)
+		for r := 1; r < c.w.size; r++ {
+			contrib := c.w.slots[r].([]T)
+			for i, v := range contrib {
+				res[i] = fold(res[i], v)
+			}
+		}
+		c.w.result = res
+	}
+	c.w.bar.wait() // result published
+	src := c.w.result.([]T)
+	var out []T
+	if c.rank == 0 {
+		out = src
+	} else {
+		out = make([]T, len(src))
+		copy(out, src)
+	}
+	c.collectiveExit()
+	return out
+}
+
+// AllreduceSum returns, on every rank, the element-wise sum of `in` across
+// all ranks. All ranks must pass equal-length slices. The reduction order
+// is rank 0..p-1, so results are bit-identical everywhere.
+func AllreduceSum[T Number](c *Comm, in []T) []T {
+	return allreduce(c, in, func(acc, v T) T { return acc + v })
+}
+
+// AllreduceMax returns the element-wise maximum across ranks.
+func AllreduceMax[T Number](c *Comm, in []T) []T {
+	return allreduce(c, in, func(acc, v T) T {
+		if v > acc {
+			return v
+		}
+		return acc
+	})
+}
+
+// AllreduceMin returns the element-wise minimum across ranks.
+func AllreduceMin[T Number](c *Comm, in []T) []T {
+	return allreduce(c, in, func(acc, v T) T {
+		if v < acc {
+			return v
+		}
+		return acc
+	})
+}
+
+// Allgather returns, on every rank, a fresh slice [rank] -> contribution.
+// Contributions may have different lengths (allgatherv semantics).
+func Allgather[T any](c *Comm, in []T) [][]T {
+	c.w.slots[c.rank] = in
+	c.collectiveEnter(int64(len(in)) * sizeOf[T]())
+	out := make([][]T, c.w.size)
+	for r := 0; r < c.w.size; r++ {
+		contrib := c.w.slots[r].([]T)
+		cp := make([]T, len(contrib))
+		copy(cp, contrib)
+		out[r] = cp
+	}
+	c.collectiveExit()
+	return out
+}
+
+// AllgatherFlat concatenates all contributions in rank order.
+func AllgatherFlat[T any](c *Comm, in []T) []T {
+	c.w.slots[c.rank] = in
+	c.collectiveEnter(int64(len(in)) * sizeOf[T]())
+	total := 0
+	for r := 0; r < c.w.size; r++ {
+		total += len(c.w.slots[r].([]T))
+	}
+	out := make([]T, 0, total)
+	for r := 0; r < c.w.size; r++ {
+		out = append(out, c.w.slots[r].([]T)...)
+	}
+	c.collectiveExit()
+	return out
+}
+
+// AllgatherScalar gathers one value per rank.
+func AllgatherScalar[T any](c *Comm, v T) []T {
+	vs := [1]T{v}
+	c.w.slots[c.rank] = vs[:]
+	c.collectiveEnter(sizeOf[T]())
+	out := make([]T, c.w.size)
+	for r := 0; r < c.w.size; r++ {
+		out[r] = c.w.slots[r].([]T)[0]
+	}
+	c.collectiveExit()
+	return out
+}
+
+// Alltoall performs a personalized all-to-all: send[dst] goes to rank dst;
+// the result's [src] entry is what rank src sent here. Slice lengths may
+// vary per pair (alltoallv semantics). Received data is copied, so senders
+// may reuse their buffers immediately after return.
+func Alltoall[T any](c *Comm, send [][]T) [][]T {
+	if len(send) != c.w.size {
+		panic("mpi: Alltoall send slice must have one entry per rank")
+	}
+	var bytes int64
+	es := sizeOf[T]()
+	for dst, s := range send {
+		if dst != c.rank {
+			bytes += int64(len(s)) * es
+		}
+	}
+	c.w.slots[c.rank] = send
+	c.collectiveEnter(bytes)
+	out := make([][]T, c.w.size)
+	for r := 0; r < c.w.size; r++ {
+		chunk := c.w.slots[r].([][]T)[c.rank]
+		cp := make([]T, len(chunk))
+		copy(cp, chunk)
+		out[r] = cp
+	}
+	c.collectiveExit()
+	return out
+}
+
+// Bcast distributes root's slice to every rank; non-root ranks receive a
+// fresh copy and ignore their own `in`.
+func Bcast[T any](c *Comm, root int, in []T) []T {
+	if c.rank == root {
+		c.w.slots[c.rank] = in
+	} else {
+		c.w.slots[c.rank] = []T(nil)
+	}
+	var bytes int64
+	if c.rank == root {
+		bytes = int64(len(in)) * sizeOf[T]()
+	}
+	c.collectiveEnter(bytes)
+	src := c.w.slots[root].([]T)
+	var out []T
+	if c.rank == root {
+		out = in
+	} else {
+		out = make([]T, len(src))
+		copy(out, src)
+	}
+	c.collectiveExit()
+	return out
+}
+
+// ExscanSum returns the exclusive prefix sum of v over ranks: rank r gets
+// v_0 + ... + v_{r-1}; rank 0 gets zero. Used to convert local counts into
+// global offsets (e.g. global point positions after the distributed sort).
+func ExscanSum[T Number](c *Comm, v T) T {
+	vs := [1]T{v}
+	c.w.slots[c.rank] = vs[:]
+	c.collectiveEnter(sizeOf[T]())
+	var sum T
+	for r := 0; r < c.rank; r++ {
+		sum += c.w.slots[r].([]T)[0]
+	}
+	c.collectiveExit()
+	return sum
+}
+
+// ReduceScalarSum returns the total of v over all ranks (on every rank).
+func ReduceScalarSum[T Number](c *Comm, v T) T {
+	vs := [1]T{v}
+	c.w.slots[c.rank] = vs[:]
+	c.collectiveEnter(sizeOf[T]())
+	var sum T
+	for r := 0; r < c.w.size; r++ {
+		sum += c.w.slots[r].([]T)[0]
+	}
+	c.collectiveExit()
+	return sum
+}
+
+// ReduceScalarMax returns the maximum of v over all ranks (on every rank).
+func ReduceScalarMax[T Number](c *Comm, v T) T {
+	vs := [1]T{v}
+	c.w.slots[c.rank] = vs[:]
+	c.collectiveEnter(sizeOf[T]())
+	best := c.w.slots[0].([]T)[0]
+	for r := 1; r < c.w.size; r++ {
+		if x := c.w.slots[r].([]T)[0]; x > best {
+			best = x
+		}
+	}
+	c.collectiveExit()
+	return best
+}

@@ -1,0 +1,386 @@
+package mpi
+
+import (
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+var worldSizes = []int{1, 2, 3, 4, 7}
+
+func TestBarrierOrdering(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		var phase int32
+		err := w.Run(func(c *Comm) {
+			// All ranks must observe phase 0 before any rank moves on.
+			if atomic.LoadInt32(&phase) != 0 {
+				t.Errorf("p=%d rank %d: phase advanced early", p, c.Rank())
+			}
+			c.Barrier()
+			if c.Rank() == 0 {
+				atomic.StoreInt32(&phase, 1)
+			}
+			c.Barrier()
+			if atomic.LoadInt32(&phase) != 1 {
+				t.Errorf("p=%d rank %d: write before barrier not visible", p, c.Rank())
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		err := w.Run(func(c *Comm) {
+			in := []int64{int64(c.Rank()), 1, int64(c.Rank() * c.Rank())}
+			out := AllreduceSum(c, in)
+			wantA := int64(p * (p - 1) / 2)
+			var wantC int64
+			for r := 0; r < p; r++ {
+				wantC += int64(r * r)
+			}
+			if out[0] != wantA || out[1] != int64(p) || out[2] != wantC {
+				t.Errorf("p=%d rank %d: got %v", p, c.Rank(), out)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceSumDeterministicFloats(t *testing.T) {
+	// Summation order must be identical on every rank so that replicated
+	// state (cluster centers, influence values) stays bit-identical.
+	p := 5
+	w := NewWorld(p)
+	results := make([]float64, p)
+	err := w.Run(func(c *Comm) {
+		rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+		in := []float64{rng.Float64() * 1e-7, rng.Float64() * 1e9}
+		out := AllreduceSum(c, in)
+		results[c.Rank()] = out[0] + out[1]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < p; r++ {
+		if results[r] != results[0] {
+			t.Fatalf("rank %d result %g differs from rank 0 %g", r, results[r], results[0])
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		in := []float64{float64(c.Rank()), -float64(c.Rank())}
+		mx := AllreduceMax(c, in)
+		mn := AllreduceMin(c, in)
+		if mx[0] != 3 || mx[1] != 0 {
+			t.Errorf("max: %v", mx)
+		}
+		if mn[0] != 0 || mn[1] != -3 {
+			t.Errorf("min: %v", mn)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherVariableLengths(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		in := make([]int32, c.Rank()) // rank r contributes r elements
+		for i := range in {
+			in[i] = int32(c.Rank()*100 + i)
+		}
+		out := Allgather(c, in)
+		for r := 0; r < p; r++ {
+			if len(out[r]) != r {
+				t.Errorf("rank %d: out[%d] len %d", c.Rank(), r, len(out[r]))
+			}
+			for i, v := range out[r] {
+				if v != int32(r*100+i) {
+					t.Errorf("rank %d: out[%d][%d] = %d", c.Rank(), r, i, v)
+				}
+			}
+		}
+		flat := AllgatherFlat(c, in)
+		if len(flat) != p*(p-1)/2 {
+			t.Errorf("flat len %d", len(flat))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherScalarAndReduceScalar(t *testing.T) {
+	p := 3
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		vs := AllgatherScalar(c, c.Rank()*10)
+		for r := 0; r < p; r++ {
+			if vs[r] != r*10 {
+				t.Errorf("AllgatherScalar[%d] = %d", r, vs[r])
+			}
+		}
+		if s := ReduceScalarSum(c, int64(c.Rank()+1)); s != 6 {
+			t.Errorf("ReduceScalarSum = %d", s)
+		}
+		if m := ReduceScalarMax(c, float64(c.Rank())); m != 2 {
+			t.Errorf("ReduceScalarMax = %g", m)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		err := w.Run(func(c *Comm) {
+			send := make([][]int, p)
+			for dst := 0; dst < p; dst++ {
+				send[dst] = []int{c.Rank()*1000 + dst}
+			}
+			recv := Alltoall(c, send)
+			for src := 0; src < p; src++ {
+				want := src*1000 + c.Rank()
+				if len(recv[src]) != 1 || recv[src][0] != want {
+					t.Errorf("p=%d rank %d: recv[%d] = %v, want [%d]", p, c.Rank(), src, recv[src], want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAlltoallCopiesData(t *testing.T) {
+	p := 2
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		send := [][]int{{c.Rank()}, {c.Rank()}}
+		recv := Alltoall(c, send)
+		send[0][0] = -99 // mutate after return; receivers must not see it
+		send[1][0] = -99
+		c.Barrier()
+		other := 1 - c.Rank()
+		if recv[other][0] != other {
+			t.Errorf("rank %d: received data aliased sender buffer", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	p := 5
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		var in []float64
+		if c.Rank() == 2 {
+			in = []float64{3.14, 2.71}
+		}
+		out := Bcast(c, 2, in)
+		if len(out) != 2 || out[0] != 3.14 || out[1] != 2.71 {
+			t.Errorf("rank %d: Bcast got %v", c.Rank(), out)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExscanSum(t *testing.T) {
+	p := 6
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		got := ExscanSum(c, int64(c.Rank()+1)) // contributions 1..p
+		want := int64(c.Rank() * (c.Rank() + 1) / 2)
+		if got != want {
+			t.Errorf("rank %d: exscan = %d, want %d", c.Rank(), got, want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	p := 4
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		// Ring: send to (r+1) mod p, receive from (r-1+p) mod p.
+		next := (c.Rank() + 1) % p
+		prev := (c.Rank() + p - 1) % p
+		c.Send(next, c.Rank()*7, 8)
+		got := c.Recv(prev).(int)
+		if got != prev*7 {
+			t.Errorf("rank %d: got %d want %d", c.Rank(), got, prev*7)
+		}
+		// Program order per pair: two messages arrive in send order.
+		c.Send(next, "first", 5)
+		c.Send(next, "second", 6)
+		if a := c.Recv(prev).(string); a != "first" {
+			t.Errorf("rank %d: order violated, got %q", c.Rank(), a)
+		}
+		if b := c.Recv(prev).(string); b != "second" {
+			t.Errorf("rank %d: order violated, got %q", c.Rank(), b)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsAccumulation(t *testing.T) {
+	p := 3
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		AllreduceSum(c, []float64{1, 2})
+		c.Barrier()
+		c.AddOps(42)
+		if c.Rank() == 0 {
+			c.Send(1, []byte{1, 2, 3}, 3)
+		}
+		if c.Rank() == 1 {
+			c.Recv(0)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st[0].Collectives != 1 || st[0].CollectiveBytes != 16 {
+		t.Errorf("rank 0 collectives: %+v", st[0])
+	}
+	if st[0].Barriers != 1 {
+		t.Errorf("rank 0 barriers: %d", st[0].Barriers)
+	}
+	if st[0].MsgsSent != 1 || st[0].BytesSent != 3 {
+		t.Errorf("rank 0 p2p: %+v", st[0])
+	}
+	if st[1].MsgsSent != 0 {
+		t.Errorf("rank 1 sent nothing but MsgsSent=%d", st[1].MsgsSent)
+	}
+	for r := 0; r < p; r++ {
+		if st[r].ModeledCommSec <= 0 {
+			t.Errorf("rank %d: no modeled time", r)
+		}
+	}
+	if st[0].Ops != 42 {
+		t.Errorf("Ops = %d", st[0].Ops)
+	}
+
+	var total Stats
+	for _, s := range st {
+		total.Add(s)
+	}
+	if total.Collectives != int64(p) {
+		t.Errorf("total collectives %d", total.Collectives)
+	}
+
+	w.ResetStats()
+	for _, s := range w.Stats() {
+		if s != (Stats{}) {
+			t.Errorf("ResetStats left %+v", s)
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := DefaultCostModel()
+	if m.CollectiveLatency(1) != 0 {
+		t.Errorf("latency p=1 should be 0, got %g", m.CollectiveLatency(1))
+	}
+	if m.CollectiveLatency(2) != m.AlphaSec {
+		t.Errorf("latency p=2 = %g", m.CollectiveLatency(2))
+	}
+	if m.CollectiveLatency(1024) != 10*m.AlphaSec {
+		t.Errorf("latency p=1024 = %g", m.CollectiveLatency(1024))
+	}
+	if got := m.P2PTime(2e9); got <= 1.0 {
+		t.Errorf("P2PTime(2GB) = %g, want > 1s", got)
+	}
+	comp, comm := m.ModeledTime([]Stats{{Ops: 100}, {Ops: 500, ModeledCommSec: 0.5}})
+	if comp != 500*m.OpSec || comm != 0.5 {
+		t.Errorf("ModeledTime = %g, %g", comp, comm)
+	}
+}
+
+func TestPanicBreaksWorld(t *testing.T) {
+	p := 3
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("deliberate failure")
+		}
+		// Other ranks block in a barrier and must be released.
+		c.Barrier()
+		c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("expected error from panicked rank")
+	}
+	if !strings.Contains(err.Error(), "deliberate failure") && !strings.Contains(err.Error(), "broken") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWorld(0) should panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestAlltoallWrongSizePanics(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		Alltoall(c, [][]int{{1}}) // wrong length
+	})
+	if err == nil {
+		t.Fatal("expected panic->error for wrong Alltoall shape")
+	}
+}
+
+func BenchmarkAllreduce64(b *testing.B) {
+	w := NewWorld(8)
+	in := make([]float64, 64)
+	b.ResetTimer()
+	if err := w.Run(func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			AllreduceSum(c, in)
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	w := NewWorld(8)
+	b.ResetTimer()
+	if err := w.Run(func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			c.Barrier()
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: AllreduceSum over any per-rank vectors equals the serial sum,
+// on every rank.
+func TestAllreduceSumProperty(t *testing.T) {
+	f := func(data [4][8]int64) bool {
+		p := 4
+		w := NewWorld(p)
+		ok := true
+		err := w.Run(func(c *Comm) {
+			in := data[c.Rank()][:]
+			out := AllreduceSum(c, in)
+			for i := range out {
+				var want int64
+				for r := 0; r < p; r++ {
+					want += data[r][i]
+				}
+				if out[i] != want {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Alltoall is an involution of the transpose — receiving ranks
+// see exactly what senders addressed to them, for arbitrary payloads.
+func TestAlltoallTransposeProperty(t *testing.T) {
+	f := func(data [3][3][2]uint32) bool {
+		p := 3
+		w := NewWorld(p)
+		ok := true
+		err := w.Run(func(c *Comm) {
+			send := make([][]uint32, p)
+			for dst := 0; dst < p; dst++ {
+				send[dst] = data[c.Rank()][dst][:]
+			}
+			recv := Alltoall(c, send)
+			for src := 0; src < p; src++ {
+				for i, v := range recv[src] {
+					if v != data[src][c.Rank()][i] {
+						ok = false
+					}
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ExscanSum of arbitrary contributions is the prefix of the
+// total; the last rank's exscan plus its value equals the reduce-sum.
+func TestExscanReduceConsistencyProperty(t *testing.T) {
+	f := func(vals [5]int32) bool {
+		p := 5
+		w := NewWorld(p)
+		ok := true
+		err := w.Run(func(c *Comm) {
+			v := int64(vals[c.Rank()])
+			pre := ExscanSum(c, v)
+			tot := ReduceScalarSum(c, v)
+			var want int64
+			for r := 0; r < c.Rank(); r++ {
+				want += int64(vals[r])
+			}
+			var all int64
+			for r := 0; r < p; r++ {
+				all += int64(vals[r])
+			}
+			if pre != want || tot != all {
+				ok = false
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// World reuse: stats must accumulate across consecutive Run calls and
+// reset cleanly.
+func TestWorldReuseAcrossRuns(t *testing.T) {
+	w := NewWorld(3)
+	for i := 0; i < 2; i++ {
+		if err := w.Run(func(c *Comm) {
+			AllreduceSum(c, []int64{1})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.Stats()[0].Collectives; got != 2 {
+		t.Errorf("collectives after two runs = %d, want 2", got)
+	}
+	w.ResetStats()
+	if got := w.Stats()[0].Collectives; got != 0 {
+		t.Errorf("after reset = %d", got)
+	}
+}

@@ -1,0 +1,232 @@
+// Package mpi provides a simulated distributed-memory runtime with
+// MPI-like semantics, built on goroutines and channels.
+//
+// The paper's Geographer runs on real MPI with up to 16 384 processes
+// (§5.2.1). This package substitutes that substrate: a World spawns one
+// goroutine per simulated rank; each rank owns private data and all
+// sharing happens through explicit collectives (Barrier, Allreduce,
+// Allgather, Alltoall, Bcast, Exscan) and point-to-point messages, exactly
+// mirroring the communication structure of the paper's implementation.
+//
+// Every rank accumulates traffic statistics (bytes, message and collective
+// counts) and an α-β (latency–bandwidth) modeled communication time, so
+// experiments can report the *scaling shape* of an algorithm even though
+// the goroutines run on a small host (see DESIGN.md, substitutions).
+//
+// Usage requires the usual SPMD discipline: all ranks must invoke the same
+// sequence of collective operations. Violations deadlock, like real MPI.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBroken is returned by Run when a rank panicked; other ranks blocked
+// in collectives are released (and themselves panic with this error).
+var ErrBroken = errors.New("mpi: world broken by rank panic")
+
+// message is a point-to-point payload with its element count for stats.
+type message struct {
+	data  any
+	bytes int64
+}
+
+// World is a group of simulated ranks. Create with NewWorld, execute SPMD
+// code with Run. A World can be reused for several consecutive Run calls
+// (e.g. one per experiment phase); statistics accumulate until Reset.
+type World struct {
+	size   int
+	bar    *barrier
+	slots  []any // collective contribution slots, one per rank
+	result any   // reduction result published by rank 0
+	stats  []Stats
+	model  CostModel
+
+	mailMu sync.Mutex
+	mail   map[int64]chan message // lazily created: key dst*size+src
+
+	mu     sync.Mutex
+	broken bool
+	err    error
+}
+
+// NewWorld creates a world with the given number of ranks (>= 1).
+func NewWorld(size int) *World {
+	if size < 1 {
+		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	w := &World{
+		size:  size,
+		slots: make([]any, size),
+		mail:  make(map[int64]chan message),
+		stats: make([]Stats, size),
+		model: DefaultCostModel(),
+	}
+	w.bar = newBarrier(size)
+	return w
+}
+
+// mailbox returns (creating on demand) the channel from src to dst.
+// Lazy creation keeps large worlds cheap: most algorithms here use only
+// collectives, never point-to-point.
+func (w *World) mailbox(dst, src int) chan message {
+	key := int64(dst)*int64(w.size) + int64(src)
+	w.mailMu.Lock()
+	ch, ok := w.mail[key]
+	if !ok {
+		ch = make(chan message, 64)
+		w.mail[key] = ch
+	}
+	w.mailMu.Unlock()
+	return ch
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// SetCostModel replaces the communication cost model (before Run).
+func (w *World) SetCostModel(m CostModel) { w.model = m }
+
+// CostModel returns the active cost model.
+func (w *World) CostModel() CostModel { return w.model }
+
+// Run executes f once per rank, concurrently, and waits for all ranks to
+// finish. If any rank panics, the world is broken, remaining ranks are
+// released from collectives, and the first panic is returned as an error.
+func (w *World) Run(f func(c *Comm)) error {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					w.breakWorld(fmt.Errorf("mpi: rank %d panicked: %v", rank, rec))
+				}
+			}()
+			f(&Comm{w: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *World) breakWorld(err error) {
+	w.mu.Lock()
+	if !w.broken {
+		w.broken = true
+		w.err = err
+	}
+	w.mu.Unlock()
+	w.bar.brk()
+}
+
+// Stats returns a copy of the per-rank statistics.
+func (w *World) Stats() []Stats {
+	out := make([]Stats, w.size)
+	copy(out, w.stats)
+	return out
+}
+
+// ResetStats zeroes all per-rank statistics.
+func (w *World) ResetStats() {
+	for i := range w.stats {
+		w.stats[i] = Stats{}
+	}
+}
+
+// Comm is a per-rank handle; the only way ranks interact with the world.
+// Comm values are created by Run and must not be shared between ranks.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Stats returns a pointer to this rank's statistics (rank-private).
+func (c *Comm) Stats() *Stats { return &c.w.stats[c.rank] }
+
+// Barrier blocks until all ranks reach it. It establishes a
+// happens-before edge between everything written before the barrier on
+// any rank and everything read after it on every rank.
+func (c *Comm) Barrier() {
+	st := &c.w.stats[c.rank]
+	st.Barriers++
+	st.ModeledCommSec += c.w.model.CollectiveLatency(c.w.size)
+	c.w.bar.wait()
+}
+
+// barrier is a reusable sense-reversing barrier with breakage support.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	size   int
+	count  int
+	gen    uint64
+	broken bool
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		panic(ErrBroken)
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	broken := b.broken
+	b.mu.Unlock()
+	if broken {
+		panic(ErrBroken)
+	}
+}
+
+// brk releases all waiting ranks with a panic.
+func (b *barrier) brk() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Send delivers data to rank dst. elemBytes should approximate the wire
+// size of the payload; it only affects statistics, not semantics. Send
+// blocks when the destination mailbox (64 messages deep) is full.
+func (c *Comm) Send(dst int, data any, bytes int64) {
+	st := &c.w.stats[c.rank]
+	st.MsgsSent++
+	st.BytesSent += bytes
+	st.ModeledCommSec += c.w.model.P2PTime(bytes)
+	c.w.mailbox(dst, c.rank) <- message{data: data, bytes: bytes}
+}
+
+// Recv receives the next message from rank src (program order per pair).
+func (c *Comm) Recv(src int) any {
+	m := <-c.w.mailbox(c.rank, src)
+	return m.data
+}

@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"fmt"
+
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+)
+
+// Local is the per-rank view of a distributed point set: every point
+// carries its global id so results can be assembled after arbitrary
+// migrations (distributed partitioners move points between ranks).
+type Local struct {
+	Dim int
+	IDs []int64
+	X   []geom.Point
+	W   []float64 // nil = unit weights
+}
+
+// Len returns the number of local points.
+func (l *Local) Len() int { return len(l.IDs) }
+
+// Weight returns the weight of local point i.
+func (l *Local) Weight(i int) float64 {
+	if l.W == nil {
+		return 1
+	}
+	return l.W[i]
+}
+
+// Distributed is a partitioner that runs SPMD inside a simulated MPI
+// world. It returns (ids, blocks) pairs — the ids may be a permutation of
+// the input ids (migrated points report from their final owner).
+type Distributed interface {
+	Name() string
+	Partition(c *mpi.Comm, pts *Local, k int) (ids []int64, blocks []int32, err error)
+}
+
+// Scatter splits ps into contiguous chunks, one per rank, and returns this
+// rank's chunk. Global ids are the point indices in ps.
+func Scatter(c *mpi.Comm, ps *geom.PointSet) *Local {
+	n := ps.Len()
+	p := c.Size()
+	r := c.Rank()
+	lo := r * n / p
+	hi := (r + 1) * n / p
+	lp := &Local{
+		Dim: ps.Dim,
+		IDs: make([]int64, 0, hi-lo),
+		X:   make([]geom.Point, 0, hi-lo),
+	}
+	if ps.Weight != nil {
+		lp.W = make([]float64, 0, hi-lo)
+	}
+	for i := lo; i < hi; i++ {
+		lp.IDs = append(lp.IDs, int64(i))
+		lp.X = append(lp.X, ps.At(i))
+		if ps.Weight != nil {
+			lp.W = append(lp.W, ps.Weight[i])
+		}
+	}
+	return lp
+}
+
+// Run executes a distributed partitioner on ps over world w and assembles
+// the global partition. The write-back of (id, block) pairs into the
+// result exploits shared memory for output collection only — the
+// algorithm under test communicates exclusively through the mpi runtime.
+func Run(w *mpi.World, ps *geom.PointSet, k int, d Distributed) (P, error) {
+	out := New(ps.Len(), k)
+	for i := range out.Assign {
+		out.Assign[i] = -1
+	}
+	runErr := w.Run(func(c *mpi.Comm) {
+		lp := Scatter(c, ps)
+		ids, blocks, err := d.Partition(c, lp, k)
+		if err != nil {
+			panic(fmt.Sprintf("%s: %v", d.Name(), err))
+		}
+		if len(ids) != len(blocks) {
+			panic(fmt.Sprintf("%s: %d ids but %d blocks", d.Name(), len(ids), len(blocks)))
+		}
+		for i, id := range ids {
+			out.Assign[id] = blocks[i] // ids are globally disjoint
+		}
+	})
+	if runErr != nil {
+		return P{}, runErr
+	}
+	for i, b := range out.Assign {
+		if b < 0 {
+			return P{}, fmt.Errorf("%s: point %d left unassigned", d.Name(), i)
+		}
+	}
+	return out, nil
+}

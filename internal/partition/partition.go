@@ -1,0 +1,103 @@
+// Package partition defines the common types shared by all partitioners:
+// the block assignment vector, balance targets (including the
+// heterogeneous block sizes of the paper's footnote 1), and validation.
+package partition
+
+import (
+	"fmt"
+
+	"geographer/internal/geom"
+)
+
+// P assigns each point a block id in [0, K).
+type P struct {
+	Assign []int32
+	K      int
+}
+
+// New allocates an all-zero assignment.
+func New(n, k int) P {
+	return P{Assign: make([]int32, n), K: k}
+}
+
+// Validate checks that every assignment is a legal block id and, when
+// strict, that no block is empty.
+func (p P) Validate(strict bool) error {
+	if p.K < 1 {
+		return fmt.Errorf("partition: k=%d", p.K)
+	}
+	counts := make([]int64, p.K)
+	for i, b := range p.Assign {
+		if b < 0 || int(b) >= p.K {
+			return fmt.Errorf("partition: point %d assigned to invalid block %d (k=%d)", i, b, p.K)
+		}
+		counts[b]++
+	}
+	if strict {
+		for b, c := range counts {
+			if c == 0 {
+				return fmt.Errorf("partition: block %d is empty", b)
+			}
+		}
+	}
+	return nil
+}
+
+// Sizes returns the number of points per block.
+func (p P) Sizes() []int64 {
+	s := make([]int64, p.K)
+	for _, b := range p.Assign {
+		s[b]++
+	}
+	return s
+}
+
+// Targets computes per-block target weights. With fractions == nil all
+// blocks get totalWeight/k (the standard balance constraint); otherwise
+// fractions must sum to ~1 and block b targets fractions[b]·totalWeight
+// (heterogeneous architectures, paper footnote 1).
+func Targets(totalWeight float64, k int, fractions []float64) ([]float64, error) {
+	t := make([]float64, k)
+	if fractions == nil {
+		for b := range t {
+			t[b] = totalWeight / float64(k)
+		}
+		return t, nil
+	}
+	if len(fractions) != k {
+		return nil, fmt.Errorf("partition: %d fractions for k=%d", len(fractions), k)
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("partition: non-positive fraction %g", f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("partition: fractions sum to %g, want 1", sum)
+	}
+	for b := range t {
+		t[b] = totalWeight * fractions[b] / sum
+	}
+	return t, nil
+}
+
+// MaxLoadRatio returns max_b weight(b)/target(b); balance requires this to
+// be at most 1+ε.
+func MaxLoadRatio(ps *geom.PointSet, p P, targets []float64) float64 {
+	w := make([]float64, p.K)
+	for i := 0; i < ps.Len(); i++ {
+		w[p.Assign[i]] += ps.W(i)
+	}
+	worst := 0.0
+	for b := 0; b < p.K; b++ {
+		if targets[b] <= 0 {
+			continue
+		}
+		if r := w[b] / targets[b]; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

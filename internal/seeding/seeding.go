@@ -1,0 +1,223 @@
+// Package seeding implements the k-means seeding strategies discussed in
+// the paper's related work (§3.3) so their cost/quality trade-off against
+// Geographer's space-filling-curve bootstrap can be measured:
+//
+//   - uniform random seeding ("erratic and arbitrarily bad results");
+//   - k-means++ (Arthur & Vassilvitskii): D²-sampling, high quality but
+//     "inherently sequential and the complexity of O(nk) ... too
+//     expensive for our scenario";
+//   - AFK-MC² (Bachem et al.): Markov-chain Monte-Carlo approximation of
+//     k-means++ with an effective complexity of O(n + k·m²);
+//   - SFC seeding: centers at equal distances along the Hilbert curve —
+//     what Geographer actually uses (Algorithm 2, line 7).
+//
+// The package also provides the plain k-means cost and a few Lloyd
+// iterations for shared-memory evaluation of a seeding.
+package seeding
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"geographer/internal/geom"
+	"geographer/internal/sfc"
+)
+
+// Uniform picks k distinct points uniformly at random.
+func Uniform(ps *geom.PointSet, k int, rng *rand.Rand) ([]geom.Point, error) {
+	n := ps.Len()
+	if k > n {
+		return nil, fmt.Errorf("seeding: k=%d > n=%d", k, n)
+	}
+	idx := rng.Perm(n)[:k]
+	out := make([]geom.Point, k)
+	for i, j := range idx {
+		out[i] = ps.At(j)
+	}
+	return out, nil
+}
+
+// KMeansPlusPlus is D²-sampling: each next center is drawn with
+// probability proportional to the squared distance to the nearest center
+// chosen so far. Cost: k passes over all n points.
+func KMeansPlusPlus(ps *geom.PointSet, k int, rng *rand.Rand) ([]geom.Point, error) {
+	n := ps.Len()
+	if k > n {
+		return nil, fmt.Errorf("seeding: k=%d > n=%d", k, n)
+	}
+	centers := make([]geom.Point, 0, k)
+	centers = append(centers, ps.At(rng.Intn(n)))
+	d2 := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		d2[i] = geom.Dist2(ps.At(i), centers[0], ps.Dim)
+		total += d2[i]
+	}
+	for len(centers) < k {
+		var next int
+		if total <= 0 {
+			next = rng.Intn(n) // all points coincide with centers
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			next = n - 1
+			for i := 0; i < n; i++ {
+				acc += d2[i]
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		c := ps.At(next)
+		centers = append(centers, c)
+		total = 0
+		for i := 0; i < n; i++ {
+			if d := geom.Dist2(ps.At(i), c, ps.Dim); d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+	}
+	return centers, nil
+}
+
+// AFKMC2 is the assumption-free k-MC² seeding of Bachem et al.: one pass
+// builds a proposal distribution from the first (uniform) center, then
+// each further center is selected by a Metropolis-Hastings chain of
+// length m over that proposal. Cost: O(n) preprocessing plus O(k·m)
+// distance evaluations.
+func AFKMC2(ps *geom.PointSet, k, m int, rng *rand.Rand) ([]geom.Point, error) {
+	n := ps.Len()
+	if k > n {
+		return nil, fmt.Errorf("seeding: k=%d > n=%d", k, n)
+	}
+	if m < 1 {
+		m = 1
+	}
+	centers := make([]geom.Point, 0, k)
+	c0 := ps.At(rng.Intn(n))
+	centers = append(centers, c0)
+
+	// Proposal q(x) = ½·d²(x,c0)/Σd² + ½·1/n.
+	q := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		q[i] = geom.Dist2(ps.At(i), c0, ps.Dim)
+		total += q[i]
+	}
+	cum := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		p := 0.5 / float64(n)
+		if total > 0 {
+			p += 0.5 * q[i] / total
+		} else {
+			p += 0.5 / float64(n)
+		}
+		q[i] = p
+		cum[i+1] = cum[i] + p
+	}
+	sample := func() int {
+		target := rng.Float64() * cum[n]
+		return sort.SearchFloat64s(cum[1:], target)
+	}
+	minD2 := func(x geom.Point) float64 {
+		best := geom.Dist2(x, centers[0], ps.Dim)
+		for _, c := range centers[1:] {
+			if d := geom.Dist2(x, c, ps.Dim); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	for len(centers) < k {
+		cur := sample()
+		curD2 := minD2(ps.At(cur))
+		for step := 1; step < m; step++ {
+			cand := sample()
+			candD2 := minD2(ps.At(cand))
+			num := candD2 * q[cur]
+			den := curD2 * q[cand]
+			if den <= 0 || num/den >= rng.Float64() {
+				cur, curD2 = cand, candD2
+			}
+		}
+		centers = append(centers, ps.At(cur))
+	}
+	return centers, nil
+}
+
+// SFC places k centers at equal distances along the Hilbert curve over
+// the point set (Geographer's bootstrap, Algorithm 2 line 7).
+func SFC(ps *geom.PointSet, k int) ([]geom.Point, error) {
+	n := ps.Len()
+	if k > n {
+		return nil, fmt.Errorf("seeding: k=%d > n=%d", k, n)
+	}
+	curve := sfc.NewCurve(ps.Bounds(), ps.Dim)
+	order := make([]int, n)
+	keys := curve.KeyPoints(ps)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if keys[order[a]] != keys[order[b]] {
+			return keys[order[a]] < keys[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	out := make([]geom.Point, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps.At(order[i*n/k+n/(2*k)])
+	}
+	return out, nil
+}
+
+// Cost is the k-means objective: Σ_p w(p)·min_c dist²(p, c).
+func Cost(ps *geom.PointSet, centers []geom.Point) float64 {
+	total := 0.0
+	for i := 0; i < ps.Len(); i++ {
+		x := ps.At(i)
+		best := geom.Dist2(x, centers[0], ps.Dim)
+		for _, c := range centers[1:] {
+			if d := geom.Dist2(x, c, ps.Dim); d < best {
+				best = d
+			}
+		}
+		total += ps.W(i) * best
+	}
+	return total
+}
+
+// Lloyd runs iters plain (unbalanced) Lloyd iterations from the given
+// centers and returns the refined centers — used to compare how quickly
+// different seedings converge.
+func Lloyd(ps *geom.PointSet, centers []geom.Point, iters int) []geom.Point {
+	k := len(centers)
+	cur := append([]geom.Point(nil), centers...)
+	n := ps.Len()
+	for it := 0; it < iters; it++ {
+		var sums []geom.Point = make([]geom.Point, k)
+		ws := make([]float64, k)
+		for i := 0; i < n; i++ {
+			x := ps.At(i)
+			best, bestC := geom.Dist2(x, cur[0], ps.Dim), 0
+			for c := 1; c < k; c++ {
+				if d := geom.Dist2(x, cur[c], ps.Dim); d < best {
+					best, bestC = d, c
+				}
+			}
+			w := ps.W(i)
+			sums[bestC] = sums[bestC].Add(x.Scale(w))
+			ws[bestC] += w
+		}
+		for c := 0; c < k; c++ {
+			if ws[c] > 0 {
+				cur[c] = sums[c].Scale(1 / ws[c])
+			}
+		}
+	}
+	return cur
+}

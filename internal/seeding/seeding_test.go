@@ -1,0 +1,185 @@
+package seeding
+
+import (
+	"math/rand"
+	"testing"
+
+	"geographer/internal/geom"
+)
+
+// clustered returns points in g well-separated Gaussian clusters.
+func clustered(n, g int, seed int64) *geom.PointSet {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, g)
+	for i := range centers {
+		centers[i] = geom.Point{float64(i%4) * 10, float64(i/4) * 10}
+	}
+	ps := geom.NewPointSet(2, n)
+	for i := 0; i < n; i++ {
+		c := centers[i%g]
+		ps.Append(geom.Point{c[0] + rng.NormFloat64()*0.5, c[1] + rng.NormFloat64()*0.5}, 1)
+	}
+	return ps
+}
+
+func TestSeedersReturnKCenters(t *testing.T) {
+	ps := clustered(500, 5, 1)
+	rng := rand.New(rand.NewSource(2))
+	seeders := map[string]func() ([]geom.Point, error){
+		"uniform":  func() ([]geom.Point, error) { return Uniform(ps, 8, rng) },
+		"kmeans++": func() ([]geom.Point, error) { return KMeansPlusPlus(ps, 8, rng) },
+		"afkmc2":   func() ([]geom.Point, error) { return AFKMC2(ps, 8, 50, rng) },
+		"sfc":      func() ([]geom.Point, error) { return SFC(ps, 8) },
+	}
+	for name, f := range seeders {
+		cs, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(cs) != 8 {
+			t.Errorf("%s: %d centers", name, len(cs))
+		}
+	}
+}
+
+func TestSeedersRejectKGreaterN(t *testing.T) {
+	ps := clustered(5, 2, 1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Uniform(ps, 10, rng); err == nil {
+		t.Error("uniform accepted k>n")
+	}
+	if _, err := KMeansPlusPlus(ps, 10, rng); err == nil {
+		t.Error("kmeans++ accepted k>n")
+	}
+	if _, err := AFKMC2(ps, 10, 5, rng); err == nil {
+		t.Error("afkmc2 accepted k>n")
+	}
+	if _, err := SFC(ps, 10); err == nil {
+		t.Error("sfc accepted k>n")
+	}
+}
+
+// On well-separated clusters, k-means++ must hit every cluster almost
+// always, giving a far lower cost than the worst case; uniform seeding
+// often collapses clusters. Compare averaged costs.
+func TestKMeansPlusPlusBeatsUniform(t *testing.T) {
+	ps := clustered(2000, 8, 3)
+	rng := rand.New(rand.NewSource(4))
+	var uniCost, ppCost float64
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		u, err := Uniform(ps, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniCost += Cost(ps, u)
+		p, err := KMeansPlusPlus(ps, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ppCost += Cost(ps, p)
+	}
+	if ppCost >= uniCost {
+		t.Errorf("kmeans++ cost %.1f not better than uniform %.1f", ppCost/trials, uniCost/trials)
+	}
+}
+
+// AFK-MC² approximates k-means++: with a reasonable chain length its cost
+// must be within a small factor of k-means++ on clustered data.
+func TestAFKMC2ApproximatesKMeansPlusPlus(t *testing.T) {
+	ps := clustered(2000, 8, 5)
+	rng := rand.New(rand.NewSource(6))
+	var pp, mc float64
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		a, err := KMeansPlusPlus(ps, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pp += Cost(ps, a)
+		b, err := AFKMC2(ps, 8, 100, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc += Cost(ps, b)
+	}
+	if mc > 5*pp {
+		t.Errorf("afkmc2 cost %.1f vs kmeans++ %.1f (> 5x)", mc/trials, pp/trials)
+	}
+}
+
+// SFC seeding must be competitive with k-means++ after a few Lloyd
+// iterations — the basis of the paper's design decision (§3.3/§4.1).
+func TestSFCSeedingCompetitiveAfterLloyd(t *testing.T) {
+	ps := clustered(2000, 8, 7)
+	rng := rand.New(rand.NewSource(8))
+	s, err := SFC(ps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := KMeansPlusPlus(ps, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfcCost := Cost(ps, Lloyd(ps, s, 5))
+	ppCost := Cost(ps, Lloyd(ps, p, 5))
+	if sfcCost > 3*ppCost {
+		t.Errorf("SFC-seeded Lloyd cost %.1f vs kmeans++ %.1f (> 3x)", sfcCost, ppCost)
+	}
+}
+
+func TestLloydDecreasesCost(t *testing.T) {
+	ps := clustered(1000, 4, 9)
+	rng := rand.New(rand.NewSource(10))
+	seeds, err := Uniform(ps, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Cost(ps, seeds)
+	after := Cost(ps, Lloyd(ps, seeds, 10))
+	if after > before {
+		t.Errorf("Lloyd increased cost: %.2f -> %.2f", before, after)
+	}
+}
+
+func TestCostWeighted(t *testing.T) {
+	ps := geom.NewPointSet(2, 2)
+	ps.Append(geom.Point{0, 0}, 1)
+	ps.Append(geom.Point{3, 0}, 2) // weight 2, distance 3 to center
+	got := Cost(ps, []geom.Point{{0, 0}})
+	if got != 18 {
+		t.Errorf("cost = %g, want 18 (2·3²)", got)
+	}
+}
+
+func BenchmarkKMeansPlusPlus(b *testing.B) {
+	ps := clustered(20000, 16, 1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeansPlusPlus(ps, 64, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAFKMC2(b *testing.B) {
+	ps := clustered(20000, 16, 1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AFKMC2(ps, 64, 200, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSFCSeeding(b *testing.B) {
+	ps := clustered(20000, 16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SFC(ps, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

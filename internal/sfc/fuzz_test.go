@@ -1,0 +1,31 @@
+package sfc
+
+import "testing"
+
+// FuzzIndexRoundTrip checks Index/Coords stay mutual inverses for any
+// cell coordinates and curve order.
+func FuzzIndexRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint32(0), uint8(4), false)
+	f.Add(uint32(123456), uint32(654321), uint32(111111), uint8(21), true)
+	f.Fuzz(func(t *testing.T, x, y, z uint32, bitsRaw uint8, threeD bool) {
+		dim := 2
+		maxBits := uint(Order2D)
+		if threeD {
+			dim = 3
+			maxBits = Order3D
+		}
+		bits := uint(bitsRaw)%maxBits + 1
+		mask := uint32(1)<<bits - 1
+		c := [3]uint32{x & mask, y & mask, 0}
+		if threeD {
+			c[2] = z & mask
+		}
+		h := Index(c, bits, dim)
+		back := Coords(h, bits, dim)
+		for d := 0; d < dim; d++ {
+			if back[d] != c[d] {
+				t.Fatalf("dim=%d bits=%d: %v -> %d -> %v", dim, bits, c, h, back)
+			}
+		}
+	})
+}

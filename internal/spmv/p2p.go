@@ -1,0 +1,179 @@
+package spmv
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"geographer/internal/graph"
+	"geographer/internal/mpi"
+)
+
+// BenchmarkP2P is Benchmark with the halo exchange done via neighbor
+// point-to-point messages instead of a personalized all-to-all — the
+// pattern a production MPI SpMV uses (posting sends/receives only to the
+// blocks sharing a boundary). Results are numerically identical to
+// Benchmark; the modeled communication time differs because p2p pays one
+// latency per neighbor rather than a collective tree, which is exactly
+// why well-shaped partitions (few neighbors per block) win on real
+// machines.
+func BenchmarkP2P(g *graph.Graph, part []int32, k int, iters int) (Result, error) {
+	if len(part) != g.N {
+		return Result{}, fmt.Errorf("spmv: partition length %d != n %d", len(part), g.N)
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	owned := make([][]int32, k)
+	for v := 0; v < g.N; v++ {
+		b := part[v]
+		if b < 0 || int(b) >= k {
+			return Result{}, fmt.Errorf("spmv: vertex %d in invalid block %d", v, b)
+		}
+		owned[b] = append(owned[b], int32(v))
+	}
+
+	world := mpi.NewWorld(k)
+	commSec := make([]float64, k)
+	checksums := make([]float64, k)
+
+	err := world.Run(func(c *mpi.Comm) {
+		me := c.Rank()
+		mine := owned[me]
+		localIdx := make(map[int32]int32, len(mine))
+		for i, v := range mine {
+			localIdx[v] = int32(i)
+		}
+		need := make(map[int32][]int32)
+		for _, v := range mine {
+			for _, u := range g.Neighbors(v) {
+				if part[u] != int32(me) {
+					need[part[u]] = append(need[part[u]], u)
+				}
+			}
+		}
+		recvLists := make([][]int32, k)
+		var neighbors []int // ranks I exchange with (either direction)
+		for owner, vs := range need {
+			sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+			dedup := vs[:0]
+			for i, u := range vs {
+				if i == 0 || vs[i-1] != u {
+					dedup = append(dedup, u)
+				}
+			}
+			recvLists[owner] = dedup
+		}
+		// Plans still travel by one alltoall (setup phase, untimed).
+		plansOut := make([][]int32, k)
+		for owner := 0; owner < k; owner++ {
+			plansOut[owner] = recvLists[owner]
+		}
+		sendLists := mpi.Alltoall(c, plansOut)
+		for r := 0; r < k; r++ {
+			if r != me && (len(sendLists[r]) > 0 || len(recvLists[r]) > 0) {
+				neighbors = append(neighbors, r)
+			}
+		}
+
+		haloSlot := make(map[int32]int32)
+		nHalo := 0
+		for owner := 0; owner < k; owner++ {
+			for _, u := range recvLists[owner] {
+				haloSlot[u] = int32(len(mine) + nHalo)
+				nHalo++
+			}
+		}
+		var xadj []int64
+		var cols []int32
+		xadj = append(xadj, 0)
+		for _, v := range mine {
+			for _, u := range g.Neighbors(v) {
+				if part[u] == int32(me) {
+					cols = append(cols, localIdx[u])
+				} else {
+					cols = append(cols, haloSlot[u])
+				}
+			}
+			xadj = append(xadj, int64(len(cols)))
+		}
+
+		x := make([]float64, len(mine)+nHalo)
+		y := make([]float64, len(mine))
+		for i := range mine {
+			x[i] = 1
+		}
+
+		var localCommSec float64
+		for it := 0; it < iters; it++ {
+			t0 := time.Now()
+			// Post all sends, then drain receives (deadlock-free because
+			// mailboxes are buffered and symmetric).
+			for _, r := range neighbors {
+				if len(sendLists[r]) == 0 {
+					continue
+				}
+				vals := make([]float64, len(sendLists[r]))
+				for i, v := range sendLists[r] {
+					vals[i] = x[localIdx[v]]
+				}
+				c.Send(r, vals, int64(len(vals))*8)
+			}
+			for _, r := range neighbors {
+				if len(recvLists[r]) == 0 {
+					continue
+				}
+				vals := c.Recv(r).([]float64)
+				for i, u := range recvLists[r] {
+					x[haloSlot[u]] = vals[i]
+				}
+			}
+			c.Barrier() // iteration boundary (replaces collective sync)
+			localCommSec += time.Since(t0).Seconds()
+
+			for i := range mine {
+				sum := 0.0
+				for jj := xadj[i]; jj < xadj[i+1]; jj++ {
+					sum += x[cols[jj]]
+				}
+				y[i] = sum
+			}
+			c.AddOps(xadj[len(mine)])
+			for i := range mine {
+				deg := float64(xadj[i+1] - xadj[i])
+				if deg == 0 {
+					deg = 1
+				}
+				x[i] = y[i] / deg
+			}
+		}
+		commSec[me] = localCommSec
+		sum := 0.0
+		for _, v := range y {
+			sum += v
+		}
+		checksums[me] = sum
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Iterations: iters}
+	for _, s := range commSec {
+		if s > res.CommSeconds {
+			res.CommSeconds = s
+		}
+	}
+	res.CommSeconds /= float64(iters)
+	for _, s := range world.Stats() {
+		if s.ModeledCommSec > res.ModeledCommSeconds {
+			res.ModeledCommSeconds = s.ModeledCommSec
+		}
+	}
+	res.ModeledCommSeconds /= float64(iters)
+	for _, s := range checksums {
+		res.Checksum += s
+	}
+	res.TotalHaloValues, res.MaxHaloValues = HaloVolumes(g, part, k)
+	return res, nil
+}

@@ -1,0 +1,69 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+
+	"geographer/internal/mesh"
+)
+
+func TestP2PMatchesAlltoallResults(t *testing.T) {
+	m, err := mesh.GenDelaunayUniform2D(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 6} {
+		part := make([]int32, m.N())
+		for v := range part {
+			part[v] = int32(v * k / m.N())
+		}
+		a, err := Benchmark(m.G, part, k, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BenchmarkP2P(m.G, part, k, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(a.Checksum-b.Checksum) > 1e-9*math.Abs(a.Checksum)+1e-12 {
+			t.Errorf("k=%d: checksums differ: %g vs %g", k, a.Checksum, b.Checksum)
+		}
+		if a.TotalHaloValues != b.TotalHaloValues {
+			t.Errorf("k=%d: halo volumes differ: %d vs %d", k, a.TotalHaloValues, b.TotalHaloValues)
+		}
+	}
+}
+
+func TestP2PFewNeighborsCheaperModel(t *testing.T) {
+	// A path split contiguously has ≤2 neighbors per rank; the p2p model
+	// should charge far less latency than one with many neighbors.
+	g := pathGraph(800)
+	contig := make([]int32, g.N)
+	scattered := make([]int32, g.N)
+	for v := range contig {
+		contig[v] = int32(v * 8 / g.N)
+		scattered[v] = int32(v % 8)
+	}
+	few, err := BenchmarkP2P(g, contig, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := BenchmarkP2P(g, scattered, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if few.ModeledCommSeconds >= many.ModeledCommSeconds {
+		t.Errorf("few-neighbor partition modeled %g >= scattered %g",
+			few.ModeledCommSeconds, many.ModeledCommSeconds)
+	}
+}
+
+func TestP2PErrors(t *testing.T) {
+	g := pathGraph(4)
+	if _, err := BenchmarkP2P(g, []int32{0}, 1, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := BenchmarkP2P(g, []int32{0, 0, 7, 0}, 2, 1); err == nil {
+		t.Error("invalid block accepted")
+	}
+}

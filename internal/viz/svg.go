@@ -1,0 +1,200 @@
+// Package viz renders partitions of 2D meshes as SVG images, reproducing
+// the visual comparison of the paper's Figure 1 (hugetric-0000 in 8
+// blocks under the five tools).
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"geographer/internal/geom"
+)
+
+// Options controls rendering.
+type Options struct {
+	Width     int     // pixel width (height follows the aspect ratio)
+	PointSize float64 // point radius in pixels
+	MaxPoints int     // subsample above this count (0 = no limit)
+}
+
+// DefaultOptions renders 800px wide images with small dots.
+func DefaultOptions() Options {
+	return Options{Width: 800, PointSize: 1.6, MaxPoints: 60000}
+}
+
+// blockColor returns a well-spread palette color for block b of k, using
+// the golden-angle hue walk.
+func blockColor(b, k int) string {
+	h := math.Mod(float64(b)*0.61803398875, 1) * 360
+	r, g, bl := hslToRGB(h, 0.65, 0.55)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+func hslToRGB(h, s, l float64) (uint8, uint8, uint8) {
+	c := (1 - math.Abs(2*l-1)) * s
+	hp := h / 60
+	x := c * (1 - math.Abs(math.Mod(hp, 2)-1))
+	var r, g, b float64
+	switch {
+	case hp < 1:
+		r, g, b = c, x, 0
+	case hp < 2:
+		r, g, b = x, c, 0
+	case hp < 3:
+		r, g, b = 0, c, x
+	case hp < 4:
+		r, g, b = 0, x, c
+	case hp < 5:
+		r, g, b = x, 0, c
+	default:
+		r, g, b = c, 0, x
+	}
+	m := l - c/2
+	return uint8(255 * (r + m)), uint8(255 * (g + m)), uint8(255 * (b + m))
+}
+
+// RenderPartition writes an SVG of the 2D points colored by block.
+func RenderPartition(w io.Writer, ps *geom.PointSet, part []int32, k int, opts Options) error {
+	if ps.Dim != 2 {
+		return fmt.Errorf("viz: only 2D point sets renderable, got dim %d", ps.Dim)
+	}
+	if len(part) != ps.Len() {
+		return fmt.Errorf("viz: %d assignments for %d points", len(part), ps.Len())
+	}
+	if opts.Width <= 0 {
+		opts = DefaultOptions()
+	}
+	box := ps.Bounds()
+	sx := box.Side(0)
+	sy := box.Side(1)
+	if sx == 0 {
+		sx = 1
+	}
+	if sy == 0 {
+		sy = 1
+	}
+	height := int(float64(opts.Width) * sy / sx)
+	if height < 1 {
+		height = 1
+	}
+	scale := float64(opts.Width) / sx
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, height, opts.Width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, height)
+
+	n := ps.Len()
+	stride := 1
+	if opts.MaxPoints > 0 && n > opts.MaxPoints {
+		stride = (n + opts.MaxPoints - 1) / opts.MaxPoints
+	}
+	// One <g> per block keeps the file small (shared fill attribute).
+	for b := 0; b < k; b++ {
+		fmt.Fprintf(bw, `<g fill="%s">`+"\n", blockColor(b, k))
+		for i := 0; i < n; i += stride {
+			if part[i] != int32(b) {
+				continue
+			}
+			p := ps.At(i)
+			x := (p[0] - box.Min[0]) * scale
+			y := float64(height) - (p[1]-box.Min[1])*scale
+			fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x, y, opts.PointSize)
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// RenderMesh writes an SVG with the mesh edges drawn under the colored
+// points: interior edges in light gray, cut edges (endpoints in different
+// blocks) in black — making the partition boundary visible like the
+// paper's Figure 1.
+func RenderMesh(w io.Writer, ps *geom.PointSet, adj func(v int32) []int32, part []int32, k int, opts Options) error {
+	if ps.Dim != 2 {
+		return fmt.Errorf("viz: only 2D meshes renderable, got dim %d", ps.Dim)
+	}
+	if len(part) != ps.Len() {
+		return fmt.Errorf("viz: %d assignments for %d points", len(part), ps.Len())
+	}
+	if opts.Width <= 0 {
+		opts = DefaultOptions()
+	}
+	box := ps.Bounds()
+	sx, sy := box.Side(0), box.Side(1)
+	if sx == 0 {
+		sx = 1
+	}
+	if sy == 0 {
+		sy = 1
+	}
+	height := int(float64(opts.Width) * sy / sx)
+	if height < 1 {
+		height = 1
+	}
+	scale := float64(opts.Width) / sx
+	px := func(p geom.Point) (float64, float64) {
+		return (p[0] - box.Min[0]) * scale, float64(height) - (p[1]-box.Min[1])*scale
+	}
+
+	n := ps.Len()
+	stride := 1
+	if opts.MaxPoints > 0 && n > opts.MaxPoints {
+		stride = (n + opts.MaxPoints - 1) / opts.MaxPoints
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opts.Width, height, opts.Width, height)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, height)
+
+	// Interior edges, then cut edges on top.
+	for pass, style := range []string{`stroke="#dddddd" stroke-width="0.4"`, `stroke="#000000" stroke-width="0.8"`} {
+		fmt.Fprintf(bw, "<g %s>\n", style)
+		for v := 0; v < n; v += stride {
+			vx, vy := px(ps.At(v))
+			for _, u := range adj(int32(v)) {
+				if u <= int32(v) || int(u)%stride != 0 {
+					continue
+				}
+				isCut := part[v] != part[u]
+				if (pass == 1) != isCut {
+					continue
+				}
+				ux, uy := px(ps.At(int(u)))
+				fmt.Fprintf(bw, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", vx, vy, ux, uy)
+			}
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	for b := 0; b < k; b++ {
+		fmt.Fprintf(bw, `<g fill="%s">`+"\n", blockColor(b, k))
+		for i := 0; i < n; i += stride {
+			if part[i] != int32(b) {
+				continue
+			}
+			x, y := px(ps.At(i))
+			fmt.Fprintf(bw, `<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x, y, opts.PointSize)
+		}
+		fmt.Fprintln(bw, "</g>")
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// RenderToFile writes the SVG to a file.
+func RenderToFile(path string, ps *geom.PointSet, part []int32, k int, opts Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := RenderPartition(f, ps, part, k, opts); err != nil {
+		return err
+	}
+	return f.Close()
+}

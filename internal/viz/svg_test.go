@@ -1,0 +1,142 @@
+package viz
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geographer/internal/geom"
+)
+
+func testPoints(n int) (*geom.PointSet, []int32) {
+	ps := geom.NewPointSet(2, n)
+	part := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ps.Append(geom.Point{float64(i % 10), float64(i / 10)}, 1)
+		part[i] = int32(i % 4)
+	}
+	return ps, part
+}
+
+func TestRenderPartitionProducesSVG(t *testing.T) {
+	ps, part := testPoints(100)
+	var buf bytes.Buffer
+	if err := RenderPartition(&buf, ps, part, 4, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "<svg") || !strings.HasSuffix(strings.TrimSpace(s), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if strings.Count(s, "<g fill=") != 4 {
+		t.Errorf("expected 4 block groups, got %d", strings.Count(s, "<g fill="))
+	}
+	if strings.Count(s, "<circle") != 100 {
+		t.Errorf("expected 100 circles, got %d", strings.Count(s, "<circle"))
+	}
+}
+
+func TestRenderSubsampling(t *testing.T) {
+	ps, part := testPoints(1000)
+	opts := DefaultOptions()
+	opts.MaxPoints = 100
+	var buf bytes.Buffer
+	if err := RenderPartition(&buf, ps, part, 4, opts); err != nil {
+		t.Fatal(err)
+	}
+	if c := strings.Count(buf.String(), "<circle"); c > 120 {
+		t.Errorf("subsampling ineffective: %d circles", c)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	ps := geom.NewPointSet(3, 1)
+	ps.Append(geom.Point{1, 2, 3}, 1)
+	if err := RenderPartition(&bytes.Buffer{}, ps, []int32{0}, 1, DefaultOptions()); err == nil {
+		t.Error("3D accepted")
+	}
+	ps2, _ := testPoints(10)
+	if err := RenderPartition(&bytes.Buffer{}, ps2, []int32{0}, 1, DefaultOptions()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRenderToFile(t *testing.T) {
+	ps, part := testPoints(50)
+	path := filepath.Join(t.TempDir(), "out.svg")
+	if err := RenderToFile(path, ps, part, 4, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockColorsDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for b := 0; b < 8; b++ {
+		c := blockColor(b, 8)
+		if seen[c] {
+			t.Errorf("duplicate color %s", c)
+		}
+		seen[c] = true
+		if len(c) != 7 || c[0] != '#' {
+			t.Errorf("bad color format %q", c)
+		}
+	}
+}
+
+func TestRenderMeshDrawsCutEdges(t *testing.T) {
+	// A 4-point path 0-1-2-3 split in the middle: 1 cut edge, 2 interior.
+	ps := geom.NewPointSet(2, 4)
+	for i := 0; i < 4; i++ {
+		ps.Append(geom.Point{float64(i), 0.5}, 1)
+	}
+	part := []int32{0, 0, 1, 1}
+	adj := func(v int32) []int32 {
+		switch v {
+		case 0:
+			return []int32{1}
+		case 1:
+			return []int32{0, 2}
+		case 2:
+			return []int32{1, 3}
+		default:
+			return []int32{2}
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderMesh(&buf, ps, adj, part, 2, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Count(s, "<line") != 3 {
+		t.Errorf("expected 3 edges, got %d", strings.Count(s, "<line"))
+	}
+	if !strings.Contains(s, "#000000") || !strings.Contains(s, "#dddddd") {
+		t.Error("missing cut/interior edge styles")
+	}
+	if strings.Count(s, "<circle") != 4 {
+		t.Errorf("expected 4 points, got %d", strings.Count(s, "<circle"))
+	}
+}
+
+func TestRenderMeshErrors(t *testing.T) {
+	ps := geom.NewPointSet(3, 1)
+	ps.Append(geom.Point{0, 0, 0}, 1)
+	adj := func(int32) []int32 { return nil }
+	if err := RenderMesh(&bytes.Buffer{}, ps, adj, []int32{0}, 1, DefaultOptions()); err == nil {
+		t.Error("3D accepted")
+	}
+}
+
+func TestDegenerateExtents(t *testing.T) {
+	// All points on a horizontal line: height must stay >= 1, no division
+	// by zero.
+	ps := geom.NewPointSet(2, 5)
+	part := make([]int32, 5)
+	for i := 0; i < 5; i++ {
+		ps.Append(geom.Point{float64(i), 3}, 1)
+	}
+	if err := RenderPartition(&bytes.Buffer{}, ps, part, 1, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+}
