@@ -38,6 +38,7 @@ func main() {
 		method  = flag.String("method", "geographer", "partitioner: geographer|rcb|rib|multijagged|hsfc")
 		eps     = flag.Float64("eps", 0.03, "max imbalance ε")
 		strict  = flag.Bool("strict", false, "enforce ε as a hard guarantee (geographer only)")
+		workers = flag.Int("workers", 0, "intra-rank kernel shards for geographer (0 = auto, 1 = serial)")
 		doFM    = flag.Bool("refine", false, "apply FM boundary refinement after partitioning")
 		svg     = flag.String("svg", "", "write partition SVG to this path (2D meshes)")
 		spmvIt  = flag.Int("spmv", 0, "run the SpMV communication benchmark with this many iterations")
@@ -60,7 +61,7 @@ func main() {
 	}
 	fmt.Println(m)
 
-	tool, err := selectTool(*method, *eps, *seed, *strict)
+	tool, err := selectTool(*method, *eps, *seed, *strict, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -163,13 +164,14 @@ func obtainMesh(gen, in string, n int, seed int64) (*mesh.Mesh, error) {
 	}
 }
 
-func selectTool(method string, eps float64, seed int64, strict bool) (partition.Distributed, error) {
+func selectTool(method string, eps float64, seed int64, strict bool, workers int) (partition.Distributed, error) {
 	switch method {
 	case "geographer":
 		cfg := core.DefaultConfig()
 		cfg.Epsilon = eps
 		cfg.Seed = seed
 		cfg.Strict = strict
+		cfg.Workers = workers
 		return core.New(cfg), nil
 	case "rcb":
 		return baselines.RCB(), nil

@@ -59,6 +59,11 @@ type Options struct {
 	// TargetFractions optionally sets heterogeneous block sizes (must sum
 	// to 1, length K); only supported by MethodGeographer.
 	TargetFractions []float64
+	// Workers sets MethodGeographer's intra-rank kernel shard count: when
+	// the host has more cores than Processes, each simulated rank splits
+	// its assignment work across this many concurrent shards. 0 = auto
+	// (GOMAXPROCS/Processes), 1 = serial.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +90,7 @@ func (o Options) tool() (partition.Distributed, error) {
 		cfg.Seed = o.Seed
 		cfg.Strict = o.Strict
 		cfg.TargetFractions = o.TargetFractions
+		cfg.Workers = o.Workers
 		return core.New(cfg), nil
 	case MethodRCB:
 		return baselines.RCB(), nil

@@ -1,0 +1,3 @@
+module geographer
+
+go 1.24

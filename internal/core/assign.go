@@ -2,7 +2,7 @@ package core
 
 import (
 	"math"
-	"sort"
+	"sync"
 
 	"geographer/internal/geom"
 	"geographer/internal/mpi"
@@ -13,138 +13,71 @@ import (
 // distance dist(p,c)/influence(c), then adapt the influence values until
 // the blocks are balanced or MaxBalanceIter rounds are spent. Returns
 // whether the ε constraint was met.
+//
+// The assignment itself runs through the squared-space batch kernels of
+// internal/geom: all per-(point,center) comparisons happen on
+// dist²·invInfluence², so the O(n·k) inner loop is free of sqrt and
+// division (see DESIGN.md, "Performance notes").
 func (st *state) assignAndBalance() bool {
-	sample := st.perm[:st.nSample]
+	sample := st.sampleIdx()
 
 	// Line 1: bounding box around the local (sampled) points.
-	bb := geom.EmptyBox(st.dim)
-	localSampleW := 0.0
-	for _, i := range sample {
-		bb.Extend(st.X[i])
-		localSampleW += st.W[i]
-	}
+	bb, localSampleW := geom.SampleBoxW(st.dim, st.X.X, st.X.Y, st.X.Z, st.W, sample)
 
-	// Scale global targets to the current global sample weight.
-	sampleW := mpi.ReduceScalarSum(st.c, localSampleW)
+	// The global sample weight (to scale the block targets) and the
+	// "anyone still sampling?" flag ride along in the per-round weight
+	// collective (slots k and k+1 of localW) instead of costing two
+	// collectives of their own; on the simulated runtime every collective
+	// is three barrier crossings, which dominates the phase at high rank
+	// counts. Summing the 0/1 sampling flags and testing > 0 is the
+	// boolean max.
 	totalTarget := 0.0
 	for _, t := range st.targets {
 		totalTarget += t
 	}
+	sampling := boolTo64(st.nSample < st.X.Len())
 	scale := 1.0
-	if totalTarget > 0 {
-		scale = sampleW / totalTarget
-	}
 
-	oldInfluence := make([]float64, st.k)
 	balanced := false
 
 	for round := 0; round < st.cfg.MaxBalanceIter; round++ {
 		st.info.BalanceRounds++
 
-		// Lines 2–6: effective distance of every center to the local box,
-		// centers sorted ascending (sound pruning order; see DESIGN.md on
-		// the paper's maxDist typo).
+		// Lines 2–6: per-round center tables — reciprocal influences, SoA
+		// center columns, and the squared effective distance of every
+		// center to the local box, centers sorted ascending (sound
+		// pruning order; see DESIGN.md on the paper's maxDist typo).
 		for b := 0; b < st.k; b++ {
+			inv := 1 / st.influence[b]
+			st.invInf2[b] = inv * inv
+			st.centerCols.Set(b, st.centers[b])
 			st.orderedCenters[b] = int32(b)
 			if bb.Empty() {
-				st.distToBB[b] = 0
+				st.distToBB2[b] = 0
 			} else {
-				st.distToBB[b] = bb.MinDist(st.centers[b]) / st.influence[b]
+				st.distToBB2[b] = bb.MinDist2(st.centers[b]) * st.invInf2[b]
 			}
 			st.localW[b] = 0
 		}
 		if st.cfg.BBoxPruning {
-			sort.Slice(st.orderedCenters, func(a, b int) bool {
-				ca, cb := st.orderedCenters[a], st.orderedCenters[b]
-				if st.distToBB[ca] != st.distToBB[cb] {
-					return st.distToBB[ca] < st.distToBB[cb]
-				}
-				return ca < cb
-			})
+			sortCentersByDist(st.orderedCenters, st.distToBB2)
 		}
 
-		// Lines 8–30: assignment loop.
-		var distCalcs, skips, breaks int64
-		switch st.cfg.Bounds {
-		case BoundsElkan:
-			// Elkan-style: one raw-distance lower bound per (point,
-			// center); a center whose bound (after influence division)
-			// cannot beat the current best is skipped without a distance
-			// evaluation (§3.3).
-			for _, i := range sample {
-				x := st.X[i]
-				best := math.Inf(1)
-				bestC := int32(0)
-				if a := st.A[i]; a >= 0 {
-					raw := geom.Dist(x, st.centers[a], st.dim)
-					distCalcs++
-					st.lbk[int(i)*st.k+int(a)] = raw
-					best = raw / st.influence[a]
-					bestC = a
-				}
-				base := int(i) * st.k
-				for _, bc := range st.orderedCenters {
-					if bc == st.A[i] {
-						continue
-					}
-					if st.cfg.BBoxPruning && st.distToBB[bc] > best {
-						breaks++
-						break
-					}
-					if st.lbk[base+int(bc)]/st.influence[bc] >= best {
-						skips++
-						continue
-					}
-					raw := geom.Dist(x, st.centers[bc], st.dim)
-					distCalcs++
-					st.lbk[base+int(bc)] = raw
-					if d := raw / st.influence[bc]; d < best {
-						best = d
-						bestC = bc
-					}
-				}
-				st.A[i] = bestC
-				st.ub[i] = best
-				st.localW[bestC] += st.W[i]
-			}
-		default:
-			hamerly := st.cfg.Bounds == BoundsHamerly
-			for _, i := range sample {
-				if hamerly && st.A[i] >= 0 && st.ub[i] < st.lb[i] {
-					skips++ // line 10: assignment cannot have changed
-				} else {
-					x := st.X[i]
-					best, second := math.Inf(1), math.Inf(1)
-					bestC := int32(0)
-					for _, bc := range st.orderedCenters {
-						if st.cfg.BBoxPruning && st.distToBB[bc] > second {
-							breaks++ // line 16: no remaining center can win
-							break
-						}
-						d := geom.Dist(x, st.centers[bc], st.dim) / st.influence[bc]
-						distCalcs++
-						if d < best {
-							second = best
-							best = d
-							bestC = bc
-						} else if d < second {
-							second = d
-						}
-					}
-					st.A[i] = bestC
-					st.ub[i] = best   // line 26
-					st.lb[i] = second // line 27
-				}
-				st.localW[st.A[i]] += st.W[i] // line 29
-			}
-		}
+		// Lines 8–30: assignment loop, dispatched to the batch kernels.
+		distCalcs, skips, breaks := st.runAssignKernels(sample)
 		st.info.DistCalcs += distCalcs
 		st.info.HamerlySkips += skips
 		st.info.BBoxBreaks += breaks
 		st.c.AddOps(distCalcs + int64(len(sample)))
 
 		// Line 31: the only communication of the balance routine.
+		st.localW[st.k] = localSampleW
+		st.localW[st.k+1] = float64(sampling)
 		globalW := mpi.AllreduceSum(st.c, st.localW)
+		if totalTarget > 0 {
+			scale = globalW[st.k] / totalTarget
+		}
+		st.anySampling = globalW[st.k+1] > 0
 
 		// Line 32: balanced?
 		imb := 0.0
@@ -165,7 +98,7 @@ func (st *state) assignAndBalance() bool {
 
 		// Lines 35–37: adapt influence values (Eq. (1), direction
 		// corrected, capped at ±InfluenceCap per round; see DESIGN.md).
-		copy(oldInfluence, st.influence)
+		copy(st.oldInfluence, st.influence)
 		lo, hi := 1-st.cfg.InfluenceCap, 1+st.cfg.InfluenceCap
 		for b := 0; b < st.k; b++ {
 			target := st.targets[b] * scale
@@ -194,10 +127,148 @@ func (st *state) assignAndBalance() bool {
 			}
 		}
 
-		// Lines 38–39: bounds must follow the influence change.
-		st.scaleBoundsForInfluence(oldInfluence)
+		// Lines 38–39: bounds must follow the influence change; the
+		// rescale is left pending for the next round's kernel pass.
+		st.scaleBoundsForInfluence(st.oldInfluence)
 	}
+
+	// A pending rescale survives only the exhausted-unbalanced exit;
+	// materialize it so the additive Eq. (4)–(5) updates (and the next
+	// caller) read correctly scaled bounds.
+	st.applyPendingBounds()
 
 	st.info.Balanced = balanced
 	return balanced
+}
+
+// sortCentersByDist orders the center ids ascending by (dist2[id], id).
+// An insertion sort beats sort.Slice here: k is small, the sort runs
+// once per balance round, and the reflection-based swapper plus closure
+// of sort.Slice showed up in profiles of the k-means phase.
+func sortCentersByDist(ids []int32, dist2 []float64) {
+	for i := 1; i < len(ids); i++ {
+		id := ids[i]
+		d := dist2[id]
+		j := i - 1
+		for j >= 0 && (dist2[ids[j]] > d || (dist2[ids[j]] == d && ids[j] > id)) {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = id
+	}
+}
+
+// minShardPoints is the smallest per-chunk sample slice worth its own
+// accumulator: below this, setup/merge overhead dominates the kernel work.
+const minShardPoints = 512
+
+// kernelChunks returns the accumulation grid for a sample of n points.
+// Chunk boundaries depend only on n — never on the worker count or the
+// host — so the per-chunk weight partials always merge in the same
+// floating-point order and partition output stays bit-identical across
+// machines and worker settings (see DESIGN.md).
+func kernelChunks(n int) int {
+	c := n / minShardPoints
+	if c < 1 {
+		c = 1
+	}
+	if c > maxKernelShards {
+		c = maxKernelShards
+	}
+	return c
+}
+
+// runAssignKernels executes one assignment pass over the sample through
+// the squared-space batch kernels. The sample is split on the fixed
+// chunk grid of kernelChunks; the intra-rank worker pool processes
+// chunks concurrently when it has more than one worker. Per-point
+// outputs (A, ub, lb, lbk) are written to disjoint indices; per-chunk
+// weight accumulators and counters are merged in chunk order afterwards,
+// so the pass is deterministic — independent of the worker count — and
+// the balance routine still issues exactly one collective per round.
+func (st *state) runAssignKernels(sample []int32) (distCalcs, skips, breaks int64) {
+	hamerly := st.cfg.Bounds == BoundsHamerly
+	elkan := st.cfg.Bounds == BoundsElkan
+
+	nc := kernelChunks(len(sample))
+	chunk := (len(sample) + nc - 1) / nc
+
+	// Shared kernel template: every chunk sees the same tables and
+	// per-point slices, but keeps private LocalW and counters.
+	template := geom.AssignKernel{
+		PX: st.X.X, PY: st.X.Y, PZ: st.X.Z, W: st.W,
+		CX: st.centerCols.X, CY: st.centerCols.Y, CZ: st.centerCols.Z,
+		InvInf2: st.invInf2,
+		Order:   st.orderedCenters, DistBB2: st.distToBB2, Prune: st.cfg.BBoxPruning,
+		K: st.k,
+		A: st.A, Ub: st.ub, Lb: st.lb, Lbk: st.lbk,
+	}
+	if st.pendScaled {
+		template.UbScale = st.pendUbRatio
+		template.LbScale = st.pendLbRatio
+	}
+	for s := 0; s < nc; s++ {
+		kr := &st.shards[s]
+		localW := kr.LocalW
+		*kr = template
+		kr.LocalW = localW
+		clear(kr.LocalW)
+	}
+
+	chunkSlice := func(s int) []int32 {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > len(sample) {
+			hi = len(sample)
+		}
+		return sample[lo:hi]
+	}
+
+	nw := st.workers
+	if nw > nc {
+		nw = nc
+	}
+	if nw <= 1 {
+		for s := 0; s < nc; s++ {
+			st.runOneKernel(&st.shards[s], chunkSlice(s), hamerly, elkan)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for g := 0; g < nw; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for s := g; s < nc; s += nw {
+					st.runOneKernel(&st.shards[s], chunkSlice(s), hamerly, elkan)
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+
+	// The pass visited every sampled point, so a pending influence
+	// rescale has been applied (Hamerly) or overwritten by fresh bounds
+	// (Elkan, which never reads ub between rescale and rewrite).
+	st.pendScaled = false
+
+	// Merge in chunk order: the summation order is a function of the
+	// sample size alone, never of how many workers ran the chunks.
+	for s := 0; s < nc; s++ {
+		kr := &st.shards[s]
+		for b := 0; b < st.k; b++ {
+			st.localW[b] += kr.LocalW[b]
+		}
+		distCalcs += kr.DistCalcs
+		skips += kr.Skips
+		breaks += kr.Breaks
+	}
+	return distCalcs, skips, breaks
+}
+
+func (st *state) runOneKernel(kr *geom.AssignKernel, idx []int32, hamerly, elkan bool) {
+	if elkan {
+		kr.RunElkan(st.dim, idx)
+	} else {
+		kr.RunBounded(st.dim, idx, hamerly)
+	}
 }

@@ -77,6 +77,14 @@ type Config struct {
 	// balance "was always achieved" with enough iterations.
 	Strict bool
 
+	// Workers sets the intra-rank shard count of the assignment kernels:
+	// when the host has more cores than the simulated world has ranks,
+	// each rank splits its sample across this many concurrent kernel
+	// shards (merged before the one collective per balance round, so the
+	// paper's communication structure is unchanged). 0 picks
+	// GOMAXPROCS/worldSize automatically; 1 forces the serial kernel.
+	Workers int
+
 	// Seed drives the sampled-initialization permutations and random
 	// center placement in non-SFC mode.
 	Seed int64

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// benchAssignKernel measures one full assignment pass (no prior bounds,
+// every point recomputed) of the squared-space batch kernel — the raw
+// O(n·k) hot loop future perf PRs report against.
+func benchAssignKernel(b *testing.B, dim int) {
+	const n, k = 100_000, 16
+	st, sample := kernelScenario(b, dim, n, k, BoundsNone, true, 7)
+	st.workers = 1
+	st.shards = make([]geom.AssignKernel, kernelChunks(n))
+	for s := range st.shards {
+		st.shards[s].LocalW = make([]float64, k)
+	}
+	for i := range st.A {
+		st.A[i] = -1
+	}
+	b.SetBytes(int64(n * dim * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(st.localW)
+		st.runAssignKernels(sample)
+	}
+}
+
+func BenchmarkAssignKernel2D(b *testing.B) { benchAssignKernel(b, 2) }
+func BenchmarkAssignKernel3D(b *testing.B) { benchAssignKernel(b, 3) }
+
+// BenchmarkAssignBoundsModes runs the full partition pipeline per bounds
+// mode, so bound-maintenance overhead and skip savings are both visible.
+func BenchmarkAssignBoundsModes(b *testing.B) {
+	ps := uniformPoints(20_000, 2, 42)
+	for _, bounds := range []BoundsKind{BoundsHamerly, BoundsElkan, BoundsNone} {
+		b.Run(string(bounds), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Bounds = bounds
+			for i := 0; i < b.N; i++ {
+				bkm := New(cfg)
+				w := mpi.NewWorld(4)
+				if _, err := partition.Run(w, ps, 16, bkm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

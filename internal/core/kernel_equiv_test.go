@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"geographer/internal/geom"
+	"geographer/internal/metrics"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// kernelScenario builds a state holding one ready-to-run assignment round
+// over random weighted points: random centers and influences, a computed
+// bounding-box pruning order, and randomized prior bounds so every branch
+// of the kernels (skip, prune-break, recompute) is exercised.
+func kernelScenario(t testing.TB, dim, n, k int, bounds BoundsKind, prune bool, seed int64) (*state, []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	st := &state{dim: dim, k: k}
+	st.cfg.Bounds = bounds
+	st.cfg.BBoxPruning = prune
+
+	st.X = geom.MakeCols(dim, n)
+	st.W = make([]float64, n)
+	for i := 0; i < n; i++ {
+		var p geom.Point
+		for d := 0; d < dim; d++ {
+			p[d] = rng.Float64()
+		}
+		st.X.Set(i, p)
+		st.W[i] = 0.2 + 2*rng.Float64()
+	}
+
+	st.centers = make([]geom.Point, k)
+	st.influence = make([]float64, k)
+	st.centerCols = geom.MakeCols(dim, k)
+	st.invInf2 = make([]float64, k)
+	st.orderedCenters = make([]int32, k)
+	st.distToBB2 = make([]float64, k)
+	st.localW = make([]float64, k)
+	for b := 0; b < k; b++ {
+		var p geom.Point
+		for d := 0; d < dim; d++ {
+			p[d] = rng.Float64()
+		}
+		st.centers[b] = p
+		st.centerCols.Set(b, p)
+		st.influence[b] = 0.5 + 1.5*rng.Float64()
+		inv := 1 / st.influence[b]
+		st.invInf2[b] = inv * inv
+		st.orderedCenters[b] = int32(b)
+	}
+
+	sample := make([]int32, n)
+	for i := range sample {
+		sample[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { sample[i], sample[j] = sample[j], sample[i] })
+
+	bb, _ := geom.SampleBoxW(dim, st.X.X, st.X.Y, st.X.Z, st.W, sample)
+	for b := 0; b < k; b++ {
+		st.distToBB2[b] = bb.MinDist2(st.centers[b]) * st.invInf2[b]
+	}
+	if prune {
+		for i := 1; i < k; i++ { // insertion sort by (distToBB2, id)
+			for j := i; j > 0; j-- {
+				a, b := st.orderedCenters[j-1], st.orderedCenters[j]
+				if st.distToBB2[a] < st.distToBB2[b] ||
+					(st.distToBB2[a] == st.distToBB2[b] && a < b) {
+					break
+				}
+				st.orderedCenters[j-1], st.orderedCenters[j] = b, a
+			}
+		}
+	}
+
+	st.A = make([]int32, n)
+	st.ub = make([]float64, n)
+	st.lb = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			st.A[i] = -1
+			st.ub[i] = math.Inf(1)
+		} else {
+			st.A[i] = int32(rng.Intn(k))
+			st.ub[i] = rng.Float64()
+			st.lb[i] = rng.Float64() // ~half the points satisfy ub < lb
+		}
+	}
+	if bounds == BoundsElkan {
+		st.lbk = make([]float64, n*k)
+		for i := range st.lbk {
+			st.lbk[i] = rng.Float64() - 0.1 // some non-positive entries
+		}
+	}
+
+	// Odd seeds carry a pending influence rescale into the pass.
+	st.pendUbRatio = make([]float64, k)
+	st.pendLbRatio = math.Inf(1)
+	for b := range st.pendUbRatio {
+		st.pendUbRatio[b] = 0.9 + 0.2*rng.Float64()
+		if st.pendUbRatio[b] < st.pendLbRatio {
+			st.pendLbRatio = st.pendUbRatio[b]
+		}
+	}
+	st.pendScaled = seed%2 == 1
+	return st, sample
+}
+
+func cloneSlices(st *state) (a []int32, ub, lb, lbk, localW []float64) {
+	a = append([]int32(nil), st.A...)
+	ub = append([]float64(nil), st.ub...)
+	lb = append([]float64(nil), st.lb...)
+	lbk = append([]float64(nil), st.lbk...)
+	localW = append([]float64(nil), st.localW...)
+	return
+}
+
+func restoreSlices(st *state, a []int32, ub, lb, lbk, localW []float64) {
+	copy(st.A, a)
+	copy(st.ub, ub)
+	copy(st.lb, lb)
+	copy(st.lbk, lbk)
+	copy(st.localW, localW)
+	for i := range st.localW {
+		st.localW[i] = 0
+	}
+}
+
+func bitsEqual(a, b []float64) int {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestKernelMatchesReference is the differential property test pinning
+// the tentpole: across dimensions, bounds modes and pruning settings, the
+// SoA batch kernels must produce bit-identical per-point state (A, ub,
+// lb, lbk), bit-identical local block weights, and identical counters to
+// the retained scalar reference path.
+func TestKernelMatchesReference(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for _, bounds := range []BoundsKind{BoundsHamerly, BoundsElkan, BoundsNone} {
+			for _, prune := range []bool{true, false} {
+				name := fmt.Sprintf("dim=%d/%s/prune=%v", dim, bounds, prune)
+				t.Run(name, func(t *testing.T) {
+					for seed := int64(0); seed < 4; seed++ {
+						st, sample := kernelScenario(t, dim, 2000, 13, bounds, prune, 100+seed)
+						pend := st.pendScaled
+						a0, ub0, lb0, lbk0, lw0 := cloneSlices(st)
+
+						// Reference pass, chunk by chunk on the same fixed
+						// grid as production, merging weight partials in
+						// chunk order.
+						ref := geom.AssignKernel{
+							PX: st.X.X, PY: st.X.Y, PZ: st.X.Z, W: st.W,
+							CX: st.centerCols.X, CY: st.centerCols.Y, CZ: st.centerCols.Z,
+							InvInf2: st.invInf2,
+							Order:   st.orderedCenters, DistBB2: st.distToBB2, Prune: prune,
+							K: st.k,
+							A: st.A, Ub: st.ub, Lb: st.lb, Lbk: st.lbk,
+							LocalW: make([]float64, st.k),
+						}
+						if pend {
+							ref.UbScale = st.pendUbRatio
+							ref.LbScale = st.pendLbRatio
+						}
+						refLW := make([]float64, st.k)
+						nc := kernelChunks(len(sample))
+						chunk := (len(sample) + nc - 1) / nc
+						for s := 0; s < nc; s++ {
+							lo := s * chunk
+							hi := lo + chunk
+							if hi > len(sample) {
+								hi = len(sample)
+							}
+							clear(ref.LocalW)
+							referenceAssign(dim, &ref, sample[lo:hi], bounds == BoundsHamerly, bounds == BoundsElkan)
+							for b := 0; b < st.k; b++ {
+								refLW[b] += ref.LocalW[b]
+							}
+						}
+						refA, refUb, refLb, refLbk, _ := cloneSlices(st)
+
+						// Serial kernel pass over the same starting state.
+						restoreSlices(st, a0, ub0, lb0, lbk0, lw0)
+						st.pendScaled = pend
+						st.workers = 1
+						st.shards = make([]geom.AssignKernel, nc)
+						for s := range st.shards {
+							st.shards[s].LocalW = make([]float64, st.k)
+						}
+						dc, sk, br := st.runAssignKernels(sample)
+
+						for i := range st.A {
+							if st.A[i] != refA[i] {
+								t.Fatalf("serial: A[%d] = %d, reference %d", i, st.A[i], refA[i])
+							}
+						}
+						if i := bitsEqual(st.ub, refUb); i >= 0 {
+							t.Fatalf("serial: ub[%d] = %x, reference %x", i, st.ub[i], refUb[i])
+						}
+						if i := bitsEqual(st.lb, refLb); i >= 0 {
+							t.Fatalf("serial: lb[%d] = %x, reference %x", i, st.lb[i], refLb[i])
+						}
+						if i := bitsEqual(st.lbk, refLbk); i >= 0 {
+							t.Fatalf("serial: lbk[%d] = %x, reference %x", i, st.lbk[i], refLbk[i])
+						}
+						if i := bitsEqual(st.localW, refLW); i >= 0 {
+							t.Fatalf("serial: localW[%d] = %x, reference %x", i, st.localW[i], refLW[i])
+						}
+						if dc != ref.DistCalcs || sk != ref.Skips || br != ref.Breaks {
+							t.Fatalf("serial counters (%d,%d,%d), reference (%d,%d,%d)",
+								dc, sk, br, ref.DistCalcs, ref.Skips, ref.Breaks)
+						}
+
+						// Sharded kernel pass: chunks accumulate on the same
+						// fixed grid regardless of worker count, so even
+						// localW must stay bit-identical.
+						restoreSlices(st, a0, ub0, lb0, lbk0, lw0)
+						st.pendScaled = pend
+						st.workers = 3
+						st.shards = make([]geom.AssignKernel, nc)
+						for s := range st.shards {
+							st.shards[s].LocalW = make([]float64, st.k)
+						}
+						dc2, sk2, br2 := st.runAssignKernels(sample)
+						for i := range st.A {
+							if st.A[i] != refA[i] {
+								t.Fatalf("sharded: A[%d] = %d, reference %d", i, st.A[i], refA[i])
+							}
+						}
+						if i := bitsEqual(st.ub, refUb); i >= 0 {
+							t.Fatalf("sharded: ub[%d] differs", i)
+						}
+						if i := bitsEqual(st.lb, refLb); i >= 0 {
+							t.Fatalf("sharded: lb[%d] differs", i)
+						}
+						if i := bitsEqual(st.lbk, refLbk); i >= 0 {
+							t.Fatalf("sharded: lbk[%d] differs", i)
+						}
+						if dc2 != dc || sk2 != sk || br2 != br {
+							t.Fatalf("sharded counters (%d,%d,%d) != serial (%d,%d,%d)", dc2, sk2, br2, dc, sk, br)
+						}
+						if i := bitsEqual(st.localW, refLW); i >= 0 {
+							t.Fatalf("sharded localW[%d] = %x, reference %x", i, st.localW[i], refLW[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedPartitionValid runs the full pipeline with a forced worker
+// pool and checks that sharding preserves balance, validity, and
+// fixed-worker-count determinism.
+func TestShardedPartitionValid(t *testing.T) {
+	ps := uniformPoints(4000, 2, 91)
+	cfg := DefaultConfig()
+	cfg.Workers = 3
+
+	run := func() partition.P {
+		bkm := New(cfg)
+		w := mpi.NewWorld(2)
+		part, err := partition.Run(w, ps, 8, bkm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := part.Validate(false); err != nil {
+			t.Fatal(err)
+		}
+		return part
+	}
+	a := run()
+	imb := metrics.Imbalance(metrics.BlockWeights(ps, a.Assign, 8))
+	if imb > 0.031 {
+		t.Errorf("sharded imbalance %.4f > ε", imb)
+	}
+	b := run()
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("sharded run not deterministic at point %d", i)
+		}
+	}
+
+	// The accumulation grid is independent of the worker count, so the
+	// serial run must produce the exact same partition.
+	cfg.Workers = 1
+	bkm := New(cfg)
+	w := mpi.NewWorld(2)
+	part, err := partition.Run(w, ps, 8, bkm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assign {
+		if a.Assign[i] != part.Assign[i] {
+			t.Fatalf("workers=3 and workers=1 disagree at point %d", i)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -45,12 +46,14 @@ type state struct {
 	dim int
 	k   int
 
-	// Local points (possibly redistributed by the SFC sort).
-	X   []geom.Point
+	// Local points (possibly redistributed by the SFC sort), stored as
+	// SoA columns so the batch kernels can stream them.
+	X   geom.Cols
 	W   []float64
 	IDs []int64
 
 	perm    []int32 // random order for the sampled initialization
+	allIdx  []int32 // identity order, used once the sample covers everything
 	nSample int     // currently active prefix of perm
 
 	A      []int32 // assignment per local point (-1 = unassigned)
@@ -61,12 +64,43 @@ type state struct {
 	influence []float64
 	targets   []float64 // per-block global target weights
 
-	// Scratch reused across rounds.
+	// Per-round kernel tables (squared effective-distance space).
 	orderedCenters []int32
-	distToBB       []float64
+	distToBB2      []float64
 	localW         []float64
+	invInf2        []float64
+	centerCols     geom.Cols
+
+	// Hoisted outer-loop scratch, allocated once per Partition call.
+	oldInfluence []float64
+	newCenters   []geom.Point
+	deltas       []float64
+	centVec      []float64 // computeCenters reduction buffer, k·(dim+1)
+	perCenter    []float64 // per-center shift scratch, len k
+
+	// Pending influence rescale of the distance bounds: instead of an
+	// eager O(n) pass after every influence change, the per-center
+	// ratios wait here and the next kernel pass applies them at each
+	// point visit (every sampled point is visited exactly once per
+	// round, so each ratio is consumed exactly once — bit-identical to
+	// the eager pass). applyPendingBounds materializes eagerly on the
+	// rare paths where no kernel pass follows before bounds are read.
+	pendUbRatio []float64
+	pendLbRatio float64
+	pendScaled  bool
+
+	// Intra-rank sharding: the sample is split on a fixed chunk grid
+	// (kernelChunks, a function of the sample size only); `workers`
+	// goroutines process the chunks when spare cores exist beyond the
+	// simulated world size. One kernel value per chunk.
+	workers int
+	shards  []geom.AssignKernel
 
 	diag float64 // global bounding-box diagonal
+
+	// anySampling is published by assignAndBalance (it rides in the
+	// balance collective): whether any rank's sample is still growing.
+	anySampling bool
 
 	info Info
 }
@@ -114,11 +148,12 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 		items = dsort.SampleSort(c, items)
 		items = dsort.Rebalance(c, items)
 	}
-	st.X = make([]geom.Point, len(items))
+	st.X = geom.MakeCols(st.dim, len(items))
 	st.W = make([]float64, len(items))
 	st.IDs = make([]int64, len(items))
 	for i, it := range items {
-		st.X[i], st.W[i], st.IDs[i] = it.X, it.W, it.ID
+		st.X.Set(i, it.X)
+		st.W[i], st.IDs[i] = it.W, it.ID
 	}
 	st.info.SortSeconds = time.Since(tSort).Seconds()
 
@@ -130,10 +165,9 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 	st.run()
 	st.info.KMeansSeconds = time.Since(tKM).Seconds()
 
-	// Aggregate diagnostics (rank 0 keeps the result).
-	st.info.DistCalcs = mpi.ReduceScalarSum(c, st.info.DistCalcs)
-	st.info.HamerlySkips = mpi.ReduceScalarSum(c, st.info.HamerlySkips)
-	st.info.BBoxBreaks = mpi.ReduceScalarSum(c, st.info.BBoxBreaks)
+	// Aggregate diagnostics in one collective (rank 0 keeps the result).
+	counters := mpi.AllreduceSum(c, []int64{st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks})
+	st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks = counters[0], counters[1], counters[2]
 	if c.Rank() == 0 {
 		b.mu.Lock()
 		b.info = st.info
@@ -167,15 +201,38 @@ func globalBounds(c *mpi.Comm, pts *partition.Local) geom.Box {
 	return box
 }
 
+// resolveWorkers decides how many intra-rank kernel shards to use: spare
+// hardware parallelism beyond the one-goroutine-per-rank of the simulated
+// world is handed to the assignment kernels. cfg.Workers > 0 forces a
+// count (1 = serial), 0 picks GOMAXPROCS/worldSize.
+func resolveWorkers(cfg Config, worldSize int) int {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0) / worldSize
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > maxKernelShards {
+		w = maxKernelShards
+	}
+	return w
+}
+
+// maxKernelShards caps the shard fan-out: beyond this, merge overhead and
+// goroutine churn outweigh the per-shard speedup for the sample sizes the
+// balance rounds run on.
+const maxKernelShards = 16
+
 // initCentersAndTargets places the k initial centers at equal distances
 // along the sorted point order (Algorithm 2, line 7: C[i] =
 // sortedPoints[i·n/k + n/2k]) and computes per-block target weights.
 func (st *state) initCentersAndTargets() error {
-	n := mpi.ReduceScalarSum(st.c, int64(len(st.X)))
+	n := mpi.ReduceScalarSum(st.c, int64(st.X.Len()))
 	if n == 0 {
 		return fmt.Errorf("core: empty global point set")
 	}
-	start := mpi.ExscanSum(st.c, int64(len(st.X)))
+	start := mpi.ExscanSum(st.c, int64(st.X.Len()))
 
 	type seed struct {
 		Idx int32
@@ -185,8 +242,8 @@ func (st *state) initCentersAndTargets() error {
 	if st.cfg.SFCBootstrap {
 		for i := 0; i < st.k; i++ {
 			gi := int64(i)*n/int64(st.k) + n/(2*int64(st.k))
-			if gi >= start && gi < start+int64(len(st.X)) {
-				mine = append(mine, seed{Idx: int32(i), X: st.X[gi-start]})
+			if gi >= start && gi < start+int64(st.X.Len()) {
+				mine = append(mine, seed{Idx: int32(i), X: st.X.At(int(gi - start))})
 			}
 		}
 	} else {
@@ -195,8 +252,8 @@ func (st *state) initCentersAndTargets() error {
 		rng := rand.New(rand.NewSource(st.cfg.Seed + 1))
 		for i := 0; i < st.k; i++ {
 			gi := int64(rng.Uint64() % uint64(n))
-			if gi >= start && gi < start+int64(len(st.X)) {
-				mine = append(mine, seed{Idx: int32(i), X: st.X[gi-start]})
+			if gi >= start && gi < start+int64(st.X.Len()) {
+				mine = append(mine, seed{Idx: int32(i), X: st.X.At(int(gi - start))})
 			}
 		}
 	}
@@ -227,95 +284,125 @@ func (st *state) initCentersAndTargets() error {
 	for i := range st.influence {
 		st.influence[i] = 1
 	}
-	st.A = make([]int32, len(st.X))
-	st.ub = make([]float64, len(st.X))
-	st.lb = make([]float64, len(st.X))
+	st.A = make([]int32, st.X.Len())
+	st.ub = make([]float64, st.X.Len())
+	st.lb = make([]float64, st.X.Len())
 	for i := range st.A {
 		st.A[i] = -1
 		st.ub[i] = math.Inf(1)
 	}
 	if st.cfg.Bounds == BoundsElkan {
-		st.lbk = make([]float64, len(st.X)*st.k) // zero = trivially valid
+		st.lbk = make([]float64, st.X.Len()*st.k) // zero = trivially valid
 	}
-	st.perm = make([]int32, len(st.X))
+	st.perm = make([]int32, st.X.Len())
+	st.allIdx = make([]int32, st.X.Len())
 	for i := range st.perm {
 		st.perm[i] = int32(i)
+		st.allIdx[i] = int32(i)
 	}
 	rng := rand.New(rand.NewSource(st.cfg.Seed + int64(st.c.Rank())*65537 + 7))
 	rng.Shuffle(len(st.perm), func(i, j int) { st.perm[i], st.perm[j] = st.perm[j], st.perm[i] })
 
-	st.nSample = len(st.X)
-	if st.cfg.SampledInit && len(st.X) > 100 {
+	st.nSample = st.X.Len()
+	if st.cfg.SampledInit && st.X.Len() > 100 {
 		st.nSample = 100
 	}
+
+	// All per-round and per-iteration scratch is allocated once here;
+	// balance rounds and outer iterations must not allocate.
 	st.orderedCenters = make([]int32, st.k)
-	st.distToBB = make([]float64, st.k)
-	st.localW = make([]float64, st.k)
+	st.distToBB2 = make([]float64, st.k)
+	st.localW = make([]float64, st.k+2) // +2: sample weight and sampling flag ride along
+	st.invInf2 = make([]float64, st.k)
+	st.centerCols = geom.MakeCols(st.dim, st.k)
+	st.oldInfluence = make([]float64, st.k)
+	st.newCenters = make([]geom.Point, st.k)
+	st.deltas = make([]float64, st.k)
+	st.centVec = make([]float64, st.k*(st.dim+1))
+	st.perCenter = make([]float64, st.k)
+	st.pendUbRatio = make([]float64, st.k)
+	st.workers = resolveWorkers(st.cfg, st.c.Size())
+	st.shards = make([]geom.AssignKernel, kernelChunks(st.X.Len()))
+	for s := range st.shards {
+		st.shards[s].LocalW = make([]float64, st.k)
+	}
 	return nil
 }
 
 // run is the main loop of Algorithm 2.
 func (st *state) run() {
 	threshold := st.cfg.DeltaThreshold * st.diag
-	oldInfluence := make([]float64, st.k)
-	newCenters := make([]geom.Point, st.k)
-	deltas := make([]float64, st.k)
 
 	for iter := 0; iter < st.cfg.MaxIter; iter++ {
 		st.info.Iterations++
-		sampling := st.nSample < len(st.X)
-		// Sampling is a local decision but must stay collectively
-		// consistent; ranks may have different local sizes, so agree on
-		// whether anyone is still sampling.
-		anySampling := mpi.ReduceScalarMax(st.c, boolTo64(sampling)) == 1
+		sampling := st.nSample < st.X.Len()
 
+		// Sampling is a local decision but must stay collectively
+		// consistent; ranks may have different local sizes, so they agree
+		// on whether anyone is still sampling inside the balance
+		// collective (st.anySampling).
 		balanced := st.assignAndBalance()
 
 		// New centers: weighted mean of assigned sample points
 		// (Algorithm 2, l. 12–13) — one global vector sum.
-		moved := st.computeCenters(newCenters)
+		moved := st.computeCenters(st.newCenters)
 
 		maxDelta := 0.0
 		for b := 0; b < st.k; b++ {
-			deltas[b] = geom.Dist(st.centers[b], newCenters[b], st.dim)
-			if deltas[b] > maxDelta {
-				maxDelta = deltas[b]
+			st.deltas[b] = geom.Dist(st.centers[b], st.newCenters[b], st.dim)
+			if st.deltas[b] > maxDelta {
+				maxDelta = st.deltas[b]
 			}
 		}
 
-		if !anySampling && balanced && maxDelta < threshold {
-			copy(st.centers, newCenters)
+		if !st.anySampling && balanced && maxDelta < threshold {
+			copy(st.centers, st.newCenters)
 			break
 		}
 
 		// Adapt the distance bounds for the upcoming movement
-		// (Eqs. (4)–(5), signs corrected; see DESIGN.md).
+		// (Eqs. (4)–(5), signs corrected; see DESIGN.md). The per-center
+		// effective shifts are precomputed so the per-point loops stay
+		// division-free.
 		switch st.cfg.Bounds {
 		case BoundsHamerly:
 			maxShift := 0.0
 			for b := 0; b < st.k; b++ {
-				if s := deltas[b] / st.influence[b]; s > maxShift {
-					maxShift = s
+				st.perCenter[b] = st.deltas[b] / st.influence[b]
+				if st.perCenter[b] > maxShift {
+					maxShift = st.perCenter[b]
 				}
 			}
-			for _, i := range st.perm[:st.nSample] {
-				if a := st.A[i]; a >= 0 {
-					st.ub[i] += deltas[a] / st.influence[a]
-					st.lb[i] -= maxShift
+			if st.nSample == st.X.Len() {
+				for i := range st.A {
+					if a := st.A[i]; a >= 0 {
+						st.ub[i] += st.perCenter[a]
+						st.lb[i] -= maxShift
+					}
+				}
+			} else {
+				for _, i := range st.perm[:st.nSample] {
+					if a := st.A[i]; a >= 0 {
+						st.ub[i] += st.perCenter[a]
+						st.lb[i] -= maxShift
+					}
 				}
 			}
 		case BoundsElkan:
 			// Raw-distance bounds shrink by each center's own movement;
 			// the upper bound (effective space) grows like Hamerly's.
-			for _, i := range st.perm[:st.nSample] {
+			for b := 0; b < st.k; b++ {
+				st.perCenter[b] = st.deltas[b] / st.influence[b]
+			}
+			for _, i := range st.sampleIdx() {
 				base := int(i) * st.k
 				for b := 0; b < st.k; b++ {
-					if deltas[b] > 0 {
-						st.lbk[base+b] -= deltas[b]
+					if st.deltas[b] > 0 {
+						st.lbk[base+b] -= st.deltas[b]
 					}
 				}
 				if a := st.A[i]; a >= 0 {
-					st.ub[i] += deltas[a] / st.influence[a]
+					st.ub[i] += st.perCenter[a]
 				}
 			}
 		}
@@ -323,44 +410,58 @@ func (st *state) run() {
 		// Influence erosion after movement (Eqs. (2)–(3)): centers that
 		// moved far regress their influence toward 1.
 		if st.cfg.Erosion && moved {
-			copy(oldInfluence, st.influence)
+			copy(st.oldInfluence, st.influence)
 			beta := meanNearestCenterDistance(st.centers, st.k, st.dim)
 			if beta > 0 {
 				for b := 0; b < st.k; b++ {
-					alpha := 2/(1+math.Exp(-deltas[b]/beta)) - 1
+					alpha := 2/(1+math.Exp(-st.deltas[b]/beta)) - 1
 					st.influence[b] = math.Exp((1 - alpha) * math.Log(st.influence[b]))
 				}
-				st.scaleBoundsForInfluence(oldInfluence)
+				st.scaleBoundsForInfluence(st.oldInfluence)
 			}
 		}
 
-		copy(st.centers, newCenters)
+		copy(st.centers, st.newCenters)
 
 		// Grow the sample (§4.5: "After each round with center movement,
 		// the sample size is doubled").
 		if sampling {
 			st.nSample *= 2
-			if st.nSample > len(st.X) {
-				st.nSample = len(st.X)
+			if st.nSample > st.X.Len() {
+				st.nSample = st.X.Len()
 			}
 		}
 	}
 
 	// Every point must be assigned: points outside the final sample only
 	// exist if MaxIter ran out during sampling; assign them now.
-	if st.nSample < len(st.X) {
-		st.nSample = len(st.X)
+	if st.nSample < st.X.Len() {
+		st.nSample = st.X.Len()
 		st.assignAndBalance()
 	}
 	for i := range st.A {
 		if st.A[i] < 0 {
-			st.A[i] = st.nearestCenter(st.X[i])
+			st.A[i] = st.nearestCenter(i)
 		}
 	}
 
 	if st.cfg.Strict && !st.info.Balanced {
 		st.strictFinish()
 	}
+}
+
+// sampleIdx returns the indices of the active sample. Once the sample
+// covers every local point, the identity order replaces the shuffled
+// permutation: the index *set* is identical, but linear iteration streams
+// the SoA columns and the bound arrays sequentially instead of in random
+// order, which is where the per-point passes spend their time. Per-point
+// updates are order-independent; weight accumulators only change their
+// (deterministic) floating-point summation order.
+func (st *state) sampleIdx() []int32 {
+	if st.nSample == st.X.Len() {
+		return st.allIdx
+	}
+	return st.perm[:st.nSample]
 }
 
 func boolTo64(b bool) int64 {
@@ -370,11 +471,15 @@ func boolTo64(b bool) int64 {
 	return 0
 }
 
-// nearestCenter returns the cluster with minimal effective distance to x.
-func (st *state) nearestCenter(x geom.Point) int32 {
+// nearestCenter returns the cluster with minimal effective distance to
+// local point i. Squared effective distances decide the argmin — x² is
+// monotone — so no square root is taken.
+func (st *state) nearestCenter(i int) int32 {
+	x := st.X.At(i)
 	best, bestV := int32(0), math.Inf(1)
 	for b := 0; b < st.k; b++ {
-		v := geom.Dist(x, st.centers[b], st.dim) / st.influence[b]
+		inf := st.influence[b]
+		v := geom.Dist2(x, st.centers[b], st.dim) / (inf * inf)
 		if v < bestV {
 			best, bestV = int32(b), v
 		}
@@ -387,17 +492,75 @@ func (st *state) nearestCenter(x geom.Point) int32 {
 // to b (keeping the old center for empty clusters) and reports whether any
 // center is based on at least one point.
 func (st *state) computeCenters(out []geom.Point) bool {
-	vec := make([]float64, st.k*(st.dim+1))
-	for _, i := range st.perm[:st.nSample] {
-		a := st.A[i]
-		if a < 0 {
-			continue
+	vec := st.centVec
+	clear(vec)
+	px, py, pz := st.X.X, st.X.Y, st.X.Z
+	full := st.nSample == st.X.Len()
+	switch {
+	case st.dim == 2 && full:
+		for i := range st.A {
+			a := st.A[i]
+			if a < 0 {
+				continue
+			}
+			base := int(a) * 3
+			w := st.W[i]
+			vec[base] += w * px[i]
+			vec[base+1] += w * py[i]
+			vec[base+2] += w
 		}
-		base := int(a) * (st.dim + 1)
-		for d := 0; d < st.dim; d++ {
-			vec[base+d] += st.W[i] * st.X[i][d]
+	case st.dim == 2:
+		for _, i := range st.perm[:st.nSample] {
+			a := st.A[i]
+			if a < 0 {
+				continue
+			}
+			base := int(a) * 3
+			w := st.W[i]
+			vec[base] += w * px[i]
+			vec[base+1] += w * py[i]
+			vec[base+2] += w
 		}
-		vec[base+st.dim] += st.W[i]
+	case st.dim == 3 && full:
+		for i := range st.A {
+			a := st.A[i]
+			if a < 0 {
+				continue
+			}
+			base := int(a) * 4
+			w := st.W[i]
+			vec[base] += w * px[i]
+			vec[base+1] += w * py[i]
+			vec[base+2] += w * pz[i]
+			vec[base+3] += w
+		}
+	case st.dim == 3:
+		for _, i := range st.perm[:st.nSample] {
+			a := st.A[i]
+			if a < 0 {
+				continue
+			}
+			base := int(a) * 4
+			w := st.W[i]
+			vec[base] += w * px[i]
+			vec[base+1] += w * py[i]
+			vec[base+2] += w * pz[i]
+			vec[base+3] += w
+		}
+	default:
+		for _, i := range st.sampleIdx() {
+			a := st.A[i]
+			if a < 0 {
+				continue
+			}
+			base := int(a) * (st.dim + 1)
+			w := st.W[i]
+			x := st.X.At(int(i))
+			for d := 0; d < st.dim; d++ {
+				vec[base+d] += w * x[d]
+			}
+			vec[base+st.dim] += w
+		}
 	}
 	st.c.AddOps(int64(st.nSample))
 	vec = mpi.AllreduceSum(st.c, vec)
@@ -441,28 +604,57 @@ func meanNearestCenterDistance(centers []geom.Point, k, dim int) float64 {
 	return sum / float64(k)
 }
 
-// scaleBoundsForInfluence rescales the distance bounds after influence
-// values changed: effective distances to cluster b scale by
-// old(b)/new(b), so ub scales by the own cluster's ratio and the Hamerly
-// lb by the global minimum ratio (conservative). Elkan's per-center
-// bounds live in raw-distance space and are untouched by influence.
+// scaleBoundsForInfluence records the bound rescale that influence
+// changes demand: effective distances to cluster b scale by old(b)/new(b),
+// so ub scales by the own cluster's ratio and the Hamerly lb by the
+// global minimum ratio (conservative). Elkan's per-center bounds live in
+// raw-distance space and are untouched by influence. The ratios are
+// left pending for the next kernel pass to apply per visited point; see
+// the pendUbRatio field for why that is exact.
 func (st *state) scaleBoundsForInfluence(oldInfluence []float64) {
 	if st.cfg.Bounds == BoundsNone {
 		return
 	}
+	st.applyPendingBounds() // defensive: never stack two pending scales
 	minRatio := math.Inf(1)
 	for b := 0; b < st.k; b++ {
 		r := oldInfluence[b] / st.influence[b]
+		st.pendUbRatio[b] = r
 		if r < minRatio {
 			minRatio = r
 		}
 	}
+	st.pendLbRatio = minRatio
+	st.pendScaled = true
+}
+
+// applyPendingBounds materializes a pending influence rescale with one
+// pass over the sampled bounds. Needed only when bounds are read before
+// the next kernel pass (the additive Eq. (4)–(5) updates, or a balance
+// loop that exhausted its rounds).
+func (st *state) applyPendingBounds() {
+	if !st.pendScaled {
+		return
+	}
+	st.pendScaled = false
 	hamerly := st.cfg.Bounds == BoundsHamerly
+	ratio, lbRatio := st.pendUbRatio, st.pendLbRatio
+	if st.nSample == st.X.Len() {
+		for i := range st.A {
+			if a := st.A[i]; a >= 0 {
+				st.ub[i] *= ratio[a]
+				if hamerly {
+					st.lb[i] *= lbRatio
+				}
+			}
+		}
+		return
+	}
 	for _, i := range st.perm[:st.nSample] {
 		if a := st.A[i]; a >= 0 {
-			st.ub[i] *= oldInfluence[a] / st.influence[a]
+			st.ub[i] *= ratio[a]
 			if hamerly {
-				st.lb[i] *= minRatio
+				st.lb[i] *= lbRatio
 			}
 		}
 	}

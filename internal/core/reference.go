@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+
+	"geographer/internal/geom"
+)
+
+// referenceAssign is the retained scalar reference of the batch
+// assignment kernels: a straight-line, per-point transcription of
+// Algorithm 1's inner loop in squared effective-distance space. It is
+// the executable specification the SoA kernels in internal/geom are
+// differentially tested against (kernel_equiv_test.go demands
+// bit-identical A/ub/lb/lbk), and it is deliberately written with the
+// same arithmetic shapes — dist²·invInf², bounds compared before
+// squaring is applied to possibly-negative Elkan entries — so that any
+// divergence is a kernel bug, not a rounding artifact.
+func referenceAssign(dim int, kr *geom.AssignKernel, idx []int32, hamerly, elkan bool) {
+	if elkan {
+		referenceElkan(dim, kr, idx)
+		return
+	}
+	for _, i := range idx {
+		if hamerly && kr.A[i] >= 0 {
+			// Apply any pending influence rescale before the skip test,
+			// and persist the corrected bounds when the point is skipped
+			// (a recomputation overwrites them anyway).
+			u, l := kr.Ub[i], kr.Lb[i]
+			if kr.UbScale != nil {
+				u *= kr.UbScale[kr.A[i]]
+				l *= kr.LbScale
+			}
+			if u < l {
+				if kr.UbScale != nil {
+					kr.Ub[i] = u
+					kr.Lb[i] = l
+				}
+				kr.Skips++
+				kr.LocalW[kr.A[i]] += kr.W[i]
+				continue
+			}
+		}
+		x := geom.Point{kr.PX[i], kr.PY[i], kr.PZ[i]}
+		best2, second2 := math.Inf(1), math.Inf(1)
+		bestC := int32(0)
+		for _, bc := range kr.Order {
+			if kr.Prune && kr.DistBB2[bc] > second2 {
+				kr.Breaks++
+				break
+			}
+			c := geom.Point{kr.CX[bc], kr.CY[bc], kr.CZ[bc]}
+			d2 := geom.Dist2(x, c, dim) * kr.InvInf2[bc]
+			kr.DistCalcs++
+			if d2 < best2 {
+				second2 = best2
+				best2 = d2
+				bestC = bc
+			} else if d2 < second2 {
+				second2 = d2
+			}
+		}
+		kr.A[i] = bestC
+		kr.Ub[i] = math.Sqrt(best2)
+		kr.Lb[i] = math.Sqrt(second2)
+		kr.LocalW[bestC] += kr.W[i]
+	}
+}
+
+func referenceElkan(dim int, kr *geom.AssignKernel, idx []int32) {
+	for _, i := range idx {
+		x := geom.Point{kr.PX[i], kr.PY[i], kr.PZ[i]}
+		best2 := math.Inf(1)
+		bestC := int32(0)
+		row := int(i) * kr.K
+		if a := kr.A[i]; a >= 0 {
+			c := geom.Point{kr.CX[a], kr.CY[a], kr.CZ[a]}
+			raw2 := geom.Dist2(x, c, dim)
+			kr.DistCalcs++
+			kr.Lbk[row+int(a)] = math.Sqrt(raw2)
+			best2 = raw2 * kr.InvInf2[a]
+			bestC = a
+		}
+		for _, bc := range kr.Order {
+			if bc == kr.A[i] {
+				continue
+			}
+			if kr.Prune && kr.DistBB2[bc] > best2 {
+				kr.Breaks++
+				break
+			}
+			if l := kr.Lbk[row+int(bc)]; l > 0 && l*l*kr.InvInf2[bc] >= best2 {
+				kr.Skips++
+				continue
+			}
+			c := geom.Point{kr.CX[bc], kr.CY[bc], kr.CZ[bc]}
+			raw2 := geom.Dist2(x, c, dim)
+			kr.DistCalcs++
+			kr.Lbk[row+int(bc)] = math.Sqrt(raw2)
+			if d2 := raw2 * kr.InvInf2[bc]; d2 < best2 {
+				best2 = d2
+				bestC = bc
+			}
+		}
+		kr.A[i] = bestC
+		kr.Ub[i] = math.Sqrt(best2)
+		kr.LocalW[bestC] += kr.W[i]
+	}
+}

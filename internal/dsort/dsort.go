@@ -98,18 +98,24 @@ func SampleSort(c *mpi.Comm, local []Item) []Item {
 		begin = end
 	}
 
-	recv := mpi.Alltoall(c, send)
+	recv := mpi.Alltoall(c, send) // traffic recorded inside Alltoall
+	out := concat(recv)
+	SortLocal(out)
+	c.AddOps(int64(len(local)) + int64(len(out))) // sort work proxy
+	return out
+}
+
+// concat flattens received chunks into one exactly-sized slice, so the
+// redistribution path never grows a buffer incrementally.
+func concat(chunks [][]Item) []Item {
 	total := 0
-	for _, chunk := range recv {
+	for _, chunk := range chunks {
 		total += len(chunk)
 	}
-	c.Stats().BytesSent += 0 // traffic recorded inside Alltoall
 	out := make([]Item, 0, total)
-	for _, chunk := range recv {
+	for _, chunk := range chunks {
 		out = append(out, chunk...)
 	}
-	SortLocal(out)
-	c.AddOps(int64(len(local)) + int64(total)) // sort work proxy
 	return out
 }
 
@@ -145,12 +151,7 @@ func Rebalance(c *mpi.Comm, local []Item) []Item {
 		send[dst] = local[i:j]
 		i = j
 	}
-	recv := mpi.Alltoall(c, send)
-	out := make([]Item, 0, len(local))
-	for _, chunk := range recv {
-		out = append(out, chunk...)
-	}
-	return out
+	return concat(mpi.Alltoall(c, send))
 }
 
 // GlobalIndexOf returns the global position of this rank's first item

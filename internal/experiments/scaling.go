@@ -92,6 +92,12 @@ type ComponentShare struct {
 	SFCShare      float64
 	SortShare     float64
 	KMeansShare   float64
+
+	// Assignment-kernel throughput: distance evaluations performed and
+	// their rate over the k-means phase — the number perf PRs report
+	// against (the kernels are the dominant cost of that phase).
+	DistCalcs int64
+	MDistRate float64 // million distance evaluations per second
 }
 
 // Components reproduces the §5.3.2 breakdown at a small and a large
@@ -99,8 +105,8 @@ type ComponentShare struct {
 func Components(w io.Writer, sc Scale) ([]ComponentShare, error) {
 	var out []ComponentShare
 	fmt.Fprintln(w, "Components of Geographer's running time (§5.3.2)")
-	fmt.Fprintf(w, "%6s %6s %12s %12s %12s %8s %8s %8s\n",
-		"p", "k", "sfc[s]", "redist[s]", "kmeans[s]", "sfc%", "redist%", "kmeans%")
+	fmt.Fprintf(w, "%6s %6s %12s %12s %12s %8s %8s %8s %10s\n",
+		"p", "k", "sfc[s]", "redist[s]", "kmeans[s]", "sfc%", "redist%", "kmeans%", "Mdist/s")
 	for _, p := range []int{sc.WeakMaxP / 4, sc.WeakMaxP} {
 		if p < 2 {
 			continue
@@ -128,11 +134,15 @@ func Components(w io.Writer, sc Scale) ([]ComponentShare, error) {
 			SFCShare:    info.SFCSeconds / total,
 			SortShare:   info.SortSeconds / total,
 			KMeansShare: info.KMeansSeconds / total,
+			DistCalcs:   info.DistCalcs,
+		}
+		if info.KMeansSeconds > 0 {
+			cs.MDistRate = float64(info.DistCalcs) / info.KMeansSeconds / 1e6
 		}
 		out = append(out, cs)
-		fmt.Fprintf(w, "%6d %6d %12.4f %12.4f %12.4f %7.1f%% %7.1f%% %7.1f%%\n",
+		fmt.Fprintf(w, "%6d %6d %12.4f %12.4f %12.4f %7.1f%% %7.1f%% %7.1f%% %10.1f\n",
 			p, p, cs.SFCSeconds, cs.SortSeconds, cs.KMeansSeconds,
-			100*cs.SFCShare, 100*cs.SortShare, 100*cs.KMeansShare)
+			100*cs.SFCShare, 100*cs.SortShare, 100*cs.KMeansShare, cs.MDistRate)
 	}
 	return out, nil
 }

@@ -1,0 +1,441 @@
+// Batch assignment kernels in squared effective-distance space.
+//
+// The balanced k-means assignment loop (paper Algorithm 1) compares
+// effective distances dist(p,c)/influence(c) across centers. Because x²
+// is strictly monotone on [0,∞), every comparison — argmin selection,
+// second-best tracking, bound skips and bounding-box pruning — can be
+// carried out on dist²(p,c)·invInfluence²(c) instead, which removes the
+// math.Sqrt and the division from the innermost O(n·k) loop. Square
+// roots survive only at bound-maintenance boundaries (one or two per
+// *point* when its upper/lower bounds are rewritten, and one per actual
+// distance evaluation in Elkan mode where the stored per-center bounds
+// live in raw-distance space). See DESIGN.md, "Performance notes", for
+// the invariants the callers rely on.
+//
+// The kernels read points from a structure-of-arrays Cols store and are
+// specialized for the supported dimensions (2D and 3D; 1D inputs ride on
+// the 2D kernel with a zero Y column). Each AssignKernel value carries
+// its own weight accumulator and counters so that several kernels can
+// run concurrently over disjoint index shards of the same point set.
+package geom
+
+import "math"
+
+// Cols is a structure-of-arrays point store: one flat []float64 column
+// per axis, the layout the batch kernels operate on. All three columns
+// are always allocated to the full length — unused axes stay zero — so
+// dimension-specialized kernels never need bounds switches on Dim.
+type Cols struct {
+	Dim     int
+	X, Y, Z []float64
+}
+
+// MakeCols returns a Cols holding n zero points in one backing allocation.
+func MakeCols(dim, n int) Cols {
+	buf := make([]float64, 3*n)
+	return Cols{Dim: dim, X: buf[0:n:n], Y: buf[n : 2*n : 2*n], Z: buf[2*n : 3*n : 3*n]}
+}
+
+// Len returns the number of points.
+func (c *Cols) Len() int { return len(c.X) }
+
+// At returns point i as a Point value.
+func (c *Cols) At(i int) Point { return Point{c.X[i], c.Y[i], c.Z[i]} }
+
+// Set overwrites point i.
+func (c *Cols) Set(i int, p Point) {
+	c.X[i], c.Y[i], c.Z[i] = p[0], p[1], p[2]
+}
+
+// Dist2Batch writes the squared Euclidean distance from every point of
+// the columns to the query point q into out (len(out) = column length).
+// It is the unconditional building block underneath the assignment
+// kernels and the baseline for their microbenchmarks.
+func Dist2Batch(dim int, px, py, pz []float64, q Point, out []float64) {
+	if dim == 3 {
+		qx, qy, qz := q[0], q[1], q[2]
+		for i := range out {
+			dx := px[i] - qx
+			dy := py[i] - qy
+			dz := pz[i] - qz
+			out[i] = dx*dx + dy*dy + dz*dz
+		}
+		return
+	}
+	qx, qy := q[0], q[1]
+	for i := range out {
+		dx := px[i] - qx
+		dy := py[i] - qy
+		out[i] = dx*dx + dy*dy
+	}
+}
+
+// SampleBoxW extends an empty box over the indexed points and sums their
+// weights — the fused first pass of every balance round. The min/max
+// running values stay in registers instead of going through Box.Extend
+// per point.
+func SampleBoxW(dim int, px, py, pz, w []float64, idx []int32) (Box, float64) {
+	bb := EmptyBox(dim)
+	sumW := 0.0
+	if dim == 3 {
+		minX, minY, minZ := bb.Min[0], bb.Min[1], bb.Min[2]
+		maxX, maxY, maxZ := bb.Max[0], bb.Max[1], bb.Max[2]
+		for _, i := range idx {
+			x, y, z := px[i], py[i], pz[i]
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+			if z < minZ {
+				minZ = z
+			}
+			if z > maxZ {
+				maxZ = z
+			}
+			sumW += w[i]
+		}
+		bb.Min[0], bb.Min[1], bb.Min[2] = minX, minY, minZ
+		bb.Max[0], bb.Max[1], bb.Max[2] = maxX, maxY, maxZ
+		return bb, sumW
+	}
+	if dim == 2 {
+		minX, minY := bb.Min[0], bb.Min[1]
+		maxX, maxY := bb.Max[0], bb.Max[1]
+		for _, i := range idx {
+			x, y := px[i], py[i]
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+			sumW += w[i]
+		}
+		bb.Min[0], bb.Min[1] = minX, minY
+		bb.Max[0], bb.Max[1] = maxX, maxY
+		return bb, sumW
+	}
+	for _, i := range idx {
+		bb.Extend(Point{px[i], py[i], pz[i]})
+		sumW += w[i]
+	}
+	return bb, sumW
+}
+
+// AssignKernel bundles the inputs, in/out state and accumulators of one
+// batch assignment pass. The point and center columns, pruning tables
+// and per-point slices (A, Ub, Lb, Lbk) may be shared between several
+// kernel values running over disjoint index shards; LocalW and the
+// counters are private per kernel so shards need no synchronization.
+type AssignKernel struct {
+	// Points: SoA columns and weights, indexed by the sample indices.
+	PX, PY, PZ []float64
+	W          []float64
+
+	// Centers: SoA columns (length K) and squared reciprocal influences.
+	CX, CY, CZ []float64
+	InvInf2    []float64
+
+	// Pruning tables: centers in ascending order of DistBB2, the squared
+	// effective distance from the center to the local bounding box.
+	Order   []int32
+	DistBB2 []float64
+	Prune   bool
+
+	K int
+
+	// Per-point state (full-length; a kernel touches only its indices).
+	// Ub and Lb hold *linear* effective distances — their maintenance
+	// between rounds is additive and does not commute with squaring —
+	// so the kernels take one sqrt per rewritten point on the way out.
+	A      []int32
+	Ub, Lb []float64
+	Lbk    []float64 // Elkan only: raw-distance lower bounds, row stride K
+
+	// Pending influence rescale, fused into the bounded pass: when
+	// UbScale is non-nil, a visited point's bounds are corrected by
+	// Ub·UbScale[A[i]] and Lb·LbScale before the skip test, and the
+	// corrected (or freshly recomputed) values are stored back. The
+	// caller owns the once-per-point discipline: every pending ratio
+	// must be consumed by exactly one pass over the sample.
+	UbScale []float64
+	LbScale float64
+
+	// Accumulators, private per kernel value.
+	LocalW    []float64
+	DistCalcs int64
+	Skips     int64
+	Breaks    int64
+}
+
+// RunBounded executes the Hamerly/plain assignment pass over idx: for
+// each point, recompute the best and second-best effective center unless
+// hamerly bound skipping (Ub < Lb) proves the assignment unchanged.
+func (kr *AssignKernel) RunBounded(dim int, idx []int32, hamerly bool) {
+	if dim == 3 {
+		kr.bounded3D(idx, hamerly)
+	} else {
+		kr.bounded2D(idx, hamerly)
+	}
+}
+
+func (kr *AssignKernel) bounded2D(idx []int32, hamerly bool) {
+	px, py := kr.PX, kr.PY
+	cx, cy := kr.CX, kr.CY
+	inv2 := kr.InvInf2
+	order, dbb2 := kr.Order, kr.DistBB2
+	prune := kr.Prune
+	w, a, ub, lb, localW := kr.W, kr.A, kr.Ub, kr.Lb, kr.LocalW
+	ubScale, lbScale := kr.UbScale, kr.LbScale
+	scaled := ubScale != nil
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		best := a[i]
+		if hamerly && best >= 0 {
+			u, l := ub[i], lb[i]
+			if scaled {
+				u *= ubScale[best]
+				l *= lbScale
+			}
+			if u < l {
+				if scaled {
+					ub[i] = u
+					lb[i] = l
+				}
+				skips++
+				localW[best] += w[i]
+				continue
+			}
+		}
+		x, y := px[i], py[i]
+		best2, second2 := math.Inf(1), math.Inf(1)
+		best = 0
+		for _, bc := range order {
+			if prune && dbb2[bc] > second2 {
+				breaks++
+				break
+			}
+			dx := x - cx[bc]
+			dy := y - cy[bc]
+			d2 := (dx*dx + dy*dy) * inv2[bc]
+			distCalcs++
+			if d2 < best2 {
+				second2 = best2
+				best2 = d2
+				best = bc
+			} else if d2 < second2 {
+				second2 = d2
+			}
+		}
+		a[i] = best
+		ub[i] = math.Sqrt(best2)
+		lb[i] = math.Sqrt(second2)
+		localW[best] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}
+
+func (kr *AssignKernel) bounded3D(idx []int32, hamerly bool) {
+	px, py, pz := kr.PX, kr.PY, kr.PZ
+	cx, cy, cz := kr.CX, kr.CY, kr.CZ
+	inv2 := kr.InvInf2
+	order, dbb2 := kr.Order, kr.DistBB2
+	prune := kr.Prune
+	w, a, ub, lb, localW := kr.W, kr.A, kr.Ub, kr.Lb, kr.LocalW
+	ubScale, lbScale := kr.UbScale, kr.LbScale
+	scaled := ubScale != nil
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		best := a[i]
+		if hamerly && best >= 0 {
+			u, l := ub[i], lb[i]
+			if scaled {
+				u *= ubScale[best]
+				l *= lbScale
+			}
+			if u < l {
+				if scaled {
+					ub[i] = u
+					lb[i] = l
+				}
+				skips++
+				localW[best] += w[i]
+				continue
+			}
+		}
+		x, y, z := px[i], py[i], pz[i]
+		best2, second2 := math.Inf(1), math.Inf(1)
+		best = 0
+		for _, bc := range order {
+			if prune && dbb2[bc] > second2 {
+				breaks++
+				break
+			}
+			dx := x - cx[bc]
+			dy := y - cy[bc]
+			dz := z - cz[bc]
+			d2 := (dx*dx + dy*dy + dz*dz) * inv2[bc]
+			distCalcs++
+			if d2 < best2 {
+				second2 = best2
+				best2 = d2
+				best = bc
+			} else if d2 < second2 {
+				second2 = d2
+			}
+		}
+		a[i] = best
+		ub[i] = math.Sqrt(best2)
+		lb[i] = math.Sqrt(second2)
+		localW[best] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}
+
+// RunElkan executes the Elkan assignment pass over idx: per (point,
+// center) raw-distance lower bounds skip centers that provably cannot
+// win. Lbk entries live in raw-distance space (their maintenance
+// subtracts center movements), so the squared-space comparison guards
+// against non-positive bounds before squaring, and each actual distance
+// evaluation spends one sqrt to refresh the stored raw bound.
+//
+// A pending UbScale is deliberately ignored here: this pass never reads
+// Ub and freshly overwrites it for every visited point, which consumes
+// the pending rescale by construction.
+func (kr *AssignKernel) RunElkan(dim int, idx []int32) {
+	if dim == 3 {
+		kr.elkan3D(idx)
+	} else {
+		kr.elkan2D(idx)
+	}
+}
+
+func (kr *AssignKernel) elkan2D(idx []int32) {
+	px, py := kr.PX, kr.PY
+	cx, cy := kr.CX, kr.CY
+	inv2 := kr.InvInf2
+	order, dbb2 := kr.Order, kr.DistBB2
+	prune := kr.Prune
+	k := kr.K
+	w, a, ub, lbk, localW := kr.W, kr.A, kr.Ub, kr.Lbk, kr.LocalW
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		x, y := px[i], py[i]
+		best2 := math.Inf(1)
+		bestC := int32(0)
+		row := int(i) * k
+		cur := a[i]
+		if cur >= 0 {
+			dx := x - cx[cur]
+			dy := y - cy[cur]
+			raw2 := dx*dx + dy*dy
+			distCalcs++
+			lbk[row+int(cur)] = math.Sqrt(raw2)
+			best2 = raw2 * inv2[cur]
+			bestC = cur
+		}
+		for _, bc := range order {
+			if bc == cur {
+				continue
+			}
+			if prune && dbb2[bc] > best2 {
+				breaks++
+				break
+			}
+			if l := lbk[row+int(bc)]; l > 0 && l*l*inv2[bc] >= best2 {
+				skips++
+				continue
+			}
+			dx := x - cx[bc]
+			dy := y - cy[bc]
+			raw2 := dx*dx + dy*dy
+			distCalcs++
+			lbk[row+int(bc)] = math.Sqrt(raw2)
+			if d2 := raw2 * inv2[bc]; d2 < best2 {
+				best2 = d2
+				bestC = bc
+			}
+		}
+		a[i] = bestC
+		ub[i] = math.Sqrt(best2)
+		localW[bestC] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}
+
+func (kr *AssignKernel) elkan3D(idx []int32) {
+	px, py, pz := kr.PX, kr.PY, kr.PZ
+	cx, cy, cz := kr.CX, kr.CY, kr.CZ
+	inv2 := kr.InvInf2
+	order, dbb2 := kr.Order, kr.DistBB2
+	prune := kr.Prune
+	k := kr.K
+	w, a, ub, lbk, localW := kr.W, kr.A, kr.Ub, kr.Lbk, kr.LocalW
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		x, y, z := px[i], py[i], pz[i]
+		best2 := math.Inf(1)
+		bestC := int32(0)
+		row := int(i) * k
+		cur := a[i]
+		if cur >= 0 {
+			dx := x - cx[cur]
+			dy := y - cy[cur]
+			dz := z - cz[cur]
+			raw2 := dx*dx + dy*dy + dz*dz
+			distCalcs++
+			lbk[row+int(cur)] = math.Sqrt(raw2)
+			best2 = raw2 * inv2[cur]
+			bestC = cur
+		}
+		for _, bc := range order {
+			if bc == cur {
+				continue
+			}
+			if prune && dbb2[bc] > best2 {
+				breaks++
+				break
+			}
+			if l := lbk[row+int(bc)]; l > 0 && l*l*inv2[bc] >= best2 {
+				skips++
+				continue
+			}
+			dx := x - cx[bc]
+			dy := y - cy[bc]
+			dz := z - cz[bc]
+			raw2 := dx*dx + dy*dy + dz*dz
+			distCalcs++
+			lbk[row+int(bc)] = math.Sqrt(raw2)
+			if d2 := raw2 * inv2[bc]; d2 < best2 {
+				best2 = d2
+				bestC = bc
+			}
+		}
+		a[i] = bestC
+		ub[i] = math.Sqrt(best2)
+		localW[bestC] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}

@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randCols(dim, n int, seed int64) Cols {
+	rng := rand.New(rand.NewSource(seed))
+	c := MakeCols(dim, n)
+	for i := 0; i < n; i++ {
+		var p Point
+		for d := 0; d < dim; d++ {
+			p[d] = rng.Float64()
+		}
+		c.Set(i, p)
+	}
+	return c
+}
+
+func TestColsRoundTrip(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		c := randCols(dim, 100, int64(dim))
+		if c.Len() != 100 {
+			t.Fatalf("len %d", c.Len())
+		}
+		for i := 0; i < c.Len(); i++ {
+			p := c.At(i)
+			for d := dim; d < MaxDim; d++ {
+				if p[d] != 0 {
+					t.Fatalf("dim=%d: unused axis %d of point %d is %g", dim, d, i, p[d])
+				}
+			}
+		}
+	}
+}
+
+func TestDist2BatchMatchesDist2(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		c := randCols(dim, 500, int64(10+dim))
+		q := Point{0.3, 0.7, 0.1}
+		if dim == 2 {
+			q[2] = 0
+		}
+		out := make([]float64, c.Len())
+		Dist2Batch(dim, c.X, c.Y, c.Z, q, out)
+		for i := range out {
+			want := Dist2(c.At(i), q, dim)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("dim=%d point %d: batch %x, Dist2 %x", dim, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestSampleBoxW(t *testing.T) {
+	c := randCols(2, 200, 3)
+	w := make([]float64, 200)
+	idx := make([]int32, 0, 100)
+	for i := range w {
+		w[i] = float64(i%7) + 0.5
+		if i%2 == 0 {
+			idx = append(idx, int32(i))
+		}
+	}
+	bb, sumW := SampleBoxW(2, c.X, c.Y, c.Z, w, idx)
+
+	want := EmptyBox(2)
+	wantW := 0.0
+	for _, i := range idx {
+		want.Extend(c.At(int(i)))
+		wantW += w[i]
+	}
+	if bb.Min != want.Min || bb.Max != want.Max || sumW != wantW {
+		t.Fatalf("got (%v, %g), want (%v, %g)", bb, sumW, want, wantW)
+	}
+
+	empty, zw := SampleBoxW(2, c.X, c.Y, c.Z, w, nil)
+	if !empty.Empty() || zw != 0 {
+		t.Fatalf("empty sample: %v, %g", empty, zw)
+	}
+}
+
+// BenchmarkDist2Batch is the stable baseline for the raw SoA distance
+// throughput the assignment kernels build on.
+func BenchmarkDist2Batch(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		dim  int
+	}{{"2D", 2}, {"3D", 3}} {
+		b.Run(bc.name, func(b *testing.B) {
+			const n = 100_000
+			c := randCols(bc.dim, n, 1)
+			out := make([]float64, n)
+			q := Point{0.5, 0.5, 0.5}
+			b.SetBytes(int64(n * bc.dim * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Dist2Batch(bc.dim, c.X, c.Y, c.Z, q, out)
+			}
+		})
+	}
+}

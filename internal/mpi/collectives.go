@@ -37,30 +37,38 @@ func (c *Comm) collectiveExit() {
 // a private copy. Total work is O(p·len) rather than the O(p²·len) of
 // everyone-reduces-everything, which matters for the simulated worlds with
 // hundreds of ranks used in the scaling experiments.
+//
+// Unlike the other collectives, allreduce costs a single barrier
+// crossing: every rank deposits its slot and enters the barrier, the
+// last arriver folds all contributions (at the rendezvous, where every
+// deposit is visible) and publishes the result, and each rank returns a
+// private copy on release. No exit barrier is needed either: the next
+// collective's result publication happens at *its* rendezvous, which
+// requires every rank here to have finished copying first; slot
+// redeposits are only read at that same rendezvous. The balance loop of
+// the k-means core issues one reduction per round, so barrier crossings
+// are the phase's floor at high rank counts.
 func allreduce[T Number](c *Comm, in []T, fold func(acc, v T) T) []T {
-	c.w.slots[c.rank] = in
-	c.collectiveEnter(int64(len(in)) * sizeOf[T]())
-	if c.rank == 0 {
+	w := c.w
+	w.slots[c.rank] = in
+	st := &w.stats[c.rank]
+	st.Collectives++
+	st.CollectiveBytes += int64(len(in)) * sizeOf[T]()
+	st.ModeledCommSec += w.model.CollectiveTime(w.size, int64(len(in))*sizeOf[T]())
+	w.bar.waitWith(func() {
 		res := make([]T, len(in))
-		copy(res, in)
-		for r := 1; r < c.w.size; r++ {
-			contrib := c.w.slots[r].([]T)
+		copy(res, w.slots[0].([]T)) // fold in rank order: bit-identical everywhere
+		for r := 1; r < w.size; r++ {
+			contrib := w.slots[r].([]T)
 			for i, v := range contrib {
 				res[i] = fold(res[i], v)
 			}
 		}
-		c.w.result = res
-	}
-	c.w.bar.wait() // result published
-	src := c.w.result.([]T)
-	var out []T
-	if c.rank == 0 {
-		out = src
-	} else {
-		out = make([]T, len(src))
-		copy(out, src)
-	}
-	c.collectiveExit()
+		w.result = res
+	})
+	src := w.result.([]T)
+	out := make([]T, len(src))
+	copy(out, src)
 	return out
 }
 

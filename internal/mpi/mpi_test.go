@@ -384,3 +384,36 @@ func BenchmarkBarrier(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// A panicking rendezvous action (waitWith fn) must break the barrier:
+// waiting ranks get ErrBroken instead of returning with a stale result.
+func TestBarrierRendezvousPanicBreaks(t *testing.T) {
+	b := newBarrier(2)
+	waiterBroken := make(chan bool, 1)
+	go func() {
+		defer func() {
+			waiterBroken <- recover() == ErrBroken
+		}()
+		b.wait()
+	}()
+	func() {
+		defer func() {
+			if r := recover(); r != "fold boom" {
+				t.Errorf("rendezvous panic = %v, want fold boom", r)
+			}
+		}()
+		// Give the waiter time to arrive first so the rendezvous runs here.
+		for {
+			b.mu.Lock()
+			arrived := b.count == 1
+			b.mu.Unlock()
+			if arrived {
+				break
+			}
+		}
+		b.waitWith(func() { panic("fold boom") })
+	}()
+	if !<-waiterBroken {
+		t.Fatal("waiting rank was not released with ErrBroken")
+	}
+}

@@ -181,7 +181,14 @@ func newBarrier(size int) *barrier {
 	return b
 }
 
-func (b *barrier) wait() {
+func (b *barrier) wait() { b.waitWith(nil) }
+
+// waitWith is wait with a rendezvous action: the last rank to arrive
+// runs fn (under the barrier lock, so everything written by the other
+// ranks before they arrived is visible) before everyone is released.
+// Collectives use it to fold contributions in a single barrier crossing
+// instead of a deposit barrier followed by a publish barrier.
+func (b *barrier) waitWith(fn func()) {
 	b.mu.Lock()
 	if b.broken {
 		b.mu.Unlock()
@@ -190,6 +197,24 @@ func (b *barrier) wait() {
 	gen := b.gen
 	b.count++
 	if b.count == b.size {
+		if fn != nil {
+			// A panicking fn must break the barrier, not complete it:
+			// waiters are released down their broken path (they panic
+			// ErrBroken instead of returning with a stale result), and
+			// the original panic propagates to Run's recover, which
+			// records it as the world's root cause.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						b.broken = true
+						b.cond.Broadcast()
+						b.mu.Unlock()
+						panic(r)
+					}
+				}()
+				fn()
+			}()
+		}
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
