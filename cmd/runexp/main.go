@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|ablation|all")
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|ablation|all")
 		scale   = flag.String("scale", "default", "default|quick")
 		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
 		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
@@ -120,6 +120,21 @@ func main() {
 	if all || *exp == "components" {
 		any = true
 		run("components", func() error { _, err := experiments.Components(os.Stdout, sc); return err })
+	}
+	if all || *exp == "phases" {
+		any = true
+		run("phases", func() error {
+			rows, err := experiments.Phases(os.Stdout, sc)
+			if err != nil || *csvDir == "" {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, "phases.csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return experiments.WritePhaseRowsCSV(f, rows)
+		})
 	}
 	if all || *exp == "ablation" {
 		any = true

@@ -51,23 +51,23 @@ func (HSFC) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]int64, []int3
 	}
 	curve := sfc.NewCurve(box, dim)
 
-	items := make([]dsort.Item, pts.Len())
-	for i := range items {
-		items[i] = dsort.Item{
-			Key: curve.Key(pts.X[i]),
-			ID:  pts.IDs[i],
-			W:   pts.Weight(i),
-			X:   pts.X[i],
-		}
+	// SoA ingest: flat columns, batch key kernel, radix sample sort.
+	cols := dsort.NewCols(dim, pts.Len())
+	for i, x := range pts.X {
+		cols.SetPoint(i, x)
+		cols.IDs[i] = pts.IDs[i]
+		cols.W[i] = pts.Weight(i)
 	}
-	c.AddOps(int64(len(items)))
+	gv := cols.GeomView()
+	curve.KeysCols(&gv, cols.Keys)
+	c.AddOps(int64(cols.Len()))
 
-	sorted := dsort.SampleSort(c, items)
+	sorted := dsort.SampleSortCols(c, cols)
 
 	// Weight prefix over the global order.
 	localW := 0.0
-	for _, it := range sorted {
-		localW += it.W
+	for _, w := range sorted.W {
+		localW += w
 	}
 	totalW := mpi.ReduceScalarSum(c, localW)
 	prefix := mpi.ExscanSum(c, localW)
@@ -76,20 +76,22 @@ func (HSFC) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]int64, []int3
 	}
 	perBlock := totalW / float64(k)
 
-	ids := make([]int64, len(sorted))
-	blocks := make([]int32, len(sorted))
+	n := sorted.Len()
+	ids := make([]int64, n)
+	blocks := make([]int32, n)
 	cum := prefix
-	for i, it := range sorted {
+	for i := 0; i < n; i++ {
 		// Block of the weight midpoint of this item.
-		b := int32((cum + it.W/2) / perBlock)
+		w := sorted.W[i]
+		b := int32((cum + w/2) / perBlock)
 		if b > int32(k-1) {
 			b = int32(k - 1)
 		}
-		ids[i] = it.ID
+		ids[i] = sorted.IDs[i]
 		blocks[i] = b
-		cum += it.W
+		cum += w
 	}
-	c.AddOps(int64(len(sorted)))
+	c.AddOps(int64(n))
 	return ids, blocks, nil
 }
 

@@ -158,25 +158,12 @@ func sortCentersByDist(ids []int32, dist2 []float64) {
 	}
 }
 
-// minShardPoints is the smallest per-chunk sample slice worth its own
-// accumulator: below this, setup/merge overhead dominates the kernel work.
-const minShardPoints = 512
-
-// kernelChunks returns the accumulation grid for a sample of n points.
-// Chunk boundaries depend only on n — never on the worker count or the
-// host — so the per-chunk weight partials always merge in the same
-// floating-point order and partition output stays bit-identical across
-// machines and worker settings (see DESIGN.md).
-func kernelChunks(n int) int {
-	c := n / minShardPoints
-	if c < 1 {
-		c = 1
-	}
-	if c > maxKernelShards {
-		c = maxKernelShards
-	}
-	return c
-}
+// kernelChunks returns the accumulation grid for a sample of n points:
+// the machine-independent grid shared with the other batch kernels
+// (geom.ChunkGrid), so the per-chunk weight partials always merge in
+// the same floating-point order and partition output stays bit-identical
+// across machines and worker settings (see DESIGN.md).
+func kernelChunks(n int) int { return geom.ChunkGrid(n) }
 
 // runAssignKernels executes one assignment pass over the sample through
 // the squared-space batch kernels. The sample is split on the fixed

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// runWithIngest executes one Partition over a fresh world with the
+// ingest path selected by ref, returning the global assignment.
+func runWithIngest(t *testing.T, ps *geom.PointSet, k, p int, cfg Config, ref bool) partition.P {
+	t.Helper()
+	saved := ingestReference
+	ingestReference = ref
+	defer func() { ingestReference = saved }()
+	part, _ := runPartition(t, ps, k, p, cfg)
+	return part
+}
+
+// TestIngestMatchesReference is the end-to-end differential test of the
+// SoA ingest rewrite: batch Hilbert keys + radix sample sort + flat SoA
+// redistribution must yield the bit-identical final partition as the
+// retained Item reference path (per-point keys, sort.Slice, AoS
+// exchange), across rank counts, worker counts and both dimensions.
+func TestIngestMatchesReference(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for _, p := range []int{1, 3, 4} {
+			for _, workers := range []int{1, 3} {
+				ps := uniformPoints(3000, dim, 21)
+				cfg := DefaultConfig()
+				cfg.Seed = 5
+				cfg.Workers = workers
+				want := runWithIngest(t, ps, 8, p, cfg, true)
+				got := runWithIngest(t, ps, 8, p, cfg, false)
+				for i := range want.Assign {
+					if got.Assign[i] != want.Assign[i] {
+						t.Fatalf("dim=%d p=%d workers=%d: point %d assigned %d (SoA) vs %d (reference)",
+							dim, p, workers, i, got.Assign[i], want.Assign[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIngestMatchesReferenceWeighted repeats the differential on
+// non-unit weights and a non-power-of-two rank count.
+func TestIngestMatchesReferenceWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ps := geom.NewPointSet(2, 4000)
+	ps.Weight = make([]float64, 0, 4000)
+	for i := 0; i < 4000; i++ {
+		ps.Append(geom.Point{rng.Float64(), rng.Float64()}, 0.1+3*rng.Float64())
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	want := runWithIngest(t, ps, 6, 3, cfg, true)
+	got := runWithIngest(t, ps, 6, 3, cfg, false)
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("weighted: point %d assigned %d (SoA) vs %d (reference)", i, got.Assign[i], want.Assign[i])
+		}
+	}
+}
+
+// TestIngestMatchesReferenceNoBootstrap covers the ablation mode (no SFC
+// sort): the SoA path must still feed identical columns to phase 3.
+func TestIngestMatchesReferenceNoBootstrap(t *testing.T) {
+	ps := uniformPoints(2000, 3, 33)
+	cfg := DefaultConfig()
+	cfg.SFCBootstrap = false
+	cfg.Seed = 4
+	want := runWithIngest(t, ps, 5, 4, cfg, true)
+	got := runWithIngest(t, ps, 5, 4, cfg, false)
+	for i := range want.Assign {
+		if got.Assign[i] != want.Assign[i] {
+			t.Fatalf("no-bootstrap: point %d assigned %d (SoA) vs %d (reference)", i, got.Assign[i], want.Assign[i])
+		}
+	}
+}
+
+// TestIngestEmptyRank keeps the SoA pipeline sound when some ranks start
+// with zero points (more ranks than needed for a tiny input).
+func TestIngestEmptyRank(t *testing.T) {
+	ps := uniformPoints(7, 2, 1)
+	part, _ := runPartition(t, ps, 2, 5, DefaultConfig())
+	if err := part.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkIngestPhase measures the ingest phases (key computation +
+// global sort + redistribution) through a full Partition on the facade
+// workload shape (n=20k, p=4), comparing the SoA fast path with the
+// Item reference.
+func BenchmarkIngestPhase(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	ps := geom.NewPointSet(2, 20000)
+	for i := 0; i < 20000; i++ {
+		ps.Append(geom.Point{rng.Float64(), rng.Float64()}, 1)
+	}
+	for _, ref := range []bool{false, true} {
+		name := "soa"
+		if ref {
+			name = "reference"
+		}
+		b.Run(name, func(b *testing.B) {
+			saved := ingestReference
+			ingestReference = ref
+			defer func() { ingestReference = saved }()
+			cfg := DefaultConfig()
+			cfg.MaxIter = 1 // ingest dominates; keep the k-means tail short
+			var ingest float64
+			for i := 0; i < b.N; i++ {
+				bkm := New(cfg)
+				w := mpi.NewWorld(4)
+				if _, err := partition.Run(w, ps, 16, bkm); err != nil {
+					b.Fatal(err)
+				}
+				info := bkm.LastInfo()
+				ingest += info.SFCSeconds + info.SortSeconds
+			}
+			b.ReportMetric(ingest/float64(b.N)*1e3, "ingest-ms/op")
+		})
+	}
+}

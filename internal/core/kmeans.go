@@ -120,40 +120,77 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 	st := &state{c: c, cfg: cfg, dim: pts.Dim, k: k}
 
 	// ---- Phase 1: space-filling curve keys (§4.1). -----------------------
+	// The SoA fast path fills flat dsort columns straight from the input
+	// and computes keys through the batch kernel; the retained Item
+	// reference path (per-point Curve.Key, sort.Slice-based sort) is
+	// selected by the test-only ingestReference hook so the differential
+	// test can pin both pipelines bit-identical end-to-end.
 	tStart := time.Now()
 	box := globalBounds(c, pts)
 	st.diag = box.Diagonal()
 	if st.diag == 0 {
 		st.diag = 1
 	}
+	var cols *dsort.Cols
 	var items []dsort.Item
-	if cfg.SFCBootstrap {
-		curve := sfc.NewCurve(box, pts.Dim)
+	if ingestReference {
 		items = make([]dsort.Item, pts.Len())
-		for i := range items {
-			items[i] = dsort.Item{Key: curve.Key(pts.X[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i]}
+		if cfg.SFCBootstrap {
+			curve := sfc.NewCurve(box, pts.Dim)
+			for i := range items {
+				items[i] = dsort.Item{Key: curve.Key(pts.X[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i]}
+			}
+			c.AddOps(int64(len(items)))
+		} else {
+			for i := range items {
+				items[i] = dsort.Item{Key: uint64(pts.IDs[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i]}
+			}
 		}
-		c.AddOps(int64(len(items)))
 	} else {
-		items = make([]dsort.Item, pts.Len())
-		for i := range items {
-			items[i] = dsort.Item{Key: uint64(pts.IDs[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i]}
+		cols = dsort.NewCols(st.dim, pts.Len())
+		for i, x := range pts.X {
+			cols.SetPoint(i, x)
+			cols.IDs[i] = pts.IDs[i]
+			cols.W[i] = pts.Weight(i)
+		}
+		if cfg.SFCBootstrap {
+			curve := sfc.NewCurve(box, pts.Dim)
+			gv := cols.GeomView()
+			curve.KeysColsParallel(&gv, cols.Keys, resolveWorkers(cfg, c.Size()))
+			c.AddOps(int64(cols.Len()))
+		} else {
+			for i := range cols.Keys {
+				cols.Keys[i] = uint64(pts.IDs[i])
+			}
 		}
 	}
 	st.info.SFCSeconds = time.Since(tStart).Seconds()
 
 	// ---- Phase 2: global sort + redistribution (Algorithm 2, l. 4–6). ----
 	tSort := time.Now()
-	if cfg.SFCBootstrap {
-		items = dsort.SampleSort(c, items)
-		items = dsort.Rebalance(c, items)
-	}
-	st.X = geom.MakeCols(st.dim, len(items))
-	st.W = make([]float64, len(items))
-	st.IDs = make([]int64, len(items))
-	for i, it := range items {
-		st.X.Set(i, it.X)
-		st.W[i], st.IDs[i] = it.W, it.ID
+	if ingestReference {
+		if cfg.SFCBootstrap {
+			items = dsort.SampleSort(c, items)
+			items = dsort.Rebalance(c, items)
+		}
+		st.X = geom.MakeCols(st.dim, len(items))
+		st.W = make([]float64, len(items))
+		st.IDs = make([]int64, len(items))
+		for i, it := range items {
+			st.X.Set(i, it.X)
+			st.W[i], st.IDs[i] = it.W, it.ID
+		}
+	} else {
+		if cfg.SFCBootstrap {
+			cols = dsort.SampleSortCols(c, cols)
+			cols = dsort.RebalanceCols(c, cols)
+		}
+		// The k-means phase adopts the sorted columns in place: absent
+		// axes get zero columns (Geom), nothing is copied back through
+		// []dsort.Item.
+		st.X = cols.Geom()
+		st.W = cols.W
+		st.IDs = cols.IDs
 	}
 	st.info.SortSeconds = time.Since(tSort).Seconds()
 
@@ -219,10 +256,9 @@ func resolveWorkers(cfg Config, worldSize int) int {
 	return w
 }
 
-// maxKernelShards caps the shard fan-out: beyond this, merge overhead and
-// goroutine churn outweigh the per-shard speedup for the sample sizes the
-// balance rounds run on.
-const maxKernelShards = 16
+// maxKernelShards caps the shard fan-out at the shared chunk grid's
+// maximum (geom.MaxKernelChunks): more workers than chunks would idle.
+const maxKernelShards = geom.MaxKernelChunks
 
 // initCentersAndTargets places the k initial centers at equal distances
 // along the sorted point order (Algorithm 2, line 7: C[i] =

@@ -6,6 +6,14 @@ import (
 	"geographer/internal/geom"
 )
 
+// ingestReference routes Partition's ingest phase (§4.1 keys + global
+// sort + redistribution) down the retained AoS Item reference path —
+// per-point sfc.Curve.Key, sort.Slice-based dsort.SampleSort/Rebalance —
+// instead of the SoA fast path (batch key kernel, radix sort, flat
+// exchanges, p-way merge). Test-only: the differential ingest test flips
+// it to demand bit-identical final partitions from both pipelines.
+var ingestReference = false
+
 // referenceAssign is the retained scalar reference of the batch
 // assignment kernels: a straight-line, per-point transcription of
 // Algorithm 1's inner loop in squared effective-distance space. It is

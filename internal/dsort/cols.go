@@ -1,0 +1,357 @@
+// SoA fast path of the distributed sample sort.
+//
+// The ingest pipeline (paper §4.1, Algorithm 2 lines 4–6) is the one
+// place where every input point crosses the wire. The AoS Item path
+// (dsort.go) remains as the reference; the Cols path below carries the
+// same data as flat columns — keys, ids, weights, and one []float64 per
+// *actual* spatial dimension — which buys three things:
+//
+//   - the local sort is an LSD radix over the uint64 key (radix.go)
+//     instead of reflection-based sort.Slice;
+//   - the post-exchange "concat + full re-sort" becomes a p-way merge of
+//     the already-sorted received runs;
+//   - the all-to-all moves flat buffers (mpi.AlltoallFlat) whose traffic
+//     statistics match the real wire size — a 2D point no longer pays
+//     for a padded third coordinate.
+//
+// The global (Key, ID) order, the per-rank chunks, and therefore every
+// downstream partition are bit-identical to the Item path; the
+// differential tests in cols_test.go enforce this across rank counts and
+// dimensions.
+package dsort
+
+import (
+	"sort"
+
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+)
+
+// Cols is the SoA record batch travelling through the sort: parallel
+// columns indexed by point. Only the Dim leading coordinate columns are
+// allocated; a 2D batch has no Z column at all.
+type Cols struct {
+	Dim  int
+	Keys []uint64
+	IDs  []int64
+	W    []float64
+	C    [geom.MaxDim][]float64
+}
+
+// NewCols allocates a batch of n zero records in dim dimensions.
+func NewCols(dim, n int) *Cols {
+	c := &Cols{
+		Dim:  dim,
+		Keys: make([]uint64, n),
+		IDs:  make([]int64, n),
+		W:    make([]float64, n),
+	}
+	for d := 0; d < dim; d++ {
+		c.C[d] = make([]float64, n)
+	}
+	return c
+}
+
+// Len returns the number of records.
+func (c *Cols) Len() int { return len(c.Keys) }
+
+// SetPoint writes the Dim leading coordinates of p into record i.
+func (c *Cols) SetPoint(i int, p geom.Point) {
+	for d := 0; d < c.Dim; d++ {
+		c.C[d][i] = p[d]
+	}
+}
+
+// Point returns the coordinates of record i.
+func (c *Cols) Point(i int) geom.Point {
+	var p geom.Point
+	for d := 0; d < c.Dim; d++ {
+		p[d] = c.C[d][i]
+	}
+	return p
+}
+
+// GeomView returns a geom.Cols sharing the coordinate columns; columns
+// of unused axes stay nil. Only safe for consumers that never touch the
+// missing axes (the batch key kernel).
+func (c *Cols) GeomView() geom.Cols {
+	return geom.Cols{Dim: c.Dim, X: c.C[0], Y: c.C[1], Z: c.C[2]}
+}
+
+// Geom converts the batch into a full geom.Cols point store: present
+// coordinate columns are shared (no copy), absent axes get fresh
+// zero-filled columns so SoA kernels that read all three axes work.
+func (c *Cols) Geom() geom.Cols {
+	out := geom.Cols{Dim: c.Dim, X: c.C[0], Y: c.C[1], Z: c.C[2]}
+	n := c.Len()
+	if out.X == nil {
+		out.X = make([]float64, n)
+	}
+	if out.Y == nil {
+		out.Y = make([]float64, n)
+	}
+	if out.Z == nil {
+		out.Z = make([]float64, n)
+	}
+	return out
+}
+
+// ColsFromItems converts an AoS item batch (reference path, tests).
+func ColsFromItems(dim int, items []Item) *Cols {
+	c := NewCols(dim, len(items))
+	for i, it := range items {
+		c.Keys[i] = it.Key
+		c.IDs[i] = it.ID
+		c.W[i] = it.W
+		c.SetPoint(i, it.X)
+	}
+	return c
+}
+
+// Items converts back to the AoS form (reference path, tests).
+func (c *Cols) Items() []Item {
+	items := make([]Item, c.Len())
+	for i := range items {
+		items[i] = Item{Key: c.Keys[i], ID: c.IDs[i], W: c.W[i], X: c.Point(i)}
+	}
+	return items
+}
+
+// WireBytes returns the modeled per-record wire size of the SoA
+// exchange: key + id + weight + dim coordinates. This replaces the old
+// itemBytes constant, which hardcoded three coordinates and overstated
+// the communication volume of 2D workloads by 8 bytes per point.
+func WireBytes(dim int) int64 { return 8 + 8 + 8 + 8*int64(dim) }
+
+// SortColsLocal sorts the batch in place by (Key, ID): radix-sort a
+// permutation, then gather every column through it once.
+func SortColsLocal(c *Cols) {
+	n := c.Len()
+	if n < 2 {
+		return
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sortPermByKeyID(c.Keys, c.IDs, perm)
+	c.permute(perm)
+}
+
+// permute reorders every column by perm (out[i] = col[perm[i]]).
+func (c *Cols) permute(perm []int32) {
+	n := len(perm)
+	keys := make([]uint64, n)
+	ids := make([]int64, n)
+	w := make([]float64, n)
+	for i, p := range perm {
+		keys[i] = c.Keys[p]
+		ids[i] = c.IDs[p]
+		w[i] = c.W[p]
+	}
+	c.Keys, c.IDs, c.W = keys, ids, w
+	for d := 0; d < c.Dim; d++ {
+		col := make([]float64, n)
+		src := c.C[d]
+		for i, p := range perm {
+			col[i] = src[p]
+		}
+		c.C[d] = col
+	}
+}
+
+// exchange performs the SoA all-to-all: all columns (keys, ids,
+// weights, Dim coordinates) travel in one collective with shared
+// sendCounts, so the collective count matches the reference path's
+// single Alltoall while the accounted bytes are WireBytes(Dim) per
+// off-rank record. Returns the received batch (runs concatenated in
+// rank order) and the per-source run lengths.
+func exchange(c *mpi.Comm, local *Cols, sendCounts []int) (*Cols, []int) {
+	f64 := make([][]float64, 1+local.Dim)
+	f64[0] = local.W
+	for d := 0; d < local.Dim; d++ {
+		f64[1+d] = local.C[d]
+	}
+	keys, ids, recvF, counts := mpi.AlltoallCols(c, local.Keys, local.IDs, f64, sendCounts)
+	out := &Cols{Dim: local.Dim, Keys: keys, IDs: ids, W: recvF[0]}
+	for d := 0; d < local.Dim; d++ {
+		out.C[d] = recvF[1+d]
+	}
+	return out, counts
+}
+
+// SampleSortCols is SampleSort over the SoA batch: same splitters, same
+// buckets, same global (Key, ID) order as the Item path — bit-identical
+// per-rank results — but with a radix local sort, flat exchanges, and a
+// p-way merge of the received (already sorted) runs instead of the
+// reference path's concat + full re-sort.
+func SampleSortCols(c *mpi.Comm, local *Cols) *Cols {
+	p := c.Size()
+	SortColsLocal(local)
+	if p == 1 {
+		return local
+	}
+	n := local.Len()
+
+	// Regular sampling of local keys (identical to the reference path, so
+	// splitters and bucket boundaries match exactly).
+	s := samplesPerRank
+	if n < s {
+		s = n
+	}
+	samples := make([]uint64, 0, s)
+	for i := 0; i < s; i++ {
+		idx := (i*2 + 1) * n / (2 * s)
+		samples = append(samples, local.Keys[idx])
+	}
+	all := mpi.AllgatherFlat(c, samples)
+	if len(all) == 0 {
+		// Globally empty input: every rank agrees (collective result).
+		return local
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	// p-1 splitters; bucket b receives keys in (split[b-1], split[b]].
+	splitters := make([]uint64, p-1)
+	for i := 0; i < p-1; i++ {
+		splitters[i] = all[(i+1)*len(all)/p]
+	}
+
+	// Contiguous buckets of the sorted local run, as counts.
+	sendCounts := make([]int, p)
+	begin := 0
+	for b := 0; b < p; b++ {
+		end := n
+		if b < p-1 {
+			end = begin + sort.Search(n-begin, func(i int) bool {
+				return local.Keys[begin+i] > splitters[b]
+			})
+		}
+		sendCounts[b] = end - begin
+		begin = end
+	}
+
+	recv, counts := exchange(c, local, sendCounts)
+	out := mergeRuns(recv, counts)
+	c.AddOps(int64(n) + int64(out.Len())) // sort work proxy
+	return out
+}
+
+// mergeRuns merges the p sorted runs of a received batch (run r occupies
+// the next counts[r] records) into one batch ordered by (Key, ID). A
+// binary min-heap over the run heads gives O(n log p); with at most one
+// non-empty run the input is returned unchanged.
+func mergeRuns(in *Cols, counts []int) *Cols {
+	heads := make([]int, 0, len(counts))
+	ends := make([]int, 0, len(counts))
+	off := 0
+	for _, cnt := range counts {
+		if cnt > 0 {
+			heads = append(heads, off)
+			ends = append(ends, off+cnt)
+		}
+		off += cnt
+	}
+	if len(heads) <= 1 {
+		return in
+	}
+
+	keys, ids := in.Keys, in.IDs
+	// less orders two record positions by (Key, ID); IDs are globally
+	// unique so the order is total.
+	less := func(a, b int) bool {
+		if keys[a] != keys[b] {
+			return keys[a] < keys[b]
+		}
+		return ids[a] < ids[b]
+	}
+
+	// heap[j] is a run index; ordered by the run's head record.
+	heap := make([]int, len(heads))
+	for j := range heap {
+		heap[j] = j
+	}
+	siftDown := func(j int) {
+		for {
+			l, r := 2*j+1, 2*j+2
+			m := j
+			if l < len(heap) && less(heads[heap[l]], heads[heap[m]]) {
+				m = l
+			}
+			if r < len(heap) && less(heads[heap[r]], heads[heap[m]]) {
+				m = r
+			}
+			if m == j {
+				return
+			}
+			heap[j], heap[m] = heap[m], heap[j]
+			j = m
+		}
+	}
+	for j := len(heap)/2 - 1; j >= 0; j-- {
+		siftDown(j)
+	}
+
+	out := NewCols(in.Dim, in.Len())
+	for i := 0; i < out.Len(); i++ {
+		r := heap[0]
+		h := heads[r]
+		out.Keys[i] = keys[h]
+		out.IDs[i] = ids[h]
+		out.W[i] = in.W[h]
+		for d := 0; d < in.Dim; d++ {
+			out.C[d][i] = in.C[d][h]
+		}
+		heads[r]++
+		if heads[r] == ends[r] {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		if len(heap) > 0 {
+			siftDown(0)
+		}
+	}
+	return out
+}
+
+// RebalanceCols is Rebalance over the SoA batch: exact ⌈n/p⌉ balance
+// with the global order preserved (Algorithm 2 line 6). The received
+// runs arrive in rank order and the cuts are order-preserving, so the
+// flat exchange output needs no merge at all.
+func RebalanceCols(c *mpi.Comm, local *Cols) *Cols {
+	p := c.Size()
+	if p == 1 {
+		return local
+	}
+	n := mpi.ReduceScalarSum(c, int64(local.Len()))
+	if n == 0 {
+		return local
+	}
+	start := mpi.ExscanSum(c, int64(local.Len()))
+
+	// Global position g belongs to rank g*p/n (balanced cuts).
+	sendCounts := make([]int, p)
+	i := 0
+	for i < local.Len() {
+		g := start + int64(i)
+		dst := int(g * int64(p) / n)
+		if dst > p-1 {
+			dst = p - 1
+		}
+		// End of dst's range: first g' with g'*p/n > dst.
+		endG := (int64(dst+1)*n + int64(p) - 1) / int64(p)
+		j := i + int(endG-g)
+		if j > local.Len() {
+			j = local.Len()
+		}
+		sendCounts[dst] = j - i
+		i = j
+	}
+	out, _ := exchange(c, local, sendCounts)
+	return out
+}
+
+// IsGloballySortedCols is IsGloballySorted for a SoA batch.
+func IsGloballySortedCols(c *mpi.Comm, local *Cols) bool {
+	return IsGloballySorted(c, local.Items())
+}

@@ -1,0 +1,240 @@
+package dsort
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geographer/internal/mpi"
+)
+
+// makeCols builds the SoA twin of makeItems for one rank.
+func makeCols(rank, n int, seed int64, dim int) *Cols {
+	items := makeItems(rank, n, seed)
+	return ColsFromItems(dim, items)
+}
+
+// colsEqual compares two batches record-by-record, bit-exact.
+func colsEqual(t *testing.T, tag string, got *Cols, want []Item) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("%s: %d records, want %d", tag, got.Len(), len(want))
+	}
+	for i, it := range want {
+		if got.Keys[i] != it.Key || got.IDs[i] != it.ID || got.W[i] != it.W || got.Point(i) != it.X {
+			t.Fatalf("%s: record %d = {%x %d %v %v}, want {%x %d %v %v}",
+				tag, i, got.Keys[i], got.IDs[i], got.W[i], got.Point(i),
+				it.Key, it.ID, it.W, it.X)
+		}
+	}
+}
+
+// TestSortColsLocalMatchesSortLocal pins the radix sort to the
+// comparison reference, including the ID tiebreak under heavy key
+// collisions and shuffled (non-ascending) ID orders.
+func TestSortColsLocalMatchesSortLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{0, 1, 2, 7, 100, 5000} {
+		for _, collide := range []bool{false, true} {
+			items := makeItems(0, n, 99)
+			if collide {
+				for i := range items {
+					items[i].Key %= 5 // almost every key collides
+				}
+			}
+			rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+			cols := ColsFromItems(2, items)
+			SortColsLocal(cols)
+			SortLocal(items)
+			colsEqual(t, "local sort", cols, items)
+		}
+	}
+}
+
+// TestSortColsLocalNegativeIDs covers the int64 sign handling of the
+// ID radix passes.
+func TestSortColsLocalNegativeIDs(t *testing.T) {
+	cols := &Cols{
+		Dim:  2,
+		Keys: []uint64{7, 7, 7, 1, 7},
+		IDs:  []int64{5, -3, 0, 9, -1 << 62},
+		W:    []float64{1, 2, 3, 4, 5},
+		C:    [3][]float64{{1, 2, 3, 4, 5}, {0, 0, 0, 0, 0}, nil},
+	}
+	items := cols.Items()
+	SortColsLocal(cols)
+	SortLocal(items)
+	colsEqual(t, "negative ids", cols, items)
+}
+
+// TestSortPermByKeysStable checks the exported permutation sort keeps
+// equal keys in incoming perm order (the tiebreak seeding relies on).
+func TestSortPermByKeysStable(t *testing.T) {
+	keys := []uint64{3, 1, 3, 1, 3}
+	perm := []int32{0, 1, 2, 3, 4}
+	SortPermByKeys(keys, perm)
+	want := []int32{1, 3, 0, 2, 4}
+	for i := range perm {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+}
+
+// collectCols runs an SPMD function returning one batch per rank.
+func collectCols(t *testing.T, p int, run func(c *mpi.Comm) *Cols) []*Cols {
+	t.Helper()
+	w := mpi.NewWorld(p)
+	results := make([]*Cols, p)
+	var mu sync.Mutex
+	if err := w.Run(func(c *mpi.Comm) {
+		out := run(c)
+		mu.Lock()
+		results[c.Rank()] = out
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+// TestColsPipelineMatchesItems is the ingest differential test: for both
+// dimensions and several rank counts, SampleSortCols and RebalanceCols
+// must reproduce the Item reference path bit-identically on every rank —
+// same global (Key, ID) order, same per-rank chunks, same payloads.
+func TestColsPipelineMatchesItems(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for _, p := range []int{1, 2, 3, 8} {
+			for _, nPer := range []int{0, 1, 100, 1000} {
+				// Reference: Item path.
+				wantSorted := make([][]Item, p)
+				wantBalanced := make([][]Item, p)
+				var mu sync.Mutex
+				w := mpi.NewWorld(p)
+				if err := w.Run(func(c *mpi.Comm) {
+					sorted := SampleSort(c, makeItems(c.Rank(), nPer, 42))
+					balanced := Rebalance(c, append([]Item(nil), sorted...))
+					mu.Lock()
+					wantSorted[c.Rank()] = sorted
+					wantBalanced[c.Rank()] = balanced
+					mu.Unlock()
+				}); err != nil {
+					t.Fatal(err)
+				}
+
+				// SoA path, same input.
+				gotSorted := collectCols(t, p, func(c *mpi.Comm) *Cols {
+					out := SampleSortCols(c, makeCols(c.Rank(), nPer, 42, dim))
+					if !IsGloballySortedCols(c, out) {
+						t.Errorf("dim=%d p=%d n=%d: cols path not globally sorted", dim, p, nPer)
+					}
+					return out
+				})
+				gotBalanced := collectCols(t, p, func(c *mpi.Comm) *Cols {
+					sorted := SampleSortCols(c, makeCols(c.Rank(), nPer, 42, dim))
+					return RebalanceCols(c, sorted)
+				})
+				for r := 0; r < p; r++ {
+					want := wantSorted[r]
+					if dim == 2 {
+						want = drop3rd(want)
+					}
+					colsEqual(t, "sorted", gotSorted[r], want)
+					want = wantBalanced[r]
+					if dim == 2 {
+						want = drop3rd(want)
+					}
+					colsEqual(t, "balanced", gotBalanced[r], want)
+				}
+			}
+		}
+	}
+}
+
+// drop3rd zeroes the third coordinate of reference items: a 2D Cols
+// batch never carries it (makeItems fills X[2]=0 already, so this is a
+// no-op safeguard that documents the comparison).
+func drop3rd(items []Item) []Item {
+	out := append([]Item(nil), items...)
+	for i := range out {
+		out[i].X[2] = 0
+	}
+	return out
+}
+
+// TestColsPipelineSkewedKeys repeats the worst-case splitter scenario on
+// the SoA path.
+func TestColsPipelineSkewedKeys(t *testing.T) {
+	p := 4
+	results := collectCols(t, p, func(c *mpi.Comm) *Cols {
+		local := NewCols(2, 500)
+		for i := 0; i < 500; i++ {
+			local.Keys[i] = uint64(i % 3)
+			local.IDs[i] = int64(c.Rank()*1000 + i)
+		}
+		out := SampleSortCols(c, local)
+		if !IsGloballySortedCols(c, out) {
+			t.Error("skewed: not globally sorted")
+		}
+		return out
+	})
+	total := 0
+	for _, chunk := range results {
+		total += chunk.Len()
+	}
+	if total != p*500 {
+		t.Fatalf("lost records: %d", total)
+	}
+}
+
+// TestExchangeWireBytes2D pins the traffic-accounting fix: a 2D
+// redistribution must move (and account) 40 bytes per off-rank record —
+// key, id, weight, two coordinates — not the 48 bytes of a padded
+// three-coordinate Item.
+func TestExchangeWireBytes2D(t *testing.T) {
+	const n = 10
+	w := mpi.NewWorld(2)
+	if err := w.Run(func(c *mpi.Comm) {
+		var local *Cols
+		if c.Rank() == 0 {
+			local = makeCols(0, n, 7, 2)
+			SortColsLocal(local)
+		} else {
+			local = NewCols(2, 0)
+		}
+		RebalanceCols(c, local)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 holds all n records and sends n/2 to rank 1, plus two scalar
+	// collectives (ReduceScalarSum + ExscanSum, 8 bytes each).
+	want := (n / 2) * int(WireBytes(2))
+	got := int(w.Stats()[0].CollectiveBytes) - 16
+	if got != want {
+		t.Fatalf("2D exchange accounted %d payload bytes, want %d (WireBytes(2)=%d)",
+			got, want, WireBytes(2))
+	}
+}
+
+// BenchmarkRadixVsSortSlice compares the two local sorts on one rank's
+// typical load (20k records, random 48-bit keys).
+func BenchmarkRadixVsSortSlice(b *testing.B) {
+	const n = 20000
+	base := makeItems(0, n, 42)
+	b.Run("sortslice", func(b *testing.B) {
+		items := make([]Item, n)
+		for i := 0; i < b.N; i++ {
+			copy(items, base)
+			SortLocal(items)
+		}
+	})
+	b.Run("radix", func(b *testing.B) {
+		cols := ColsFromItems(3, base)
+		scratch := ColsFromItems(3, base)
+		for i := 0; i < b.N; i++ {
+			copy(scratch.Keys, cols.Keys)
+			copy(scratch.IDs, cols.IDs)
+			SortColsLocal(scratch)
+		}
+	})
+}

@@ -9,6 +9,11 @@
 // splitter selection from regular samples, one personalized all-to-all,
 // local merge — and the same postconditions (globally sorted by key,
 // approximately balanced; Rebalance makes the balance exact).
+//
+// Two implementations coexist: the AoS Item path in this file (the
+// readable reference) and the SoA Cols fast path (cols.go: radix local
+// sort, flat-buffer exchanges, p-way merge) used by the partitioners.
+// Both produce the bit-identical global (Key, ID) order.
 package dsort
 
 import (
@@ -19,16 +24,19 @@ import (
 )
 
 // Item is one point record travelling through the sort: its space-filling
-// curve key, a stable global id, its weight and coordinates.
+// curve key, a stable global id, its weight and coordinates. The Item
+// functions below are the retained *reference* implementation; the
+// production ingest runs the SoA Cols path (cols.go), which is pinned
+// bit-identical to this one by the differential tests. Note that an Item
+// always carries geom.MaxDim coordinates, so Item-based exchanges
+// overstate the wire volume of 2D workloads; WireBytes(dim) gives the
+// honest per-record size the Cols path both moves and accounts.
 type Item struct {
 	Key uint64
 	ID  int64
 	W   float64
 	X   geom.Point
 }
-
-// itemBytes approximates the wire size of an Item for traffic statistics.
-const itemBytes = 8 + 8 + 8 + 8*3
 
 // Less orders items by (Key, ID); the ID tiebreak makes the global order
 // total and therefore the whole pipeline deterministic.

@@ -193,13 +193,32 @@ func TestLessTotalOrder(t *testing.T) {
 func BenchmarkSampleSort(b *testing.B) {
 	p := 4
 	const nPer = 20000
-	for i := 0; i < b.N; i++ {
-		w := mpi.NewWorld(p)
-		if err := w.Run(func(c *mpi.Comm) {
-			local := makeItems(c.Rank(), nPer, 42)
-			SampleSort(c, local)
-		}); err != nil {
-			b.Fatal(err)
+	b.Run("items", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := mpi.NewWorld(p)
+			if err := w.Run(func(c *mpi.Comm) {
+				local := makeItems(c.Rank(), nPer, 42)
+				SampleSort(c, local)
+			}); err != nil {
+				b.Fatal(err)
+			}
 		}
+	})
+	for _, dim := range []int{2, 3} {
+		name := "cols2d"
+		if dim == 3 {
+			name = "cols3d"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := mpi.NewWorld(p)
+				if err := w.Run(func(c *mpi.Comm) {
+					local := makeCols(c.Rank(), nPer, 42, dim)
+					SampleSortCols(c, local)
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -11,6 +11,7 @@ import (
 func WriteRowsCSV(w io.Writer, rows []Row) error {
 	cw := csv.NewWriter(w)
 	header := []string{"graph", "n", "m", "tool", "k", "p", "wall_s", "modeled_s",
+		"sfc_s", "sort_s", "kmeans_s",
 		"cut", "max_comm", "tot_comm", "harm_diam", "imbalance", "spmv_comm_s", "spmv_wall_s"}
 	if err := cw.Write(header); err != nil {
 		return err
@@ -25,6 +26,9 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 			strconv.Itoa(r.P),
 			fmtF(r.Seconds),
 			fmtF(r.ModelSeconds),
+			fmtF(r.SFCSeconds),
+			fmtF(r.SortSeconds),
+			fmtF(r.KMeansSeconds),
 			strconv.FormatInt(r.Cut, 10),
 			strconv.FormatInt(r.MaxComm, 10),
 			strconv.FormatInt(r.TotComm, 10),
@@ -33,6 +37,24 @@ func WriteRowsCSV(w io.Writer, rows []Row) error {
 			fmtF(r.SpMVComm),
 			fmtF(r.SpMVWall),
 		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePhaseRowsCSV dumps the ingest/k-means phase breakdown.
+func WritePhaseRowsCSV(w io.Writer, rows []PhaseRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"graph", "n", "k", "p", "sfc_s", "sort_s", "kmeans_s", "total_s", "ingest_share"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Graph, strconv.Itoa(r.N), strconv.Itoa(r.K), strconv.Itoa(r.P),
+			fmtF(r.SFCSeconds), fmtF(r.SortSeconds), fmtF(r.KMeansSeconds),
+			fmtF(r.TotalSeconds), fmtF(r.IngestShare)}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}

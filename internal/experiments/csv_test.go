@@ -25,7 +25,7 @@ func TestWriteRowsCSV(t *testing.T) {
 	if len(recs) != 2 {
 		t.Fatalf("%d records", len(recs))
 	}
-	if recs[1][0] != "g1" || recs[1][8] != "42" {
+	if recs[1][0] != "g1" || recs[1][11] != "42" {
 		t.Errorf("row: %v", recs[1])
 	}
 }

@@ -223,6 +223,62 @@ func TestComponentsQuick(t *testing.T) {
 	}
 }
 
+func TestPhasesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	rows, err := Phases(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d phase rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.TotalSeconds <= 0 {
+			t.Errorf("%s: no time recorded", r.Graph)
+		}
+		if sum := r.SFCSeconds + r.SortSeconds + r.KMeansSeconds; sum != r.TotalSeconds {
+			t.Errorf("%s: phases sum %g != total %g", r.Graph, sum, r.TotalSeconds)
+		}
+		if r.IngestShare < 0 || r.IngestShare > 1 {
+			t.Errorf("%s: ingest share %g", r.Graph, r.IngestShare)
+		}
+	}
+	var csvBuf bytes.Buffer
+	if err := WritePhaseRowsCSV(&csvBuf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunOnePhaseFields checks Geographer rows carry the phase
+// breakdown while baseline rows stay zero.
+func TestRunOnePhaseFields(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	in := Registry()[0]
+	m, err := in.Materialize(1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := RunOne(m, Tools()[0], 4, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geo.SFCSeconds+geo.SortSeconds+geo.KMeansSeconds <= 0 {
+		t.Error("Geographer row has no phase times")
+	}
+	rcb, err := RunOne(m, baselinesRCB(), 4, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcb.SFCSeconds != 0 || rcb.SortSeconds != 0 || rcb.KMeansSeconds != 0 {
+		t.Error("baseline row reports phase times")
+	}
+}
+
 func TestAblationQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")

@@ -5,12 +5,17 @@ import (
 	"time"
 
 	"geographer/internal/baselines"
+	"geographer/internal/core"
 	"geographer/internal/mesh"
 	"geographer/internal/metrics"
 	"geographer/internal/mpi"
 	"geographer/internal/partition"
 	"geographer/internal/spmv"
 )
+
+// phaseReporter is implemented by tools that expose per-phase wall times
+// (core.BalancedKMeans); baselines report no phases.
+type phaseReporter interface{ LastInfo() core.Info }
 
 func baselinesMJ() partition.Distributed   { return baselines.MultiJagged() }
 func baselinesRCB() partition.Distributed  { return baselines.RCB() }
@@ -30,6 +35,14 @@ type Row struct {
 
 	Seconds      float64 // wall-clock partitioning time (all simulated ranks on this host)
 	ModelSeconds float64 // α-β + op-cost modeled parallel time (scaling shape)
+
+	// Phase wall times (tools exposing a core.Info only; zero otherwise):
+	// ingest = SFC key computation + global sort/redistribution, then the
+	// balanced k-means itself. BENCH_*.json entries should attribute
+	// speedups to the phase that actually moved.
+	SFCSeconds    float64
+	SortSeconds   float64
+	KMeansSeconds float64
 
 	Cut        int64
 	MaxComm    int64
@@ -61,9 +74,18 @@ func RunOne(m *mesh.Mesh, tool partition.Distributed, k, p, spmvIters, repeats i
 		row.Seconds += time.Since(t0).Seconds()
 		comp, comm := world.CostModel().ModeledTime(world.Stats())
 		row.ModelSeconds += comp + comm
+		if pr, ok := tool.(phaseReporter); ok {
+			info := pr.LastInfo()
+			row.SFCSeconds += info.SFCSeconds
+			row.SortSeconds += info.SortSeconds
+			row.KMeansSeconds += info.KMeansSeconds
+		}
 	}
 	row.Seconds /= float64(repeats)
 	row.ModelSeconds /= float64(repeats)
+	row.SFCSeconds /= float64(repeats)
+	row.SortSeconds /= float64(repeats)
+	row.KMeansSeconds /= float64(repeats)
 	row.Assignment = part
 
 	rep := metrics.Evaluate(m.G, m.Points, part.Assign, k)

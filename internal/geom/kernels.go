@@ -21,6 +21,35 @@ package geom
 
 import "math"
 
+// The machine-independent chunk grid shared by every batch kernel that
+// splits per-point work for intra-rank parallelism (the assignment
+// kernels of internal/core, the key kernel of internal/sfc). Chunk
+// boundaries are a function of n alone — never of the worker count or
+// the host — so per-chunk accumulators always merge in the same
+// floating-point order and output stays bit-identical across machines
+// and worker settings.
+const (
+	// MinChunkPoints is the smallest per-chunk slice worth its own
+	// accumulator: below this, setup/merge overhead dominates.
+	MinChunkPoints = 512
+	// MaxKernelChunks caps the fan-out: beyond this, merge overhead and
+	// goroutine churn outweigh the per-chunk speedup at the sample sizes
+	// the balance rounds run on.
+	MaxKernelChunks = 16
+)
+
+// ChunkGrid returns the chunk count of the shared grid for n points.
+func ChunkGrid(n int) int {
+	c := n / MinChunkPoints
+	if c < 1 {
+		c = 1
+	}
+	if c > MaxKernelChunks {
+		c = MaxKernelChunks
+	}
+	return c
+}
+
 // Cols is a structure-of-arrays point store: one flat []float64 column
 // per axis, the layout the batch kernels operate on. All three columns
 // are always allocated to the full length — unused axes stay zero — so

@@ -172,6 +172,140 @@ func Alltoall[T any](c *Comm, send [][]T) [][]T {
 	return out
 }
 
+// flatSend is the contribution slot of AlltoallFlat: one flat buffer
+// holding contiguous per-destination segments plus their lengths.
+type flatSend[T any] struct {
+	data   []T
+	counts []int
+}
+
+// AlltoallFlat performs a personalized all-to-all over a flat buffer:
+// send must be the concatenation of one contiguous segment per
+// destination rank (segment lengths in sendCounts, rank order; they must
+// sum to len(send)). It returns the segments received from all ranks
+// concatenated in rank order plus the per-source lengths.
+//
+// Unlike Alltoall, the caller passes no [][]T, and traffic statistics
+// count exactly the off-rank elements of this buffer, so the modeled
+// wire size follows the real payload. This is the single-column
+// variant (and the cross-check oracle of the AlltoallCols tests);
+// multi-column record batches like the SoA redistribution of
+// internal/dsort use AlltoallCols to pay one collective for all
+// columns.
+func AlltoallFlat[T any](c *Comm, send []T, sendCounts []int) ([]T, []int) {
+	if len(sendCounts) != c.w.size {
+		panic("mpi: AlltoallFlat needs one send count per rank")
+	}
+	es := sizeOf[T]()
+	var bytes int64
+	total := 0
+	for dst, cnt := range sendCounts {
+		if cnt < 0 {
+			panic("mpi: AlltoallFlat negative send count")
+		}
+		total += cnt
+		if dst != c.rank {
+			bytes += int64(cnt) * es
+		}
+	}
+	if total != len(send) {
+		panic("mpi: AlltoallFlat send counts do not sum to the buffer length")
+	}
+	c.w.slots[c.rank] = flatSend[T]{data: send, counts: sendCounts}
+	c.collectiveEnter(bytes)
+	recvCounts := make([]int, c.w.size)
+	total = 0
+	for r := 0; r < c.w.size; r++ {
+		recvCounts[r] = c.w.slots[r].(flatSend[T]).counts[c.rank]
+		total += recvCounts[r]
+	}
+	out := make([]T, 0, total)
+	for r := 0; r < c.w.size; r++ {
+		fs := c.w.slots[r].(flatSend[T])
+		off := 0
+		for d := 0; d < c.rank; d++ {
+			off += fs.counts[d]
+		}
+		out = append(out, fs.data[off:off+fs.counts[c.rank]]...)
+	}
+	c.collectiveExit()
+	return out, recvCounts
+}
+
+// colsSend is the contribution slot of AlltoallCols.
+type colsSend struct {
+	u64    []uint64
+	i64    []int64
+	f64    [][]float64
+	counts []int
+}
+
+// AlltoallCols exchanges one record batch stored as parallel flat
+// columns — one []uint64, one []int64, and any number of []float64
+// columns, all segmented by the same sendCounts — in a *single*
+// collective. This is the SoA redistribution primitive of
+// internal/dsort: compared with one AlltoallFlat per column it performs
+// one barrier enter/exit pair instead of 3+dim, so collective counts
+// and modeled latency match the single personalized all-to-all of the
+// reference Item path, while the accounted bytes still follow the real
+// per-dimension wire size (8·(2+len(f64)) bytes per off-rank record).
+// Received segments are concatenated in rank order; the returned counts
+// give the per-source run lengths.
+func AlltoallCols(c *Comm, u64 []uint64, i64 []int64, f64 [][]float64, sendCounts []int) ([]uint64, []int64, [][]float64, []int) {
+	if len(sendCounts) != c.w.size {
+		panic("mpi: AlltoallCols needs one send count per rank")
+	}
+	total := 0
+	var off int64
+	for dst, cnt := range sendCounts {
+		if cnt < 0 {
+			panic("mpi: AlltoallCols negative send count")
+		}
+		total += cnt
+		if dst != c.rank {
+			off += int64(cnt)
+		}
+	}
+	if total != len(u64) || total != len(i64) {
+		panic("mpi: AlltoallCols send counts do not sum to the column length")
+	}
+	for _, col := range f64 {
+		if len(col) != total {
+			panic("mpi: AlltoallCols ragged float column")
+		}
+	}
+	bytes := off * int64(8*(2+len(f64)))
+	c.w.slots[c.rank] = colsSend{u64: u64, i64: i64, f64: f64, counts: sendCounts}
+	c.collectiveEnter(bytes)
+	recvCounts := make([]int, c.w.size)
+	total = 0
+	for r := 0; r < c.w.size; r++ {
+		recvCounts[r] = c.w.slots[r].(colsSend).counts[c.rank]
+		total += recvCounts[r]
+	}
+	outU := make([]uint64, 0, total)
+	outI := make([]int64, 0, total)
+	outF := make([][]float64, len(f64))
+	for d := range outF {
+		outF[d] = make([]float64, 0, total)
+	}
+	for r := 0; r < c.w.size; r++ {
+		cs := c.w.slots[r].(colsSend)
+		lo := 0
+		for d := 0; d < c.rank; d++ {
+			lo += cs.counts[d]
+		}
+		hi := lo + cs.counts[c.rank]
+		outU = append(outU, cs.u64[lo:hi]...)
+		outI = append(outI, cs.i64[lo:hi]...)
+		for d := range outF {
+			outF[d] = append(outF[d], cs.f64[d][lo:hi]...)
+		}
+	}
+	c.collectiveExit()
+	return outU, outI, outF, recvCounts
+}
+
 // Bcast distributes root's slice to every rank; non-root ranks receive a
 // fresh copy and ignore their own `in`.
 func Bcast[T any](c *Comm, root int, in []T) []T {

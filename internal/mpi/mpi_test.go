@@ -168,6 +168,149 @@ func TestAlltoall(t *testing.T) {
 	}
 }
 
+// TestAlltoallFlat cross-checks the flat-buffer all-to-all against the
+// sliced Alltoall on ragged per-pair loads (including empty segments).
+func TestAlltoallFlat(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		err := w.Run(func(c *Comm) {
+			// Segment for dst has (rank+dst)%3 elements rank*1000+dst.
+			send := make([][]int, p)
+			var flat []int
+			counts := make([]int, p)
+			for dst := 0; dst < p; dst++ {
+				n := (c.Rank() + dst) % 3
+				counts[dst] = n
+				for j := 0; j < n; j++ {
+					send[dst] = append(send[dst], c.Rank()*1000+dst)
+					flat = append(flat, c.Rank()*1000+dst)
+				}
+			}
+			wantChunks := Alltoall(c, send)
+			got, gotCounts := AlltoallFlat(c, flat, counts)
+			var want []int
+			for src := 0; src < p; src++ {
+				if gotCounts[src] != len(wantChunks[src]) {
+					t.Errorf("p=%d rank %d: recvCounts[%d] = %d, want %d",
+						p, c.Rank(), src, gotCounts[src], len(wantChunks[src]))
+				}
+				want = append(want, wantChunks[src]...)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("p=%d rank %d: %d elements, want %d", p, c.Rank(), len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("p=%d rank %d: element %d = %d, want %d", p, c.Rank(), i, got[i], want[i])
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAlltoallFlatTrafficBytes pins the stats contract: only off-rank
+// elements count, at the element's in-memory size.
+func TestAlltoallFlatTrafficBytes(t *testing.T) {
+	p := 3
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		// Every rank sends 2 float64 to each rank (incl. itself).
+		flat := make([]float64, 2*p)
+		counts := []int{2, 2, 2}
+		AlltoallFlat(c, flat, counts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range w.Stats() {
+		want := int64(2*(p-1)) * 8
+		if st.CollectiveBytes != want {
+			t.Errorf("rank %d: CollectiveBytes = %d, want %d", r, st.CollectiveBytes, want)
+		}
+	}
+}
+
+// TestAlltoallCols cross-checks the single-collective multi-column
+// exchange against per-column AlltoallFlat calls, and pins its stats:
+// one collective, WireBytes-style byte accounting.
+func TestAlltoallCols(t *testing.T) {
+	for _, p := range worldSizes {
+		w := NewWorld(p)
+		err := w.Run(func(c *Comm) {
+			counts := make([]int, p)
+			total := 0
+			for dst := 0; dst < p; dst++ {
+				counts[dst] = (c.Rank() + 2*dst) % 3
+				total += counts[dst]
+			}
+			u64 := make([]uint64, total)
+			i64 := make([]int64, total)
+			f0 := make([]float64, total)
+			f1 := make([]float64, total)
+			for i := 0; i < total; i++ {
+				u64[i] = uint64(c.Rank()*1000 + i)
+				i64[i] = int64(-c.Rank()*1000 - i)
+				f0[i] = float64(c.Rank()) + float64(i)/100
+				f1[i] = -f0[i]
+			}
+			gotU, gotI, gotF, gotCounts := AlltoallCols(c, u64, i64, [][]float64{f0, f1}, counts)
+			wantU, wantCounts := AlltoallFlat(c, u64, counts)
+			wantI, _ := AlltoallFlat(c, i64, counts)
+			wantF0, _ := AlltoallFlat(c, f0, counts)
+			wantF1, _ := AlltoallFlat(c, f1, counts)
+			for r := range wantCounts {
+				if gotCounts[r] != wantCounts[r] {
+					t.Errorf("p=%d rank %d: counts[%d] = %d, want %d", p, c.Rank(), r, gotCounts[r], wantCounts[r])
+				}
+			}
+			for i := range wantU {
+				if gotU[i] != wantU[i] || gotI[i] != wantI[i] || gotF[0][i] != wantF0[i] || gotF[1][i] != wantF1[i] {
+					t.Errorf("p=%d rank %d: record %d differs", p, c.Rank(), i)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAlltoallColsSingleCollective pins the latency contract: the whole
+// multi-column exchange costs one collective, not one per column.
+func TestAlltoallColsSingleCollective(t *testing.T) {
+	p := 3
+	w := NewWorld(p)
+	if err := w.Run(func(c *Comm) {
+		counts := []int{1, 1, 1}
+		AlltoallCols(c, make([]uint64, 3), make([]int64, 3),
+			[][]float64{make([]float64, 3), make([]float64, 3), make([]float64, 3)}, counts)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range w.Stats() {
+		if st.Collectives != 1 {
+			t.Errorf("rank %d: %d collectives, want 1", r, st.Collectives)
+		}
+		// 2 off-rank records × (8+8+3·8) bytes.
+		if want := int64(2 * (8 + 8 + 3*8)); st.CollectiveBytes != want {
+			t.Errorf("rank %d: %d bytes, want %d", r, st.CollectiveBytes, want)
+		}
+	}
+}
+
+func TestAlltoallFlatBadCountsPanics(t *testing.T) {
+	w := NewWorld(2)
+	err := w.Run(func(c *Comm) {
+		AlltoallFlat(c, []int{1, 2, 3}, []int{1, 1}) // counts sum 2 ≠ len 3
+	})
+	if err == nil {
+		t.Fatal("mismatched counts did not break the world")
+	}
+}
+
 func TestAlltoallCopiesData(t *testing.T) {
 	p := 2
 	w := NewWorld(p)

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"geographer/internal/dsort"
 	"geographer/internal/geom"
 	"geographer/internal/sfc"
 )
@@ -150,27 +151,27 @@ func AFKMC2(ps *geom.PointSet, k, m int, rng *rand.Rand) ([]geom.Point, error) {
 }
 
 // SFC places k centers at equal distances along the Hilbert curve over
-// the point set (Geographer's bootstrap, Algorithm 2 line 7).
+// the point set (Geographer's bootstrap, Algorithm 2 line 7). Keys come
+// from the batch kernel and the curve order from the stable radix
+// permutation sort — identical (key, index) order to a comparison sort,
+// without materializing per-point records.
 func SFC(ps *geom.PointSet, k int) ([]geom.Point, error) {
 	n := ps.Len()
 	if k > n {
 		return nil, fmt.Errorf("seeding: k=%d > n=%d", k, n)
 	}
 	curve := sfc.NewCurve(ps.Bounds(), ps.Dim)
-	order := make([]int, n)
 	keys := curve.KeyPoints(ps)
+	order := make([]int32, n)
 	for i := range order {
-		order[i] = i
+		order[i] = int32(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if keys[order[a]] != keys[order[b]] {
-			return keys[order[a]] < keys[order[b]]
-		}
-		return order[a] < order[b]
-	})
+	// Stable on an identity permutation ⇒ ties break by point index,
+	// matching the previous sort.Slice comparator exactly.
+	dsort.SortPermByKeys(keys, order)
 	out := make([]geom.Point, k)
 	for i := 0; i < k; i++ {
-		out[i] = ps.At(order[i*n/k+n/(2*k)])
+		out[i] = ps.At(int(order[i*n/k+n/(2*k)]))
 	}
 	return out, nil
 }

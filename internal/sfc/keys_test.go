@@ -1,0 +1,197 @@
+package sfc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geographer/internal/geom"
+)
+
+// fillCols builds a Cols store holding the given points.
+func fillCols(dim int, pts []geom.Point) geom.Cols {
+	cols := geom.MakeCols(dim, len(pts))
+	for i, p := range pts {
+		cols.Set(i, p)
+	}
+	return cols
+}
+
+// hostileBatch generates points exercising every Cell clamp branch for a
+// box: interior points, points outside on each side, exactly-on-boundary
+// points, NaN and ±Inf coordinates, and huge magnitudes.
+func hostileBatch(rng *rand.Rand, box geom.Box, dim, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		var p geom.Point
+		for d := 0; d < dim; d++ {
+			side := box.Side(d)
+			switch rng.Intn(10) {
+			case 0:
+				p[d] = box.Min[d] - rng.Float64()*(1+math.Abs(side)) // below
+			case 1:
+				p[d] = box.Max[d] + rng.Float64()*(1+math.Abs(side)) // above
+			case 2:
+				p[d] = box.Min[d] // exact lower corner
+			case 3:
+				p[d] = box.Max[d] // exact upper corner
+			case 4:
+				p[d] = math.NaN()
+			case 5:
+				p[d] = math.Inf(1 - 2*rng.Intn(2))
+			case 6:
+				p[d] = (rng.Float64() - 0.5) * 1e18 // huge magnitude
+			default:
+				p[d] = box.Min[d] + rng.Float64()*side // interior
+			}
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestKeysColsMatchesKey pins the batch kernel bit-identical to the
+// scalar Curve.Key over random boxes, degenerate (zero-extent) axes,
+// NaN/Inf and out-of-box coordinates, both dimensions and several curve
+// orders.
+func TestKeysColsMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	boxes := func(dim int) []geom.Box {
+		unit := geom.NewBox(geom.Point{}, geom.Point{1, 1, 1}, dim)
+		shifted := geom.NewBox(geom.Point{-3.5, 100, -0.25}, geom.Point{2.5, 108, 7.75}, dim)
+		tiny := geom.NewBox(geom.Point{1e-9, -1e-9, 0}, geom.Point{2e-9, 1e-9, 1e-12}, dim)
+		degenX := geom.NewBox(geom.Point{5, 0, 0}, geom.Point{5, 1, 1}, dim)   // zero-extent axis 0
+		degenAll := geom.NewBox(geom.Point{2, 2, 2}, geom.Point{2, 2, 2}, dim) // all axes degenerate
+		inverted := geom.NewBox(geom.Point{1, 1, 1}, geom.Point{0, 0, 0}, dim) // negative sides
+		huge := geom.NewBox(geom.Point{-1e15, -1e15, -1e15}, geom.Point{1e15, 1e15, 1e15}, dim)
+		return []geom.Box{unit, shifted, tiny, degenX, degenAll, inverted, huge}
+	}
+	for _, dim := range []int{2, 3} {
+		orders := []uint{1, 2, 3, 7, 16, Order3D, Order2D} // above-max orders are clamped by NewCurveOrder
+		for _, box := range boxes(dim) {
+			for _, bits := range orders {
+				c := NewCurveOrder(box, dim, bits)
+				pts := hostileBatch(rng, box, dim, 300)
+				cols := fillCols(dim, pts)
+				got := make([]uint64, len(pts))
+				c.KeysCols(&cols, got)
+				for i, p := range pts {
+					if want := c.Key(p); got[i] != want {
+						t.Fatalf("dim=%d bits=%d box=%v point %v: KeysCols %x, Key %x",
+							dim, c.Bits(), box, p, got[i], want)
+					}
+				}
+				// Every worker count must produce the identical array.
+				for _, workers := range []int{2, 3, 16} {
+					par := make([]uint64, len(pts))
+					c.KeysColsParallel(&cols, par, workers)
+					for i := range par {
+						if par[i] != got[i] {
+							t.Fatalf("dim=%d bits=%d workers=%d: key %d differs", dim, c.Bits(), workers, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKeysColsNilUnusedColumns checks a 2D store without a Z column works
+// (the SoA redistribution only carries Dim columns).
+func TestKeysColsNilUnusedColumns(t *testing.T) {
+	c := NewCurve(geom.NewBox(geom.Point{}, geom.Point{1, 1}, 2), 2)
+	cols := geom.Cols{Dim: 2, X: []float64{0.25, 0.75}, Y: []float64{0.5, 0.1}}
+	got := make([]uint64, 2)
+	c.KeysCols(&cols, got)
+	for i := 0; i < 2; i++ {
+		if want := c.Key(geom.Point{cols.X[i], cols.Y[i]}); got[i] != want {
+			t.Fatalf("nil-Z store: key %d = %x, want %x", i, got[i], want)
+		}
+	}
+}
+
+// TestKeysColsLargeParallel crosses the chunk grid with worker counts on
+// a size large enough to use every chunk.
+func TestKeysColsLargeParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	box := geom.NewBox(geom.Point{}, geom.Point{1, 1, 1}, 3)
+	c := NewCurve(box, 3)
+	pts := hostileBatch(rng, box, 3, 20000)
+	cols := fillCols(3, pts)
+	want := make([]uint64, len(pts))
+	c.KeysCols(&cols, want)
+	for _, workers := range []int{1, 2, 4, 7, 16, 64} {
+		got := make([]uint64, len(pts))
+		c.KeysColsParallel(&cols, got, workers)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: key %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// FuzzKeysColsMatchesKey fuzzes single points through the batch kernel
+// against the scalar path across dimensions and orders.
+func FuzzKeysColsMatchesKey(f *testing.F) {
+	f.Add(0.5, 0.5, 0.5, 1.0, 1.0, 1.0, uint8(31), false)
+	f.Add(-2.0, 1e300, math.NaN(), 0.0, 0.0, 5.0, uint8(21), true)
+	f.Add(math.Inf(1), math.Inf(-1), 0.0, 1.0, 0.0, 1.0, uint8(1), true)
+	f.Fuzz(func(t *testing.T, x, y, z, sx, sy, sz float64, bitsRaw uint8, threeD bool) {
+		dim := 2
+		if threeD {
+			dim = 3
+		}
+		box := geom.NewBox(geom.Point{0, 0, 0}, geom.Point{sx, sy, sz}, dim)
+		c := NewCurveOrder(box, dim, uint(bitsRaw%33)+1)
+		p := geom.Point{x, y, z}
+		if dim == 2 {
+			p[2] = 0
+		}
+		cols := fillCols(dim, []geom.Point{p})
+		out := make([]uint64, 1)
+		c.KeysCols(&cols, out)
+		if want := c.Key(p); out[0] != want {
+			t.Fatalf("dim=%d bits=%d p=%v: batch %x scalar %x", dim, c.Bits(), p, out[0], want)
+		}
+	})
+}
+
+func benchmarkKeys(b *testing.B, dim int) {
+	rng := rand.New(rand.NewSource(7))
+	box := geom.NewBox(geom.Point{}, geom.Point{1, 1, 1}, dim)
+	c := NewCurve(box, dim)
+	const n = 20000
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Point{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	cols := fillCols(dim, pts)
+	out := make([]uint64, n)
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(int64(n) * 8 * int64(dim))
+		for i := 0; i < b.N; i++ {
+			for j := range pts {
+				out[j] = c.Key(pts[j])
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.SetBytes(int64(n) * 8 * int64(dim))
+		for i := 0; i < b.N; i++ {
+			c.KeysCols(&cols, out)
+		}
+	})
+	b.Run("batch-parallel", func(b *testing.B) {
+		b.SetBytes(int64(n) * 8 * int64(dim))
+		for i := 0; i < b.N; i++ {
+			c.KeysColsParallel(&cols, out, 4)
+		}
+	})
+}
+
+// BenchmarkHilbertKeys2D tracks the 2D ingest key throughput.
+func BenchmarkHilbertKeys2D(b *testing.B) { benchmarkKeys(b, 2) }
+
+// BenchmarkHilbertKeys3D tracks the 3D ingest key throughput.
+func BenchmarkHilbertKeys3D(b *testing.B) { benchmarkKeys(b, 3) }
