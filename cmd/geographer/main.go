@@ -87,7 +87,10 @@ func main() {
 		fmt.Printf("refinement: %d moves, cut %d -> %d\n", res.Moves, res.CutBefore, res.CutAfter)
 	}
 
-	rep := metrics.Evaluate(m.G, m.Points, part.Assign, *k)
+	rep, err := metrics.Evaluate(m.G, m.Points, part.Assign, *k)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("quality: %s\n", rep)
 	ar := metrics.MeanAspectRatio(m.Points, part.Assign, *k)
 	fmt.Printf("block shapes: mean bbox aspect ratio %.2f\n", ar)

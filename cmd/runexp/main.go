@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|ablation|all")
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|ablation|all")
 		scale   = flag.String("scale", "default", "default|quick")
 		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
 		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
@@ -134,6 +134,21 @@ func main() {
 			}
 			defer f.Close()
 			return experiments.WritePhaseRowsCSV(f, rows)
+		})
+	}
+	if all || *exp == "repart" {
+		any = true
+		run("repart", func() error {
+			rows, err := experiments.Repart(os.Stdout, sc)
+			if err != nil || *csvDir == "" {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, "repart.csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return experiments.WriteRepartRowsCSV(f, rows)
 		})
 	}
 	if all || *exp == "ablation" {

@@ -1,0 +1,209 @@
+package geographer
+
+import (
+	"math"
+	"testing"
+)
+
+var allMethods = []string{MethodGeographer, MethodRCB, MethodRIB, MethodMultiJagged, MethodHSFC}
+
+// checkAssignment verifies the basic partition contract: one block id
+// in [0, k) per point.
+func checkAssignment(t *testing.T, label string, blocks []int32, n, k int) {
+	t.Helper()
+	if len(blocks) != n {
+		t.Fatalf("%s: %d assignments for %d points", label, len(blocks), n)
+	}
+	for i, b := range blocks {
+		if b < 0 || int(b) >= k {
+			t.Fatalf("%s: point %d in invalid block %d (k=%d)", label, i, b, k)
+		}
+	}
+}
+
+// TestDegenerateInputsAllMethods pins the currently-green edge cases of
+// all five partitioners so they stay green: more blocks than points,
+// more simulated ranks than points (empty ranks), all points
+// coincident, and a single point.
+func TestDegenerateInputsAllMethods(t *testing.T) {
+	small := randomCoords(5, 2, 1)
+	six := randomCoords(6, 2, 2)
+	coincident := make([]float64, 20) // 10 identical 2D points at the origin
+	single := []float64{0.5, 0.5}
+
+	for _, m := range allMethods {
+		t.Run(m, func(t *testing.T) {
+			blocks, err := Partition(small, 2, nil, Options{K: 8, Method: m})
+			if err != nil {
+				t.Fatalf("k > n: %v", err)
+			}
+			checkAssignment(t, "k > n", blocks, 5, 8)
+
+			blocks, err = Partition(six, 2, nil, Options{K: 2, Method: m, Processes: 16})
+			if err != nil {
+				t.Fatalf("Processes > n: %v", err)
+			}
+			checkAssignment(t, "Processes > n", blocks, 6, 2)
+
+			blocks, err = Partition(coincident, 2, nil, Options{K: 3, Method: m})
+			if err != nil {
+				t.Fatalf("coincident points: %v", err)
+			}
+			checkAssignment(t, "coincident points", blocks, 10, 3)
+
+			for _, k := range []int{1, 2} {
+				blocks, err = Partition(single, 2, nil, Options{K: k, Method: m})
+				if err != nil {
+					t.Fatalf("single point k=%d: %v", k, err)
+				}
+				checkAssignment(t, "single point", blocks, 1, k)
+			}
+		})
+	}
+}
+
+// TestEvaluateRejectsOutOfRangeBlocks is the regression test for the
+// index-out-of-range panic in metrics.CommVolumes: an invalid block id
+// in part must surface as an error from the facade, never a crash.
+func TestEvaluateRejectsOutOfRangeBlocks(t *testing.T) {
+	m, err := GenerateMesh(MeshDelaunay2D, 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := make([]int32, m.N())
+	part[10] = 99 // >= k
+	if _, err := Evaluate(m.XAdj, m.Adj, m.Coords, m.Dim, m.Weights, part, 4); err == nil {
+		t.Error("block id 99 with k=4 accepted")
+	}
+	part[10] = -2
+	if _, err := Evaluate(m.XAdj, m.Adj, m.Coords, m.Dim, m.Weights, part, 4); err == nil {
+		t.Error("block id -2 accepted")
+	}
+	part[10] = 0
+	if _, err := Evaluate(m.XAdj, m.Adj, m.Coords, m.Dim, m.Weights, part, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestSpMVCommTimeRejectsOutOfRangeBlocks: same regression for the SpMV
+// benchmark facade.
+func TestSpMVCommTimeRejectsOutOfRangeBlocks(t *testing.T) {
+	m, err := GenerateMesh(MeshDelaunay2D, 600, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := make([]int32, m.N())
+	part[0] = 7
+	if _, _, err := SpMVCommTime(m.XAdj, m.Adj, part, 4, 2); err == nil {
+		t.Error("block id 7 with k=4 accepted")
+	}
+	part[0] = -1
+	if _, _, err := SpMVCommTime(m.XAdj, m.Adj, part, 4, 2); err == nil {
+		t.Error("block id -1 accepted")
+	}
+	part[0] = 0
+	if _, _, err := SpMVCommTime(m.XAdj, m.Adj, part, 0, 2); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+// TestOptionsValidation is the regression test for the silent
+// misconfigurations: a negative Epsilon used to make every balance
+// round futile, and bad TargetFractions silently skewed the targets.
+func TestOptionsValidation(t *testing.T) {
+	coords := randomCoords(200, 2, 5)
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"negative epsilon", Options{K: 4, Epsilon: -0.01}},
+		{"negative processes", Options{K: 4, Processes: -2}},
+		{"fraction length", Options{K: 4, TargetFractions: []float64{0.5, 0.5}}},
+		{"negative fraction", Options{K: 2, TargetFractions: []float64{1.5, -0.5}}},
+		{"zero fraction", Options{K: 2, TargetFractions: []float64{1, 0}}},
+		{"fractions not summing to 1", Options{K: 2, TargetFractions: []float64{0.9, 0.3}}},
+		{"NaN fraction", Options{K: 2, TargetFractions: []float64{math.NaN(), 0.5}}},
+	}
+	for _, tc := range cases {
+		if _, err := Partition(coords, 2, nil, tc.opts); err == nil {
+			t.Errorf("%s accepted by Partition", tc.name)
+		}
+		prev := make([]int32, 200)
+		if _, err := Repartition(coords, 2, nil, prev, tc.opts); err == nil {
+			t.Errorf("%s accepted by Repartition", tc.name)
+		}
+	}
+	// The validation must not reject valid settings.
+	if _, err := Partition(coords, 2, nil, Options{K: 2, TargetFractions: []float64{0.7, 0.3}}); err != nil {
+		t.Errorf("valid fractions rejected: %v", err)
+	}
+}
+
+// TestRepartitionFacade drives the public warm-start API end to end on
+// a mesh with evolving weights.
+func TestRepartitionFacade(t *testing.T) {
+	m, err := GenerateMesh(MeshClimate, 4000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := Partition(m.Coords, m.Dim, m.Weights, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The load evolves: perturb the layer weights and repartition warm.
+	perturbed := make([]float64, len(m.Weights))
+	for i, w := range m.Weights {
+		perturbed[i] = w * (1 + 0.3*math.Sin(m.Coords[2*i]*8))
+	}
+	res, err := Repartition(m.Coords, m.Dim, perturbed, blocks, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssignment(t, "repartition", res.Blocks, m.N(), 8)
+	if res.TotalWeight <= 0 {
+		t.Errorf("total weight %g", res.TotalWeight)
+	}
+	if res.MigratedWeight < 0 || res.MigratedWeight > res.TotalWeight {
+		t.Errorf("migrated weight %g of %g", res.MigratedWeight, res.TotalWeight)
+	}
+	if frac := res.MigratedWeight / res.TotalWeight; frac > 0.5 {
+		t.Errorf("warm start migrated %.0f%% of the weight", 100*frac)
+	}
+	q, err := Evaluate(m.XAdj, m.Adj, m.Coords, m.Dim, perturbed, res.Blocks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Imbalance > 0.2 {
+		t.Errorf("imbalance %.4f", q.Imbalance)
+	}
+
+	// Determinism across Processes/Workers: same input + same prevAssign
+	// produce a bit-identical partition.
+	for _, procs := range []int{1, 3, 8} {
+		for _, workers := range []int{1, 2} {
+			again, err := Repartition(m.Coords, m.Dim, perturbed, blocks, Options{K: 8, Processes: procs, Workers: workers})
+			if err != nil {
+				t.Fatalf("p=%d w=%d: %v", procs, workers, err)
+			}
+			for i := range res.Blocks {
+				if res.Blocks[i] != again.Blocks[i] {
+					t.Fatalf("p=%d w=%d: diverges at point %d", procs, workers, i)
+				}
+			}
+		}
+	}
+
+	// Error paths.
+	if _, err := Repartition(m.Coords, m.Dim, perturbed, blocks[:10], Options{K: 8}); err == nil {
+		t.Error("short prevAssign accepted")
+	}
+	bad := append([]int32(nil), blocks...)
+	bad[0] = 42
+	if _, err := Repartition(m.Coords, m.Dim, perturbed, bad, Options{K: 8}); err == nil {
+		t.Error("out-of-range prevAssign accepted")
+	}
+	if _, err := Repartition(m.Coords, m.Dim, perturbed, blocks, Options{K: 8, Method: MethodRCB}); err == nil {
+		t.Error("non-geographer warm start accepted")
+	}
+}

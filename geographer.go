@@ -12,7 +12,14 @@
 //
 //	blocks, err := geographer.Partition(coords, 2, nil, geographer.Options{K: 16})
 //
-// partitions 2D points (x0,y0,x1,y1,...) into 16 balanced blocks.
+// partitions 2D points (x0,y0,x1,y1,...) into 16 balanced blocks. When
+// the load evolves and the points must be partitioned again,
+//
+//	res, err := geographer.Repartition(coords, 2, newWeights, blocks, geographer.Options{K: 16})
+//
+// warm-starts from the previous partition: it skips the
+// sort/redistribution bootstrap and moves far less weight between
+// blocks (res.MigratedWeight) than a fresh Partition call.
 package geographer
 
 import (
@@ -28,6 +35,7 @@ import (
 	"geographer/internal/mpi"
 	"geographer/internal/partition"
 	"geographer/internal/refine"
+	"geographer/internal/repart"
 	"geographer/internal/spmv"
 	"geographer/internal/viz"
 )
@@ -47,7 +55,8 @@ type Options struct {
 	K int
 	// Method selects the partitioner; empty means MethodGeographer.
 	Method string
-	// Epsilon is the allowed imbalance (default 0.03).
+	// Epsilon is the allowed imbalance (default 0.03; negative is an
+	// error — the balance condition could never be met).
 	Epsilon float64
 	// Processes is the number of simulated parallel ranks (default 4).
 	// The result does not depend on it except through tie-level noise.
@@ -56,8 +65,10 @@ type Options struct {
 	Seed int64
 	// Strict makes Epsilon a hard guarantee for MethodGeographer.
 	Strict bool
-	// TargetFractions optionally sets heterogeneous block sizes (must sum
-	// to 1, length K); only supported by MethodGeographer.
+	// TargetFractions optionally sets heterogeneous block sizes; only
+	// supported by MethodGeographer. Length K, every fraction strictly
+	// positive, summing to 1 — enforced, since a zero or negative
+	// fraction would silently skew the balance of every other block.
 	TargetFractions []float64
 	// Workers sets MethodGeographer's intra-rank kernel shard count: when
 	// the host has more cores than Processes, each simulated rank splits
@@ -80,6 +91,29 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// validate rejects configurations that would previously fail silently
+// (a negative Epsilon makes the balance check unsatisfiable and burns
+// every balance round; zero/negative or non-normalized TargetFractions
+// skew the balance targets) or panic (a negative Processes count).
+// Call after withDefaults.
+func (o Options) validate() error {
+	if o.K < 1 {
+		return fmt.Errorf("geographer: K=%d", o.K)
+	}
+	if o.Epsilon < 0 {
+		return fmt.Errorf("geographer: Epsilon=%g is negative (the imbalance bound can never be met)", o.Epsilon)
+	}
+	if o.Processes < 1 {
+		return fmt.Errorf("geographer: Processes=%d", o.Processes)
+	}
+	if o.TargetFractions != nil {
+		if _, err := partition.CheckFractions(o.TargetFractions, o.K); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (o Options) tool() (partition.Distributed, error) {
@@ -109,8 +143,8 @@ func (o Options) tool() (partition.Distributed, error) {
 // (len = n·dim, dim ∈ {2,3}); weights may be nil for unit weights.
 func Partition(coords []float64, dim int, weights []float64, opts Options) ([]int32, error) {
 	opts = opts.withDefaults()
-	if opts.K < 1 {
-		return nil, fmt.Errorf("geographer: K=%d", opts.K)
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	ps := &geom.PointSet{Dim: dim, Coords: coords, Weight: weights}
 	if err := ps.Validate(); err != nil {
@@ -126,6 +160,69 @@ func Partition(coords []float64, dim int, weights []float64, opts Options) ([]in
 		return nil, err
 	}
 	return p.Assign, nil
+}
+
+// RepartResult is what Repartition returns: the new assignment plus the
+// migration cost of adopting it.
+type RepartResult struct {
+	// Blocks assigns each point its new block in [0, K).
+	Blocks []int32
+	// MigratedWeight is the total weight of points whose block differs
+	// from prevAssign — the data-movement cost the simulation pays when
+	// it adopts the new partition; MigratedPoints counts those points.
+	MigratedWeight float64
+	MigratedPoints int
+	// TotalWeight is the weight of the whole point set, so
+	// MigratedWeight/TotalWeight is the migrated fraction.
+	TotalWeight float64
+}
+
+// Repartition recomputes a partition for points that already carry one —
+// the dynamic-workload scenario of the paper's §1, where a simulation
+// repartitions repeatedly as its load evolves. Instead of bootstrapping
+// from the space-filling curve, the balanced k-means is warm-started
+// from the centers of prevAssign (their weighted means), which skips
+// the SFC sort/redistribution phase entirely and keeps the new
+// partition close to the old one: far less weight migrates than under a
+// fresh Partition call at comparable cut and imbalance.
+//
+// Inputs follow Partition: coords is flat (len = n·dim, dim ∈ {2,3}),
+// weights may be nil for unit weights, and prevAssign must hold one
+// block id in [0, K) per point — typically a previous Partition or
+// Repartition result, but any valid assignment seeds the warm start.
+// Only MethodGeographer supports warm starts; other methods are an
+// error. The result is deterministic: the same input and prevAssign
+// produce a bit-identical partition for every Processes and Workers
+// setting (see DESIGN.md, "Repartitioning invariants").
+func Repartition(coords []float64, dim int, weights []float64, prevAssign []int32, opts Options) (RepartResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return RepartResult{}, err
+	}
+	if strings.ToLower(opts.Method) != MethodGeographer {
+		return RepartResult{}, fmt.Errorf("geographer: warm-start repartitioning requires Method=%q, got %q", MethodGeographer, opts.Method)
+	}
+	ps := &geom.PointSet{Dim: dim, Coords: coords, Weight: weights}
+	if err := ps.Validate(); err != nil {
+		return RepartResult{}, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Epsilon = opts.Epsilon
+	cfg.Seed = opts.Seed
+	cfg.Strict = opts.Strict
+	cfg.TargetFractions = opts.TargetFractions
+	cfg.Workers = opts.Workers
+	world := mpi.NewWorld(opts.Processes)
+	p, stats, err := repart.Repartition(world, ps, prevAssign, opts.K, cfg)
+	if err != nil {
+		return RepartResult{}, err
+	}
+	return RepartResult{
+		Blocks:         p.Assign,
+		MigratedWeight: stats.MigratedWeight,
+		MigratedPoints: stats.MigratedPoints,
+		TotalWeight:    stats.TotalWeight,
+	}, nil
 }
 
 // Quality holds the graph-based partition metrics of the paper (§2).
@@ -154,7 +251,10 @@ func Evaluate(xadj []int64, adj []int32, coords []float64, dim int, weights []fl
 	if len(part) != n {
 		return Quality{}, fmt.Errorf("geographer: %d assignments for %d vertices", len(part), n)
 	}
-	r := metrics.Evaluate(g, ps, part, k)
+	r, err := metrics.Evaluate(g, ps, part, k)
+	if err != nil {
+		return Quality{}, err
+	}
 	return Quality{
 		EdgeCut:      r.EdgeCut,
 		MaxCommVol:   r.MaxCommVol,

@@ -70,14 +70,27 @@ func (st *state) assignAndBalance() bool {
 		st.info.BBoxBreaks += breaks
 		st.c.AddOps(distCalcs + int64(len(sample)))
 
-		// Line 31: the only communication of the balance routine.
-		st.localW[st.k] = localSampleW
-		st.localW[st.k+1] = float64(sampling)
-		globalW := mpi.AllreduceSum(st.c, st.localW)
-		if totalTarget > 0 {
-			scale = globalW[st.k] / totalTarget
+		// Line 31: the only communication of the balance routine. The
+		// warm path reduces exact accumulators instead of the kernel's
+		// chunk-merged partials, and needs no sampling piggyback: the
+		// sample is always the full set, whose exact weight was fixed at
+		// init.
+		var globalW []float64
+		if st.warm {
+			globalW = st.exactBlockWeights()
+			if totalTarget > 0 {
+				scale = st.totalW / totalTarget
+			}
+			st.anySampling = false
+		} else {
+			st.localW[st.k] = localSampleW
+			st.localW[st.k+1] = float64(sampling)
+			globalW = mpi.AllreduceSum(st.c, st.localW)
+			if totalTarget > 0 {
+				scale = globalW[st.k] / totalTarget
+			}
+			st.anySampling = globalW[st.k+1] > 0
 		}
-		st.anySampling = globalW[st.k+1] > 0
 
 		// Line 32: balanced?
 		imb := 0.0

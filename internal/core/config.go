@@ -21,6 +21,13 @@
 // and influence values are replicated, points are distributed (§4.1).
 package core
 
+import (
+	"fmt"
+
+	"geographer/internal/geom"
+	"geographer/internal/partition"
+)
+
 // Config collects the tuning parameters of balanced k-means. The zero
 // value is not useful; start from DefaultConfig.
 type Config struct {
@@ -88,6 +95,18 @@ type Config struct {
 	// Seed drives the sampled-initialization permutations and random
 	// center placement in non-SFC mode.
 	Seed int64
+
+	// WarmCenters, when non-nil, seeds the k cluster centers directly
+	// instead of placing them along the space-filling curve — the
+	// warm-start repartitioning entry point (internal/repart): the SFC
+	// sort/redistribution bootstrap and the curve-spaced placement of
+	// Algorithm 2, lines 4–7 are skipped (points stay in their input
+	// distribution), sampled initialization is disabled, and all global
+	// weight/center reductions run through the order-independent exact
+	// accumulator of internal/exact, making the output bit-identical
+	// across rank and worker counts (see DESIGN.md, "Repartitioning
+	// invariants"). Length must equal k.
+	WarmCenters []geom.Point
 }
 
 // BoundsKind selects the distance-bound strategy of the assignment loop.
@@ -99,6 +118,30 @@ const (
 	BoundsElkan   BoundsKind = "elkan"   // per-center lower bounds (§3.3)
 	BoundsNone    BoundsKind = "none"    // plain Lloyd assignment
 )
+
+// Validate checks the parts of a configuration whose violation would
+// otherwise fail silently or crash mid-run: a negative ε makes the
+// balance check `imb <= Epsilon` unsatisfiable (every k-means iteration
+// would burn all MaxBalanceIter rounds for nothing), ill-formed target
+// fractions skew the balance targets, and a WarmCenters slice of the
+// wrong length would seed garbage centers.
+func (cfg Config) Validate(k int) error {
+	if k < 1 {
+		return fmt.Errorf("core: k=%d", k)
+	}
+	if cfg.Epsilon < 0 {
+		return fmt.Errorf("core: Epsilon=%g is negative (the imbalance bound can never be met)", cfg.Epsilon)
+	}
+	if cfg.TargetFractions != nil {
+		if _, err := partition.CheckFractions(cfg.TargetFractions, k); err != nil {
+			return err
+		}
+	}
+	if cfg.WarmCenters != nil && len(cfg.WarmCenters) != k {
+		return fmt.Errorf("core: %d warm centers for k=%d", len(cfg.WarmCenters), k)
+	}
+	return nil
+}
 
 // DefaultConfig returns the configuration used in the paper's experiments
 // (ε = 3%, all optimizations on).

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"geographer/internal/dsort"
+	"geographer/internal/exact"
 	"geographer/internal/geom"
 	"geographer/internal/mpi"
 	"geographer/internal/partition"
@@ -102,6 +103,16 @@ type state struct {
 	// balance collective): whether any rank's sample is still growing.
 	anySampling bool
 
+	// Warm-start repartitioning (cfg.WarmCenters): global float sums are
+	// taken through order-independent exact accumulators so the output
+	// does not depend on how points are grouped into ranks or kernel
+	// chunks (see DESIGN.md, "Repartitioning invariants").
+	warm      bool
+	totalW    float64     // exact global point weight
+	exactW    []exact.Sum // per-block weight accumulators, len k
+	exactC    []exact.Sum // center accumulators, len k·(dim+1)
+	exactWire []int64     // encode/reduce buffer for the larger of the two
+
 	info Info
 }
 
@@ -111,13 +122,38 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 		return nil, nil, fmt.Errorf("core: k=%d", k)
 	}
 	cfg := b.Cfg
-	if cfg.MaxIter == 0 { // zero-value safety
-		cfg = DefaultConfig()
+	if cfg.MaxIter == 0 {
+		// Zero-value safety: the caller did not start from DefaultConfig,
+		// so fill in the tuning knobs — but keep everything that defines
+		// the caller's problem (constraints, seeds, warm centers) rather
+		// than silently resetting it. The all-on feature booleans
+		// (Erosion, BBoxPruning, SampledInit, SFCBootstrap) cannot be
+		// distinguished from unset here and take their defaults; callers
+		// that ablate them must set MaxIter explicitly.
+		def := DefaultConfig()
+		if cfg.Epsilon != 0 {
+			def.Epsilon = cfg.Epsilon
+		}
+		if cfg.Workers != 0 {
+			def.Workers = cfg.Workers
+		}
+		if cfg.Bounds != "" {
+			def.Bounds = cfg.Bounds
+		}
+		def.Seed = cfg.Seed
+		def.Strict = cfg.Strict
+		def.TargetFractions = cfg.TargetFractions
+		def.WarmCenters = cfg.WarmCenters
+		cfg = def
 	}
-	if cfg.TargetFractions != nil && len(cfg.TargetFractions) != k {
-		return nil, nil, fmt.Errorf("core: %d target fractions for k=%d", len(cfg.TargetFractions), k)
+	if err := cfg.Validate(k); err != nil {
+		return nil, nil, err
 	}
-	st := &state{c: c, cfg: cfg, dim: pts.Dim, k: k}
+	st := &state{c: c, cfg: cfg, dim: pts.Dim, k: k, warm: len(cfg.WarmCenters) > 0}
+
+	if st.warm {
+		return b.partitionWarm(st, pts)
+	}
 
 	// ---- Phase 1: space-filling curve keys (§4.1). -----------------------
 	// The SoA fast path fills flat dsort columns straight from the input
@@ -195,6 +231,12 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 	st.info.SortSeconds = time.Since(tSort).Seconds()
 
 	// ---- Phase 3: balanced k-means (Algorithm 2, l. 7–19). ---------------
+	return b.finish(st)
+}
+
+// finish runs the k-means phase on an ingested state and aggregates the
+// per-rank diagnostics (rank 0 keeps the result).
+func (b *BalancedKMeans) finish(st *state) ([]int64, []int32, error) {
 	tKM := time.Now()
 	if err := st.initCentersAndTargets(); err != nil {
 		return nil, nil, err
@@ -202,10 +244,9 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 	st.run()
 	st.info.KMeansSeconds = time.Since(tKM).Seconds()
 
-	// Aggregate diagnostics in one collective (rank 0 keeps the result).
-	counters := mpi.AllreduceSum(c, []int64{st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks})
+	counters := mpi.AllreduceSum(st.c, []int64{st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks})
 	st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks = counters[0], counters[1], counters[2]
-	if c.Rank() == 0 {
+	if st.c.Rank() == 0 {
 		b.mu.Lock()
 		b.info = st.info
 		b.mu.Unlock()
@@ -260,61 +301,77 @@ func resolveWorkers(cfg Config, worldSize int) int {
 // maximum (geom.MaxKernelChunks): more workers than chunks would idle.
 const maxKernelShards = geom.MaxKernelChunks
 
-// initCentersAndTargets places the k initial centers at equal distances
-// along the sorted point order (Algorithm 2, line 7: C[i] =
-// sortedPoints[i·n/k + n/2k]) and computes per-block target weights.
+// initCentersAndTargets places the k initial centers — at equal
+// distances along the sorted point order (Algorithm 2, line 7: C[i] =
+// sortedPoints[i·n/k + n/2k]), or straight from cfg.WarmCenters on the
+// warm-start path — and computes per-block target weights.
 func (st *state) initCentersAndTargets() error {
 	n := mpi.ReduceScalarSum(st.c, int64(st.X.Len()))
 	if n == 0 {
 		return fmt.Errorf("core: empty global point set")
 	}
-	start := mpi.ExscanSum(st.c, int64(st.X.Len()))
 
-	type seed struct {
-		Idx int32
-		X   geom.Point
-	}
-	var mine []seed
-	if st.cfg.SFCBootstrap {
-		for i := 0; i < st.k; i++ {
-			gi := int64(i)*n/int64(st.k) + n/(2*int64(st.k))
-			if gi >= start && gi < start+int64(st.X.Len()) {
-				mine = append(mine, seed{Idx: int32(i), X: st.X.At(int(gi - start))})
-			}
+	var totalW float64
+	if st.warm {
+		st.centers = append([]geom.Point(nil), st.cfg.WarmCenters...)
+		// Exact global weight: the reduction is over integer limbs, so
+		// the value (and everything derived from it — targets, the
+		// balance scale) is independent of the rank layout.
+		var acc exact.Sum
+		for _, w := range st.W {
+			acc.Add(w)
 		}
+		wire := make([]int64, exact.WireLen)
+		acc.EncodeTo(wire)
+		totalW = exact.DecodeFloat64(mpi.AllreduceSum(st.c, wire))
+		st.totalW = totalW
 	} else {
-		// Ablation mode: uniform random global indices, chosen identically
-		// on every rank from the shared seed.
-		rng := rand.New(rand.NewSource(st.cfg.Seed + 1))
-		for i := 0; i < st.k; i++ {
-			gi := int64(rng.Uint64() % uint64(n))
-			if gi >= start && gi < start+int64(st.X.Len()) {
-				mine = append(mine, seed{Idx: int32(i), X: st.X.At(int(gi - start))})
+		start := mpi.ExscanSum(st.c, int64(st.X.Len()))
+
+		type seed struct {
+			Idx int32
+			X   geom.Point
+		}
+		var mine []seed
+		if st.cfg.SFCBootstrap {
+			for i := 0; i < st.k; i++ {
+				gi := int64(i)*n/int64(st.k) + n/(2*int64(st.k))
+				if gi >= start && gi < start+int64(st.X.Len()) {
+					mine = append(mine, seed{Idx: int32(i), X: st.X.At(int(gi - start))})
+				}
+			}
+		} else {
+			// Ablation mode: uniform random global indices, chosen identically
+			// on every rank from the shared seed.
+			rng := rand.New(rand.NewSource(st.cfg.Seed + 1))
+			for i := 0; i < st.k; i++ {
+				gi := int64(rng.Uint64() % uint64(n))
+				if gi >= start && gi < start+int64(st.X.Len()) {
+					mine = append(mine, seed{Idx: int32(i), X: st.X.At(int(gi - start))})
+				}
 			}
 		}
-	}
-	all := mpi.AllgatherFlat(st.c, mine)
-	if len(all) != st.k {
-		return fmt.Errorf("core: gathered %d centers, want %d", len(all), st.k)
-	}
-	st.centers = make([]geom.Point, st.k)
-	for _, s := range all {
-		st.centers[s.Idx] = s.X
+		all := mpi.AllgatherFlat(st.c, mine)
+		if len(all) != st.k {
+			return fmt.Errorf("core: gathered %d centers, want %d", len(all), st.k)
+		}
+		st.centers = make([]geom.Point, st.k)
+		for _, s := range all {
+			st.centers[s.Idx] = s.X
+		}
+
+		localW := 0.0
+		for _, w := range st.W {
+			localW += w
+		}
+		totalW = mpi.ReduceScalarSum(st.c, localW)
 	}
 
-	localW := 0.0
-	for _, w := range st.W {
-		localW += w
+	targets, err := partition.Targets(totalW, st.k, st.cfg.TargetFractions)
+	if err != nil {
+		return err
 	}
-	totalW := mpi.ReduceScalarSum(st.c, localW)
-	st.targets = make([]float64, st.k)
-	for b := 0; b < st.k; b++ {
-		if st.cfg.TargetFractions != nil {
-			st.targets[b] = totalW * st.cfg.TargetFractions[b]
-		} else {
-			st.targets[b] = totalW / float64(st.k)
-		}
-	}
+	st.targets = targets
 
 	st.influence = make([]float64, st.k)
 	for i := range st.influence {
@@ -336,12 +393,17 @@ func (st *state) initCentersAndTargets() error {
 		st.perm[i] = int32(i)
 		st.allIdx[i] = int32(i)
 	}
-	rng := rand.New(rand.NewSource(st.cfg.Seed + int64(st.c.Rank())*65537 + 7))
-	rng.Shuffle(len(st.perm), func(i, j int) { st.perm[i], st.perm[j] = st.perm[j], st.perm[i] })
-
 	st.nSample = st.X.Len()
-	if st.cfg.SampledInit && st.X.Len() > 100 {
-		st.nSample = 100
+	if !st.warm {
+		// The sampled bootstrap exists to move bad initial centers
+		// cheaply; warm starts begin near-converged, so the warm path
+		// always runs on the full (linearly iterated) point set — also a
+		// determinism requirement, since the shuffle is rank-seeded.
+		rng := rand.New(rand.NewSource(st.cfg.Seed + int64(st.c.Rank())*65537 + 7))
+		rng.Shuffle(len(st.perm), func(i, j int) { st.perm[i], st.perm[j] = st.perm[j], st.perm[i] })
+		if st.cfg.SampledInit && st.X.Len() > 100 {
+			st.nSample = 100
+		}
 	}
 
 	// All per-round and per-iteration scratch is allocated once here;
@@ -361,6 +423,11 @@ func (st *state) initCentersAndTargets() error {
 	st.shards = make([]geom.AssignKernel, kernelChunks(st.X.Len()))
 	for s := range st.shards {
 		st.shards[s].LocalW = make([]float64, st.k)
+	}
+	if st.warm {
+		st.exactW = make([]exact.Sum, st.k)
+		st.exactC = make([]exact.Sum, st.k*(st.dim+1))
+		st.exactWire = make([]int64, len(st.exactC)*exact.WireLen)
 	}
 	return nil
 }
@@ -528,6 +595,9 @@ func (st *state) nearestCenter(i int) int32 {
 // to b (keeping the old center for empty clusters) and reports whether any
 // center is based on at least one point.
 func (st *state) computeCenters(out []geom.Point) bool {
+	if st.warm {
+		return st.computeCentersExact(out)
+	}
 	vec := st.centVec
 	clear(vec)
 	px, py, pz := st.X.X, st.X.Y, st.X.Z

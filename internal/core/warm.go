@@ -1,0 +1,122 @@
+package core
+
+import (
+	"time"
+
+	"geographer/internal/exact"
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// partitionWarm is Partition for the warm-start repartitioning path
+// (cfg.WarmCenters, driven by internal/repart): the ingest pipeline of
+// §4.1 is skipped entirely. The previous partition's centers replace
+// the curve-spaced seeds of Algorithm 2, line 7, which is the only
+// consumer of the global (Key, ID) order — so neither the Hilbert keys
+// nor the sort/redistribution are needed and points stay in their input
+// distribution (owner-contiguous chunks under partition.Scatter). The
+// k-means phase itself is unchanged except that every global float
+// reduction runs through internal/exact, which makes the output
+// bit-identical across rank and worker counts (see DESIGN.md,
+// "Repartitioning invariants").
+func (b *BalancedKMeans) partitionWarm(st *state, pts *partition.Local) ([]int64, []int32, error) {
+	tStart := time.Now()
+	box := globalBounds(st.c, pts)
+	st.diag = box.Diagonal()
+	if st.diag == 0 {
+		st.diag = 1
+	}
+	st.X = geom.MakeCols(st.dim, pts.Len())
+	st.W = make([]float64, pts.Len())
+	st.IDs = make([]int64, pts.Len())
+	for i, x := range pts.X {
+		st.X.Set(i, x)
+		st.W[i] = pts.Weight(i)
+		st.IDs[i] = pts.IDs[i]
+	}
+	st.info.SFCSeconds = time.Since(tStart).Seconds()
+	return b.finish(st)
+}
+
+// exactBlockWeights returns the global per-block sample weights of the
+// current assignment through the exact accumulators: one O(n) local
+// pass in index order, one integer AllreduceSum (keeping the balance
+// routine at a single collective per round), one rounding per block at
+// the end. Any grouping of points into ranks or chunks produces the
+// same limbs, hence the same float64 weights everywhere. The kernel's
+// chunk-merged st.localW partials are ignored on this path — their
+// summation order depends on the rank layout.
+func (st *state) exactBlockWeights() []float64 {
+	for b := range st.exactW {
+		st.exactW[b].Reset()
+	}
+	for i, a := range st.A {
+		if a >= 0 {
+			st.exactW[a].Add(st.W[i])
+		}
+	}
+	wire := st.exactWire[:st.k*exact.WireLen]
+	for b := 0; b < st.k; b++ {
+		st.exactW[b].EncodeTo(wire[b*exact.WireLen:])
+	}
+	wire = mpi.AllreduceSum(st.c, wire)
+	out := st.localW[:st.k]
+	for b := range out {
+		out[b] = exact.DecodeFloat64(wire[b*exact.WireLen:])
+	}
+	return out
+}
+
+// computeCentersExact is computeCenters for the warm path: the weighted
+// coordinate sums go through exact accumulators and one integer
+// reduction, so the new centers are bit-identical regardless of the
+// rank layout. The per-term fl(w·x) rounding is a deterministic
+// function of each point alone; only the summation order had to be
+// neutralized.
+func (st *state) computeCentersExact(out []geom.Point) bool {
+	stride := st.dim + 1
+	for i := range st.exactC {
+		st.exactC[i].Reset()
+	}
+	px, py, pz := st.X.X, st.X.Y, st.X.Z
+	for i, a := range st.A {
+		if a < 0 {
+			continue
+		}
+		base := int(a) * stride
+		w := st.W[i]
+		st.exactC[base].Add(w * px[i])
+		if st.dim >= 2 {
+			st.exactC[base+1].Add(w * py[i])
+		}
+		if st.dim >= 3 {
+			st.exactC[base+2].Add(w * pz[i])
+		}
+		st.exactC[base+st.dim].Add(w)
+	}
+	st.c.AddOps(int64(st.X.Len()))
+
+	wire := st.exactWire[:len(st.exactC)*exact.WireLen]
+	for i := range st.exactC {
+		st.exactC[i].EncodeTo(wire[i*exact.WireLen:])
+	}
+	wire = mpi.AllreduceSum(st.c, wire)
+
+	any := false
+	for b := 0; b < st.k; b++ {
+		base := b * stride
+		w := exact.DecodeFloat64(wire[(base+st.dim)*exact.WireLen:])
+		if w <= 0 {
+			out[b] = st.centers[b]
+			continue
+		}
+		any = true
+		var p geom.Point
+		for d := 0; d < st.dim; d++ {
+			p[d] = exact.DecodeFloat64(wire[(base+d)*exact.WireLen:]) / w
+		}
+		out[b] = p
+	}
+	return any
+}

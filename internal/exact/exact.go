@@ -1,0 +1,169 @@
+// Package exact provides an order-independent, exactly-rounded float64
+// accumulator for the warm-start repartitioning path of the balanced
+// k-means core.
+//
+// Floating-point addition is not associative, so the global weight and
+// center sums of the k-means balance loop depend on how points are
+// grouped into ranks and kernel chunks — the one obstacle to making
+// warm-start repartitioning bit-identical across Processes and Workers
+// (see DESIGN.md, "Repartitioning invariants"). Sum sidesteps this by
+// accumulating every contribution into a fixed-point superaccumulator
+// wide enough to represent any finite float64 sum exactly: integer
+// limb additions are associative and commutative, so any grouping of
+// Add calls and any reduction order over encoded accumulators yields
+// the same limbs, and Float64 rounds the exact value to the nearest
+// float64 once at the end.
+//
+// The wire format (EncodeTo / DecodeFloat64) is a flat []int64 designed
+// to ride mpi.AllreduceSum: element-wise integer summation of encoded
+// accumulators is exactly the merge of the underlying sums.
+package exact
+
+import (
+	"math"
+	"math/big"
+)
+
+const (
+	// limbBits is the width of one accumulator digit. Digits are kept in
+	// int64 so carries accumulate in the spare high bits instead of
+	// requiring propagation on every Add.
+	limbBits = 32
+
+	// minExp is the exponent of the accumulator's least significant bit:
+	// the smallest subnormal float64 is 2^-1074.
+	minExp = -1074
+
+	// numLimbs spans the full finite float64 range: the largest finite
+	// mantissa bit sits at exponent 971+52 = 1023, i.e. offset
+	// 1023-minExp = 2097, limb 65. An Add touches limbs [li, li+2], so
+	// 66 limbs suffice.
+	numLimbs = 66
+
+	// WireLen is the []int64 footprint of one encoded Sum: the limbs
+	// plus the three non-finite counters.
+	WireLen = numLimbs + 3
+)
+
+// MaxAdds bounds the number of Add calls (summed over all accumulators
+// merged into one, e.g. across ranks) before a limb could overflow:
+// each Add contributes < 2^32 to a limb digit, and int64 holds 2^63.
+const MaxAdds = 1 << 31
+
+// Sum is a superaccumulator for float64 values. The zero value is an
+// empty sum. Sum is not safe for concurrent use.
+type Sum struct {
+	limb [numLimbs]int64
+	// Non-finite inputs are counted, not accumulated: any NaN (or both
+	// infinity signs) makes the sum NaN, one infinity sign makes it
+	// that infinity — matching the result of ordinary float64 addition
+	// up to the usual Inf-Inf ambiguity, which IEEE also defines as NaN.
+	nan, posInf, negInf int64
+}
+
+// Reset empties the accumulator.
+func (s *Sum) Reset() { *s = Sum{} }
+
+// Add accumulates v exactly.
+func (s *Sum) Add(v float64) {
+	bits := math.Float64bits(v)
+	exp := int((bits >> 52) & 0x7ff)
+	frac := bits & (1<<52 - 1)
+	if exp == 0x7ff {
+		switch {
+		case frac != 0:
+			s.nan++
+		case bits>>63 == 0:
+			s.posInf++
+		default:
+			s.negInf++
+		}
+		return
+	}
+	if exp == 0 && frac == 0 {
+		return // ±0 contributes nothing
+	}
+	// v = m · 2^e with m < 2^53: normals are (2^52|frac)·2^(exp-1075),
+	// subnormals frac·2^-1074.
+	m := frac
+	e := minExp
+	if exp != 0 {
+		m |= 1 << 52
+		e = exp - 1075
+	}
+	p := e - minExp // bit offset of m's bit 0 in the accumulator
+	li := p >> 5
+	sh := uint(p & 31)
+	w := m << sh // low 64 bits of the shifted mantissa
+	lo := int64(w & 0xffffffff)
+	mid := int64(w >> 32)
+	hi := int64(m >> (64 - sh)) // 0 when sh == 0 (Go shifts never wrap)
+	if bits>>63 != 0 {
+		lo, mid, hi = -lo, -mid, -hi
+	}
+	s.limb[li] += lo
+	s.limb[li+1] += mid
+	s.limb[li+2] += hi
+}
+
+// Merge adds the contents of o into s. Equivalent to summing the two
+// encoded forms element-wise.
+func (s *Sum) Merge(o *Sum) {
+	for i := range s.limb {
+		s.limb[i] += o.limb[i]
+	}
+	s.nan += o.nan
+	s.posInf += o.posInf
+	s.negInf += o.negInf
+}
+
+// EncodeTo writes the accumulator into dst[:WireLen]. Encoded
+// accumulators may be summed element-wise (e.g. by mpi.AllreduceSum)
+// and the result decoded with DecodeFloat64; integer addition is
+// associative, so the decode is independent of the merge order.
+func (s *Sum) EncodeTo(dst []int64) {
+	_ = dst[WireLen-1]
+	copy(dst, s.limb[:])
+	dst[numLimbs] = s.nan
+	dst[numLimbs+1] = s.posInf
+	dst[numLimbs+2] = s.negInf
+}
+
+// Float64 returns the exactly-rounded (nearest-even) float64 value of
+// the sum; overflow saturates to ±Inf like ordinary float64 addition.
+func (s *Sum) Float64() float64 {
+	return decode(s.limb[:], s.nan, s.posInf, s.negInf)
+}
+
+// DecodeFloat64 rounds an encoded (possibly element-wise summed)
+// accumulator from src[:WireLen].
+func DecodeFloat64(src []int64) float64 {
+	_ = src[WireLen-1]
+	return decode(src[:numLimbs], src[numLimbs], src[numLimbs+1], src[numLimbs+2])
+}
+
+func decode(limb []int64, nan, posInf, negInf int64) float64 {
+	switch {
+	case nan > 0 || (posInf > 0 && negInf > 0):
+		return math.NaN()
+	case posInf > 0:
+		return math.Inf(1)
+	case negInf > 0:
+		return math.Inf(-1)
+	}
+	// Fold the signed base-2^32 digits into one exact integer, highest
+	// limb first, then scale by the accumulator's least significant bit.
+	acc := new(big.Int)
+	tmp := new(big.Int)
+	for i := numLimbs - 1; i >= 0; i-- {
+		acc.Lsh(acc, limbBits)
+		acc.Add(acc, tmp.SetInt64(limb[i]))
+	}
+	if acc.Sign() == 0 {
+		return 0
+	}
+	f := new(big.Float).SetPrec(uint(acc.BitLen()) + 1).SetInt(acc)
+	f.SetMantExp(f, minExp) // z = f · 2^minExp
+	v, _ := f.Float64()
+	return v
+}

@@ -1,0 +1,211 @@
+package exact
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// refSum computes the exactly-rounded sum of vs with big.Float at a
+// precision large enough to be exact for the inputs used in these tests.
+func refSum(vs []float64) float64 {
+	acc := new(big.Float).SetPrec(4096)
+	tmp := new(big.Float).SetPrec(4096)
+	for _, v := range vs {
+		acc.Add(acc, tmp.SetFloat64(v))
+	}
+	v, _ := acc.Float64()
+	return v
+}
+
+func sumAll(vs []float64) float64 {
+	var s Sum
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s.Float64()
+}
+
+func TestSingleValuesRoundTrip(t *testing.T) {
+	cases := []float64{
+		0, 1, -1, 0.1, -0.1, 1e300, -1e300, 1e-300, 3.5,
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		0x1p-1022,          // smallest normal
+		0x1.fffffffffffffp1023 / 2,
+		math.Pi, math.E, 1<<53 - 1, 1 << 53,
+	}
+	for _, v := range cases {
+		var s Sum
+		s.Add(v)
+		if got := s.Float64(); got != v {
+			t.Errorf("Add(%g).Float64() = %g", v, got)
+		}
+	}
+}
+
+func TestNegativeZeroAndEmpty(t *testing.T) {
+	var s Sum
+	if got := s.Float64(); got != 0 {
+		t.Errorf("empty sum = %g", got)
+	}
+	s.Add(math.Copysign(0, -1))
+	s.Add(0)
+	if got := s.Float64(); got != 0 {
+		t.Errorf("sum of zeros = %g", got)
+	}
+}
+
+func TestNonFinite(t *testing.T) {
+	var s Sum
+	s.Add(1)
+	s.Add(math.Inf(1))
+	if got := s.Float64(); !math.IsInf(got, 1) {
+		t.Errorf("sum with +Inf = %g", got)
+	}
+	s.Add(math.Inf(-1))
+	if got := s.Float64(); !math.IsNaN(got) {
+		t.Errorf("sum with +Inf and -Inf = %g, want NaN", got)
+	}
+	var s2 Sum
+	s2.Add(math.NaN())
+	s2.Add(5)
+	if got := s2.Float64(); !math.IsNaN(got) {
+		t.Errorf("sum with NaN = %g", got)
+	}
+	var s3 Sum
+	s3.Add(math.Inf(-1))
+	if got := s3.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("sum with -Inf = %g", got)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	vs := []float64{1e308, 1e-308, -1e308, 1.0, -1.0, 1e-308}
+	want := 2e-308
+	if got := sumAll(vs); got != want {
+		t.Errorf("cancellation sum = %g, want %g", got, want)
+	}
+	// Exact cancellation to zero across the full range.
+	var s Sum
+	for _, v := range []float64{math.MaxFloat64, math.SmallestNonzeroFloat64} {
+		s.Add(v)
+		s.Add(-v)
+	}
+	if got := s.Float64(); got != 0 {
+		t.Errorf("full cancellation = %g", got)
+	}
+}
+
+func TestOverflowSaturates(t *testing.T) {
+	var s Sum
+	s.Add(math.MaxFloat64)
+	s.Add(math.MaxFloat64)
+	if got := s.Float64(); !math.IsInf(got, 1) {
+		t.Errorf("2·MaxFloat64 = %g, want +Inf", got)
+	}
+	s.Add(-math.MaxFloat64)
+	if got := s.Float64(); got != math.MaxFloat64 {
+		// The accumulator is exact: the intermediate overflow must not
+		// be sticky, unlike naive float64 accumulation.
+		t.Errorf("2·Max − Max = %g, want MaxFloat64", got)
+	}
+}
+
+func TestMatchesReferenceAcrossMagnitudes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		vs := make([]float64, n)
+		for i := range vs {
+			mag := rng.Intn(600) - 300
+			vs[i] = (rng.Float64()*2 - 1) * math.Pow(2, float64(mag))
+		}
+		got := sumAll(vs)
+		want := refSum(vs)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Fatalf("trial %d: sum = %g, want %g", trial, got, want)
+		}
+	}
+}
+
+func TestOrderAndGroupingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 1000
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(40)-20))
+	}
+	want := sumAll(vs)
+
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(n)
+		// Random grouping into 1..8 accumulators, merged via the wire
+		// format like a cross-rank reduction.
+		groups := 1 + rng.Intn(8)
+		wires := make([][]int64, groups)
+		accs := make([]Sum, groups)
+		for _, i := range perm {
+			accs[rng.Intn(groups)].Add(vs[i])
+		}
+		total := make([]int64, WireLen)
+		for g := range accs {
+			wires[g] = make([]int64, WireLen)
+			accs[g].EncodeTo(wires[g])
+			for j, v := range wires[g] {
+				total[j] += v
+			}
+		}
+		if got := DecodeFloat64(total); got != want {
+			t.Fatalf("trial %d (%d groups): %g != %g", trial, groups, got, want)
+		}
+	}
+}
+
+func TestMergeMatchesWireSum(t *testing.T) {
+	var a, b Sum
+	a.Add(1e100)
+	a.Add(-3.25)
+	b.Add(7e-200)
+	b.Add(1e100)
+
+	wa := make([]int64, WireLen)
+	wb := make([]int64, WireLen)
+	a.EncodeTo(wa)
+	b.EncodeTo(wb)
+	for i := range wa {
+		wa[i] += wb[i]
+	}
+	a.Merge(&b)
+	if got, want := a.Float64(), DecodeFloat64(wa); got != want {
+		t.Errorf("Merge = %g, wire sum = %g", got, want)
+	}
+}
+
+func TestManySmallAdds(t *testing.T) {
+	// 1M unit weights: exact integer sum, no drift.
+	var s Sum
+	for i := 0; i < 1_000_000; i++ {
+		s.Add(1)
+	}
+	if got := s.Float64(); got != 1_000_000 {
+		t.Errorf("1M unit adds = %g", got)
+	}
+}
+
+func BenchmarkSumAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vs := make([]float64, 4096)
+	for i := range vs {
+		vs[i] = rng.Float64() * 100
+	}
+	var s Sum
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(vs[i&4095])
+	}
+	sinkFloat = s.Float64()
+}
+
+var sinkFloat float64

@@ -309,6 +309,52 @@ func TestAblationQuick(t *testing.T) {
 	}
 }
 
+func TestRepartQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	rows, err := Repart(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(repartWorkloads(QuickScale())) * repartSteps * 2; len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	// Acceptance: per workload, warm-start migration strictly below
+	// from-scratch at comparable imbalance.
+	mig := map[string]map[string]float64{}
+	for _, r := range rows {
+		if mig[r.Graph] == nil {
+			mig[r.Graph] = map[string]float64{}
+		}
+		mig[r.Graph][r.Mode] += r.MigratedWeight
+		if r.Imbalance > 0.25 {
+			t.Errorf("%s step %d %s: imbalance %.3f", r.Graph, r.Step, r.Mode, r.Imbalance)
+		}
+		if r.Cut <= 0 {
+			t.Errorf("%s step %d %s: cut %d", r.Graph, r.Step, r.Mode, r.Cut)
+		}
+	}
+	for graph, byMode := range mig {
+		if byMode["warm"] >= byMode["scratch"] {
+			t.Errorf("%s: warm migration %.1f not below scratch %.1f",
+				graph, byMode["warm"], byMode["scratch"])
+		}
+	}
+	if !strings.Contains(buf.String(), "summary") {
+		t.Error("missing summary line")
+	}
+
+	var csv bytes.Buffer
+	if err := WriteRepartRowsCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != len(rows)+1 {
+		t.Errorf("%d CSV lines for %d rows", lines, len(rows))
+	}
+}
+
 func TestNearestPow2(t *testing.T) {
 	cases := map[int]int{0: 2, 1: 2, 2: 2, 3: 2, 5: 4, 6: 4 /* tie rounds down */, 7: 8, 8: 8, 11: 8, 13: 16, 100: 128}
 	for in, want := range cases {

@@ -88,7 +88,10 @@ func RunOne(m *mesh.Mesh, tool partition.Distributed, k, p, spmvIters, repeats i
 	row.KMeansSeconds /= float64(repeats)
 	row.Assignment = part
 
-	rep := metrics.Evaluate(m.G, m.Points, part.Assign, k)
+	rep, err := metrics.Evaluate(m.G, m.Points, part.Assign, k)
+	if err != nil {
+		return row, fmt.Errorf("evaluate %s on %s: %w", tool.Name(), m.Name, err)
+	}
 	row.Cut = rep.EdgeCut
 	row.MaxComm = rep.MaxCommVol
 	row.TotComm = rep.TotCommVol

@@ -33,6 +33,26 @@ func (r Report) String() string {
 		r.K, r.EdgeCut, r.MaxCommVol, r.TotCommVol, r.Imbalance, r.HarmDiam, r.Disconnected)
 }
 
+// ValidatePartition checks that part assigns each of the n vertices a
+// block id in [0, k). The per-block passes below (CommVolumes,
+// BlockWeights, ...) index scratch arrays of length k by block id and
+// would panic on out-of-range input, so every entry point that accepts
+// external partitions must validate first (like refine.Refine does).
+func ValidatePartition(part []int32, n, k int) error {
+	if k < 1 {
+		return fmt.Errorf("metrics: k=%d", k)
+	}
+	if len(part) != n {
+		return fmt.Errorf("metrics: %d assignments for %d vertices", len(part), n)
+	}
+	for v, b := range part {
+		if b < 0 || int(b) >= k {
+			return fmt.Errorf("metrics: vertex %d assigned to invalid block %d (k=%d)", v, b, k)
+		}
+	}
+	return nil
+}
+
 // EdgeCut returns the number of edges whose endpoints lie in different
 // blocks (each undirected edge counted once).
 func EdgeCut(g *graph.Graph, part []int32) int64 {
@@ -186,8 +206,16 @@ func HarmonicMeanDiameter(diam []int32) float64 {
 	return float64(count) / recip
 }
 
-// Evaluate computes the full quality report for a partition.
-func Evaluate(g *graph.Graph, ps *geom.PointSet, part []int32, k int) Report {
+// Evaluate computes the full quality report for a partition. The
+// partition is validated first; an out-of-range block id is an error,
+// not a panic.
+func Evaluate(g *graph.Graph, ps *geom.PointSet, part []int32, k int) (Report, error) {
+	if ps.Len() != g.N {
+		return Report{}, fmt.Errorf("metrics: %d points for %d graph vertices", ps.Len(), g.N)
+	}
+	if err := ValidatePartition(part, g.N, k); err != nil {
+		return Report{}, err
+	}
 	r := Report{K: k}
 	r.EdgeCut = EdgeCut(g, part)
 	vols := CommVolumes(g, part, k)
@@ -214,7 +242,60 @@ func Evaluate(g *graph.Graph, ps *geom.PointSet, part []int32, k int) Report {
 			r.MaxDiam = diam[b]
 		}
 	}
-	return r
+	return r, nil
+}
+
+// MigrationVolume returns the total weight and number of points whose
+// block changed between two partitions of the same point set — the
+// data-movement cost a simulation pays when it adopts the new partition
+// (the migration measure of the repartitioning literature; see
+// DESIGN.md, "Repartitioning invariants"). prev and next must both
+// have one entry per point.
+func MigrationVolume(ps *geom.PointSet, prev, next []int32) (weight float64, points int, err error) {
+	if len(prev) != ps.Len() || len(next) != ps.Len() {
+		return 0, 0, fmt.Errorf("metrics: %d/%d assignments for %d points", len(prev), len(next), ps.Len())
+	}
+	for i := 0; i < ps.Len(); i++ {
+		if prev[i] != next[i] {
+			weight += ps.W(i)
+			points++
+		}
+	}
+	return weight, points, nil
+}
+
+// ReportDelta is the change between two quality reports of consecutive
+// partitions of the same mesh, plus the migration cost of moving from
+// the previous partition to the next. Positive deltas mean the new
+// partition is worse on that measure.
+type ReportDelta struct {
+	EdgeCut    int64   // next − prev
+	MaxCommVol int64   // next − prev
+	TotCommVol int64   // next − prev
+	Imbalance  float64 // next − prev
+
+	MigratedWeight float64 // weight of points whose block changed
+	MigratedPoints int     // number of points whose block changed
+	MigratedFrac   float64 // MigratedWeight / total point weight
+}
+
+// Delta compares two consecutive partitions: the metric deltas of their
+// reports and the migration volume between the assignments.
+func Delta(prev, next Report, ps *geom.PointSet, prevAssign, nextAssign []int32) (ReportDelta, error) {
+	d := ReportDelta{
+		EdgeCut:    next.EdgeCut - prev.EdgeCut,
+		MaxCommVol: next.MaxCommVol - prev.MaxCommVol,
+		TotCommVol: next.TotCommVol - prev.TotCommVol,
+		Imbalance:  next.Imbalance - prev.Imbalance,
+	}
+	var err error
+	if d.MigratedWeight, d.MigratedPoints, err = MigrationVolume(ps, prevAssign, nextAssign); err != nil {
+		return ReportDelta{}, err
+	}
+	if total := ps.TotalWeight(); total > 0 {
+		d.MigratedFrac = d.MigratedWeight / total
+	}
+	return d, nil
 }
 
 // BlockAspectRatios returns, per block, the aspect ratio of the block's

@@ -163,7 +163,10 @@ func TestEvaluateEndToEnd(t *testing.T) {
 	g := ring(12)
 	ps := unitPoints(12)
 	part := []int32{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
-	r := Evaluate(g, ps, part, 3)
+	r, err := Evaluate(g, ps, part, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.EdgeCut != 3 {
 		t.Errorf("cut = %d, want 3", r.EdgeCut)
 	}
@@ -191,7 +194,10 @@ func TestEvaluateFlagsProblems(t *testing.T) {
 	// Splitting one ring block into two arcs disconnects both blocks
 	// (each occupies two disjoint arcs); block 2 stays empty.
 	part := []int32{0, 1, 1, 0, 1, 1}
-	r := Evaluate(g, ps, part, 3)
+	r, err := Evaluate(g, ps, part, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Disconnected != 2 {
 		t.Errorf("Disconnected = %d, want 2", r.Disconnected)
 	}
@@ -285,6 +291,77 @@ func BenchmarkEvaluate(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Evaluate(g, ps, part, 64)
+		if _, err := Evaluate(g, ps, part, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEvaluateRejectsInvalidPartitions(t *testing.T) {
+	g := ring(6)
+	ps := unitPoints(6)
+	// Out-of-range block id used to panic with index out of range in
+	// CommVolumes' stamp array; it must surface as an error instead.
+	for _, part := range [][]int32{
+		{0, 1, 2, 0, 1, 7},  // block id >= k
+		{0, 1, 2, 0, 1, -3}, // negative block id
+	} {
+		if _, err := Evaluate(g, ps, part, 3); err == nil {
+			t.Errorf("part %v accepted", part)
+		}
+	}
+	if _, err := Evaluate(g, ps, []int32{0, 1, 2}, 3); err == nil {
+		t.Error("short partition accepted")
+	}
+	if _, err := Evaluate(g, ps, make([]int32, 6), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestMigrationVolumeAndDelta(t *testing.T) {
+	g := ring(6)
+	ps := geom.NewPointSet(2, 6)
+	for i := 0; i < 6; i++ {
+		ps.Append(geom.Point{float64(i), 0}, float64(i+1)) // weights 1..6
+	}
+	prev := []int32{0, 0, 0, 1, 1, 1}
+	next := []int32{0, 0, 1, 1, 1, 0} // points 2 (w=3) and 5 (w=6) move
+	w, n, err := MigrationVolume(ps, prev, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 9 || n != 2 {
+		t.Fatalf("migration = (%g, %d), want (9, 2)", w, n)
+	}
+	if _, _, err := MigrationVolume(ps, prev[:3], next); err == nil {
+		t.Error("short prev accepted")
+	}
+	rPrev, err := Evaluate(g, ps, prev, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNext, err := Evaluate(g, ps, next, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Delta(rPrev, rNext, ps, prev, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MigratedWeight != 9 || d.MigratedPoints != 2 {
+		t.Errorf("delta migration = (%g, %d)", d.MigratedWeight, d.MigratedPoints)
+	}
+	if want := 9.0 / 21.0; math.Abs(d.MigratedFrac-want) > 1e-15 {
+		t.Errorf("migrated frac = %g, want %g", d.MigratedFrac, want)
+	}
+	if d.EdgeCut != rNext.EdgeCut-rPrev.EdgeCut {
+		t.Errorf("cut delta = %d", d.EdgeCut)
+	}
+	same, err := Delta(rPrev, rPrev, ps, prev, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.MigratedWeight != 0 || same.EdgeCut != 0 {
+		t.Errorf("self delta = %+v", same)
 	}
 }

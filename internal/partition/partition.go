@@ -52,6 +52,29 @@ func (p P) Sizes() []int64 {
 	return s
 }
 
+// CheckFractions validates heterogeneous target fractions (paper
+// footnote 1): length k, every fraction strictly positive and finite,
+// sum within 1±0.001. It returns the sum so callers can normalize.
+// A zero or negative fraction would silently skew the balance targets
+// (its block can never meet a non-positive target), so it is an error,
+// not a degenerate configuration.
+func CheckFractions(fractions []float64, k int) (float64, error) {
+	if len(fractions) != k {
+		return 0, fmt.Errorf("partition: %d fractions for k=%d", len(fractions), k)
+	}
+	sum := 0.0
+	for _, f := range fractions {
+		if !(f > 0) || f > 1 {
+			return 0, fmt.Errorf("partition: fraction %g outside (0, 1]", f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return 0, fmt.Errorf("partition: fractions sum to %g, want 1", sum)
+	}
+	return sum, nil
+}
+
 // Targets computes per-block target weights. With fractions == nil all
 // blocks get totalWeight/k (the standard balance constraint); otherwise
 // fractions must sum to ~1 and block b targets fractions[b]·totalWeight
@@ -64,18 +87,9 @@ func Targets(totalWeight float64, k int, fractions []float64) ([]float64, error)
 		}
 		return t, nil
 	}
-	if len(fractions) != k {
-		return nil, fmt.Errorf("partition: %d fractions for k=%d", len(fractions), k)
-	}
-	sum := 0.0
-	for _, f := range fractions {
-		if f <= 0 {
-			return nil, fmt.Errorf("partition: non-positive fraction %g", f)
-		}
-		sum += f
-	}
-	if sum < 0.999 || sum > 1.001 {
-		return nil, fmt.Errorf("partition: fractions sum to %g, want 1", sum)
+	sum, err := CheckFractions(fractions, k)
+	if err != nil {
+		return nil, err
 	}
 	for b := range t {
 		t[b] = totalWeight * fractions[b] / sum

@@ -1,0 +1,66 @@
+package repart
+
+import (
+	"math"
+	"testing"
+
+	"geographer/internal/core"
+	"geographer/internal/mesh"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// BenchmarkRepartition measures one warm-start repartitioning step on
+// the facade workload shape (refined 2D mesh, k=16, p=4) under a ±40%
+// weight perturbation, next to BenchmarkScratchRepartition for the
+// from-scratch comparison the warm start is meant to beat.
+func BenchmarkRepartition(b *testing.B) {
+	m, err := mesh.GenRefinedTri(20000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k, p = 16, 4
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	prev, err := partition.Run(mpi.NewWorld(p), m.Points, k, core.New(cfg))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := m.Points.Clone()
+	ps.Weight = make([]float64, ps.Len())
+	for i := range ps.Weight {
+		x := ps.Coords[i*ps.Dim]
+		ps.Weight[i] = 1 + 0.4*math.Sin(0.08*x+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Repartition(mpi.NewWorld(p), ps, prev.Assign, k, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScratchRepartition is the from-scratch baseline for
+// BenchmarkRepartition: a full Partition (SFC keys + sort +
+// redistribution + cold k-means) on the identical perturbed input.
+func BenchmarkScratchRepartition(b *testing.B) {
+	m, err := mesh.GenRefinedTri(20000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k, p = 16, 4
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	ps := m.Points.Clone()
+	ps.Weight = make([]float64, ps.Len())
+	for i := range ps.Weight {
+		x := ps.Coords[i*ps.Dim]
+		ps.Weight[i] = 1 + 0.4*math.Sin(0.08*x+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Run(mpi.NewWorld(p), ps, k, core.New(cfg)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

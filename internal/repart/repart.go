@@ -1,0 +1,138 @@
+// Package repart implements warm-start repartitioning: re-running the
+// balanced k-means of internal/core on a point set that already carries
+// a block assignment, seeded from that assignment's centers instead of
+// the space-filling-curve bootstrap.
+//
+// This is the dynamic-workload scenario the paper motivates geometric
+// partitioners with (§1: the 2.5D climate simulation re-extends its
+// mesh "during the simulation" as load evolves): a simulation
+// repartitions repeatedly, and the previous partition's centers are a
+// far better seed than a fresh SFC bootstrap — the k-means converges in
+// few iterations, the expensive ingest phase (Hilbert keys, global
+// sort, redistribution, §4.1) is skipped entirely, and because the new
+// partition grows out of the old one, far fewer points change block.
+// The weight of the points that do change block is the migration
+// volume, the repartitioning cost measure of the literature (Buluç et
+// al., arXiv 1311.3144 §5; Sasidharan, arXiv 2503.02185), reported here
+// next to the usual cut/imbalance metrics.
+package repart
+
+import (
+	"fmt"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/metrics"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// Stats reports what one Repartition call did.
+type Stats struct {
+	// MigratedWeight is the total weight of points whose block changed
+	// relative to the previous assignment; MigratedPoints counts them.
+	MigratedWeight float64
+	MigratedPoints int
+	// TotalWeight is the weight of the whole point set, so
+	// MigratedWeight/TotalWeight is the migrated fraction.
+	TotalWeight float64
+	// Centers holds the seed centers recovered from the previous
+	// assignment (diagnostics; length k).
+	Centers []geom.Point
+	// Info carries the k-means diagnostics of the run.
+	Info core.Info
+}
+
+// RecoverCenters computes the warm-start seed centers from a previous
+// assignment: the weighted mean of each block's points. The pass runs
+// in global index order, so the recovered centers are a pure function
+// of the input — independent of rank and worker counts.
+//
+// Blocks that became degenerate keep deterministic fallbacks: a block
+// whose points all have zero weight uses the unweighted mean, and an
+// empty block is re-seeded at a block-specific position on the bounding
+// box diagonal (distinct per block, so no two recovered centers
+// coincide and tie-breaking stays order-independent).
+func RecoverCenters(ps *geom.PointSet, prev []int32, k int) ([]geom.Point, error) {
+	n := ps.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("repart: empty point set")
+	}
+	if err := metrics.ValidatePartition(prev, n, k); err != nil {
+		return nil, fmt.Errorf("repart: invalid previous assignment: %w", err)
+	}
+
+	wSum := make([]float64, k)
+	count := make([]int64, k)
+	wMean := make([]geom.Point, k) // Σ w·x per block
+	uMean := make([]geom.Point, k) // Σ x per block (zero-weight fallback)
+	for i := 0; i < n; i++ {
+		b := prev[i]
+		x := ps.At(i)
+		w := ps.W(i)
+		count[b]++
+		wSum[b] += w
+		for d := 0; d < ps.Dim; d++ {
+			wMean[b][d] += w * x[d]
+			uMean[b][d] += x[d]
+		}
+	}
+
+	box := ps.Bounds()
+	centers := make([]geom.Point, k)
+	for b := 0; b < k; b++ {
+		switch {
+		case wSum[b] > 0:
+			for d := 0; d < ps.Dim; d++ {
+				centers[b][d] = wMean[b][d] / wSum[b]
+			}
+		case count[b] > 0:
+			for d := 0; d < ps.Dim; d++ {
+				centers[b][d] = uMean[b][d] / float64(count[b])
+			}
+		default:
+			// Empty block: spread along the global bounding box diagonal
+			// at a block-specific offset.
+			t := (float64(b) + 0.5) / float64(k)
+			for d := 0; d < ps.Dim; d++ {
+				centers[b][d] = box.Min[d] + t*(box.Max[d]-box.Min[d])
+			}
+		}
+	}
+	return centers, nil
+}
+
+// Repartition re-partitions ps into k blocks over world w, warm-started
+// from prev: the seed centers are recovered from prev by RecoverCenters
+// and the balanced k-means runs with cfg on the WarmCenters path of
+// internal/core (no SFC sort/redistribution; exact, rank-layout-
+// independent reductions). Any WarmCenters already present in cfg are
+// replaced. The returned stats carry the migration volume against prev.
+func Repartition(w *mpi.World, ps *geom.PointSet, prev []int32, k int, cfg core.Config) (partition.P, Stats, error) {
+	centers, err := RecoverCenters(ps, prev, k)
+	if err != nil {
+		return partition.P{}, Stats{}, err
+	}
+	// A zero-value cfg is filled in by core.Partition itself, which
+	// preserves WarmCenters and the other problem-defining fields.
+	cfg.WarmCenters = centers
+	if err := cfg.Validate(k); err != nil {
+		return partition.P{}, Stats{}, err
+	}
+
+	bkm := core.New(cfg)
+	p, err := partition.Run(w, ps, k, bkm)
+	if err != nil {
+		return partition.P{}, Stats{}, err
+	}
+
+	st := Stats{
+		TotalWeight: ps.TotalWeight(),
+		Centers:     centers,
+		Info:        bkm.LastInfo(),
+	}
+	if st.MigratedWeight, st.MigratedPoints, err = metrics.MigrationVolume(ps, prev, p.Assign); err != nil {
+		return partition.P{}, Stats{}, err
+	}
+	return p, st, nil
+}

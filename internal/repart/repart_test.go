@@ -1,0 +1,242 @@
+package repart
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/metrics"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+func randomPoints(n, dim int, seed int64) *geom.PointSet {
+	rng := rand.New(rand.NewSource(seed))
+	ps := &geom.PointSet{Dim: dim, Coords: make([]float64, n*dim), Weight: make([]float64, n)}
+	for i := range ps.Coords {
+		ps.Coords[i] = rng.Float64() * 100
+	}
+	for i := range ps.Weight {
+		ps.Weight[i] = 0.5 + 2*rng.Float64()
+	}
+	return ps
+}
+
+func scratchPartition(t *testing.T, ps *geom.PointSet, k, p int) partition.P {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	out, err := partition.Run(mpi.NewWorld(p), ps, k, core.New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRecoverCenters(t *testing.T) {
+	ps := &geom.PointSet{Dim: 2, Coords: []float64{
+		0, 0, 2, 0, 1, 3, // block 0
+		10, 10, 12, 10, // block 1
+	}, Weight: []float64{1, 1, 2, 3, 1}}
+	prev := []int32{0, 0, 0, 1, 1}
+	cs, err := RecoverCenters(ps, prev, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0: (0+2+2·1)/4, (0+0+2·3)/4 = (1, 1.5).
+	if math.Abs(cs[0][0]-1) > 1e-12 || math.Abs(cs[0][1]-1.5) > 1e-12 {
+		t.Errorf("block 0 center = %v", cs[0])
+	}
+	// Block 1: (3·10+12)/4, 10.
+	if math.Abs(cs[1][0]-10.5) > 1e-12 || math.Abs(cs[1][1]-10) > 1e-12 {
+		t.Errorf("block 1 center = %v", cs[1])
+	}
+	// Block 2 is empty: deterministic fallback inside the bounding box,
+	// distinct from the others.
+	if !ps.Bounds().Contains(cs[2]) {
+		t.Errorf("empty-block center %v outside bounds", cs[2])
+	}
+	if cs[2] == cs[0] || cs[2] == cs[1] {
+		t.Errorf("fallback center %v coincides", cs[2])
+	}
+}
+
+func TestRecoverCentersZeroWeightBlock(t *testing.T) {
+	ps := &geom.PointSet{Dim: 2, Coords: []float64{0, 0, 4, 4}, Weight: []float64{0, 0}}
+	cs, err := RecoverCenters(ps, []int32{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cs[0][0]-2) > 1e-12 || math.Abs(cs[0][1]-2) > 1e-12 {
+		t.Errorf("zero-weight block center = %v, want (2,2)", cs[0])
+	}
+}
+
+func TestRecoverCentersErrors(t *testing.T) {
+	ps := randomPoints(10, 2, 1)
+	if _, err := RecoverCenters(ps, make([]int32, 10), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := RecoverCenters(ps, make([]int32, 9), 2); err == nil {
+		t.Error("short prev accepted")
+	}
+	bad := make([]int32, 10)
+	bad[7] = 5
+	if _, err := RecoverCenters(ps, bad, 2); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	bad[7] = -1
+	if _, err := RecoverCenters(ps, bad, 2); err == nil {
+		t.Error("negative block accepted")
+	}
+	if _, err := RecoverCenters(&geom.PointSet{Dim: 2}, nil, 2); err == nil {
+		t.Error("empty point set accepted")
+	}
+}
+
+// TestWarmStartDeterminism pins the warm path's central guarantee: the
+// same input and the same previous assignment produce a bit-identical
+// partition regardless of how many simulated ranks or kernel workers
+// run it.
+func TestWarmStartDeterminism(t *testing.T) {
+	const n, k = 3000, 8
+	ps := randomPoints(n, 2, 3)
+	prev := scratchPartition(t, ps, k, 4)
+
+	// Perturb the weights so the repartition has real work to do.
+	for i := range ps.Weight {
+		ps.Weight[i] *= 1 + 0.3*math.Sin(float64(i)*0.37)
+	}
+
+	cfg := core.DefaultConfig()
+	var ref []int32
+	for _, procs := range []int{1, 2, 3, 4, 7} {
+		for _, workers := range []int{1, 2, 3} {
+			c := cfg
+			c.Workers = workers
+			p, st, err := Repartition(mpi.NewWorld(procs), ps, prev.Assign, k, c)
+			if err != nil {
+				t.Fatalf("p=%d w=%d: %v", procs, workers, err)
+			}
+			if st.Info.SortSeconds != 0 {
+				t.Errorf("p=%d w=%d: warm start ran the sort phase (%gs)", procs, workers, st.Info.SortSeconds)
+			}
+			if ref == nil {
+				ref = p.Assign
+				continue
+			}
+			for i := range ref {
+				if ref[i] != p.Assign[i] {
+					t.Fatalf("p=%d w=%d: assignment diverges at point %d (%d vs %d)",
+						procs, workers, i, ref[i], p.Assign[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartDeterminism3D covers the 3D kernel specialization.
+func TestWarmStartDeterminism3D(t *testing.T) {
+	const n, k = 2000, 6
+	ps := randomPoints(n, 3, 5)
+	prev := scratchPartition(t, ps, k, 4)
+	cfg := core.DefaultConfig()
+	var ref []int32
+	for _, procs := range []int{1, 3, 5} {
+		p, _, err := Repartition(mpi.NewWorld(procs), ps, prev.Assign, k, cfg)
+		if err != nil {
+			t.Fatalf("p=%d: %v", procs, err)
+		}
+		if ref == nil {
+			ref = p.Assign
+			continue
+		}
+		for i := range ref {
+			if ref[i] != p.Assign[i] {
+				t.Fatalf("p=%d: diverges at %d", procs, i)
+			}
+		}
+	}
+}
+
+// TestWarmStartMigrationAndQuality: under a weight perturbation, the
+// warm start must move far less weight than a fresh partition while
+// staying balanced.
+func TestWarmStartMigrationAndQuality(t *testing.T) {
+	const n, k = 4000, 8
+	ps := randomPoints(n, 2, 11)
+	prev := scratchPartition(t, ps, k, 4)
+
+	perturbed := ps.Clone()
+	for i := range perturbed.Weight {
+		x := perturbed.Coords[2*i]
+		perturbed.Weight[i] *= 1 + 0.4*math.Sin(x*0.2+1)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	cfg.Strict = true
+	p, st, err := Repartition(mpi.NewWorld(4), perturbed, prev.Assign, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Info.Balanced || st.Info.Imbalance > cfg.Epsilon+1e-9 {
+		t.Errorf("warm start unbalanced: %+v", st.Info)
+	}
+	if st.MigratedPoints == 0 {
+		t.Error("no migration at all under a 40% weight perturbation is implausible")
+	}
+
+	// Fresh partition of the perturbed set, migration vs the same prev.
+	scratch, err := partition.Run(mpi.NewWorld(4), perturbed, k, core.New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchW, _, err := metrics.MigrationVolume(perturbed, prev.Assign, scratch.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MigratedWeight >= scratchW {
+		t.Errorf("warm migration %.1f not below scratch %.1f", st.MigratedWeight, scratchW)
+	}
+	t.Logf("migration: warm %.1f vs scratch %.1f (of %.1f total), %d iterations",
+		st.MigratedWeight, scratchW, st.TotalWeight, st.Info.Iterations)
+}
+
+// TestWarmStartIdentityStable: repartitioning with unchanged weights
+// from a converged partition should barely move anything.
+func TestWarmStartIdentityStable(t *testing.T) {
+	const n, k = 3000, 8
+	ps := randomPoints(n, 2, 21)
+	prev := scratchPartition(t, ps, k, 4)
+
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	_, st, err := Repartition(mpi.NewWorld(4), ps, prev.Assign, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := st.MigratedWeight / st.TotalWeight; frac > 0.10 {
+		t.Errorf("unchanged input migrated %.1f%% of the weight", 100*frac)
+	}
+}
+
+func TestRepartitionConfigErrors(t *testing.T) {
+	ps := randomPoints(100, 2, 1)
+	prev := make([]int32, 100)
+	cfg := core.DefaultConfig()
+	cfg.Epsilon = -0.01
+	if _, _, err := Repartition(mpi.NewWorld(2), ps, prev, 2, cfg); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	cfg = core.DefaultConfig()
+	cfg.TargetFractions = []float64{0.9, -0.1}
+	if _, _, err := Repartition(mpi.NewWorld(2), ps, prev, 2, cfg); err == nil {
+		t.Error("negative fraction accepted")
+	}
+}

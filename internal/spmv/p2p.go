@@ -18,6 +18,9 @@ import (
 // why well-shaped partitions (few neighbors per block) win on real
 // machines.
 func BenchmarkP2P(g *graph.Graph, part []int32, k int, iters int) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("spmv: k=%d", k)
+	}
 	if len(part) != g.N {
 		return Result{}, fmt.Errorf("spmv: partition length %d != n %d", len(part), g.N)
 	}

@@ -37,6 +37,9 @@ type Result struct {
 // communication cost. The multiplied vector starts as all-ones and is
 // refreshed from y after every iteration, so results are checkable.
 func Benchmark(g *graph.Graph, part []int32, k int, iters int) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("spmv: k=%d", k)
+	}
 	if len(part) != g.N {
 		return Result{}, fmt.Errorf("spmv: partition length %d != n %d", len(part), g.N)
 	}
