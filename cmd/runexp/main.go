@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|ablation|all")
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|all")
 		scale   = flag.String("scale", "default", "default|quick")
 		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
 		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
@@ -149,6 +149,21 @@ func main() {
 			}
 			defer f.Close()
 			return experiments.WriteRepartRowsCSV(f, rows)
+		})
+	}
+	if all || *exp == "stream" {
+		any = true
+		run("stream", func() error {
+			rows, err := experiments.Stream(os.Stdout, sc)
+			if err != nil || *csvDir == "" {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*csvDir, "stream.csv"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return experiments.WriteStreamRowsCSV(f, rows)
 		})
 	}
 	if all || *exp == "ablation" {

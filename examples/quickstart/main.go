@@ -1,11 +1,15 @@
-// Quickstart: partition a Delaunay mesh of random points into balanced
-// blocks with Geographer's balanced k-means and print the quality
-// metrics. This is the smallest end-to-end use of the public API.
+// Quickstart demonstrates the smallest end-to-end use of the public
+// API: generate a benchmark mesh, partition it into balanced blocks
+// with Geographer's balanced k-means, evaluate the paper's quality
+// metrics — and then, when the load evolves over timesteps, repartition
+// through a Session (ingest once, warm steps with in-place weight
+// updates) instead of re-running the full pipeline.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math"
 
 	"geographer"
 )
@@ -41,4 +45,35 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("SpMV comm (modeled): %.4g s/iteration\n", modeled)
+
+	// 5. When the simulation's load evolves and the mesh must be
+	// repartitioned every timestep, keep a Session instead of looping
+	// over one-shot calls: the points are ingested once, each step only
+	// applies a weight delta and runs the warm k-means, and far less
+	// weight migrates than a fresh partition would move.
+	s, err := geographer.NewSession(m.Coords, m.Dim, m.Weights, geographer.Options{K: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SetPartition(blocks); err != nil { // warm-start from step 2's result
+		log.Fatal(err)
+	}
+	fmt.Println("\nstreaming timesteps (weights drift, session repartitions):")
+	for t := 1; t <= 3; t++ {
+		w := make([]float64, m.N())
+		for i := range w {
+			x := m.Coords[i*m.Dim]
+			w[i] = 1 + 0.4*math.Sin(0.1*x+float64(t)) // evolving load
+		}
+		if err := s.UpdateWeights(w); err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Repartition()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  step %d: %.1f%% of the weight migrated (%d points)\n",
+			t, 100*res.MigratedWeight/res.TotalWeight, res.MigratedPoints)
+	}
 }

@@ -20,6 +20,21 @@
 // warm-starts from the previous partition: it skips the
 // sort/redistribution bootstrap and moves far less weight between
 // blocks (res.MigratedWeight) than a fresh Partition call.
+//
+// When a simulation repartitions every timestep, use a Session instead
+// of a loop of one-shot calls: it ingests the points once, keeps the
+// distributed state resident, and exposes the same warm repartitioning
+// with UpdateWeights/UpdateCoords deltas in between —
+//
+//	s, _ := geographer.NewSession(coords, 2, weights, geographer.Options{K: 16})
+//	defer s.Close()
+//	blocks, err := s.Partition()
+//	for ... {
+//		s.UpdateWeights(w)
+//		res, err := s.Repartition()
+//	}
+//
+// with results bit-identical to the one-shot chain.
 package geographer
 
 import (
@@ -116,16 +131,22 @@ func (o Options) validate() error {
 	return nil
 }
 
+// coreConfig translates the facade Options into the balanced-k-means
+// configuration of internal/core (all paper optimizations on).
+func (o Options) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Epsilon = o.Epsilon
+	cfg.Seed = o.Seed
+	cfg.Strict = o.Strict
+	cfg.TargetFractions = o.TargetFractions
+	cfg.Workers = o.Workers
+	return cfg
+}
+
 func (o Options) tool() (partition.Distributed, error) {
 	switch strings.ToLower(o.Method) {
 	case MethodGeographer:
-		cfg := core.DefaultConfig()
-		cfg.Epsilon = o.Epsilon
-		cfg.Seed = o.Seed
-		cfg.Strict = o.Strict
-		cfg.TargetFractions = o.TargetFractions
-		cfg.Workers = o.Workers
-		return core.New(cfg), nil
+		return core.New(o.coreConfig()), nil
 	case MethodRCB:
 		return baselines.RCB(), nil
 	case MethodRIB:
@@ -206,14 +227,8 @@ func Repartition(coords []float64, dim int, weights []float64, prevAssign []int3
 	if err := ps.Validate(); err != nil {
 		return RepartResult{}, err
 	}
-	cfg := core.DefaultConfig()
-	cfg.Epsilon = opts.Epsilon
-	cfg.Seed = opts.Seed
-	cfg.Strict = opts.Strict
-	cfg.TargetFractions = opts.TargetFractions
-	cfg.Workers = opts.Workers
 	world := mpi.NewWorld(opts.Processes)
-	p, stats, err := repart.Repartition(world, ps, prevAssign, opts.K, cfg)
+	p, stats, err := repart.Repartition(world, ps, prevAssign, opts.K, opts.coreConfig())
 	if err != nil {
 		return RepartResult{}, err
 	}
@@ -227,11 +242,21 @@ func Repartition(coords []float64, dim int, weights []float64, prevAssign []int3
 
 // Quality holds the graph-based partition metrics of the paper (§2).
 type Quality struct {
-	EdgeCut      int64
+	// EdgeCut counts mesh edges whose endpoints lie in different blocks.
+	EdgeCut int64
+	// MaxCommVol is the largest per-block communication volume (boundary
+	// vertices counted once per neighboring block); TotalCommVol sums it
+	// over all blocks.
 	MaxCommVol   int64
 	TotalCommVol int64
-	Imbalance    float64
+	// Imbalance is max_b weight(b)/target(b) − 1; a partition meets the
+	// balance constraint when Imbalance ≤ ε.
+	Imbalance float64
+	// HarmDiameter is the harmonic mean of the block graph diameters
+	// (the paper's block-shape measure; lower = more compact).
 	HarmDiameter float64
+	// Disconnected counts blocks that are not connected subgraphs, and
+	// EmptyBlocks counts blocks with no vertices at all.
 	Disconnected int
 	EmptyBlocks  int
 }
@@ -268,12 +293,18 @@ func Evaluate(xadj []int64, adj []int32, coords []float64, dim int, weights []fl
 
 // MeshData is a self-contained mesh: points plus CSR adjacency.
 type MeshData struct {
-	Name    string
-	Dim     int
-	Coords  []float64 // flat, stride Dim
-	Weights []float64 // nil = unit
-	XAdj    []int64
-	Adj     []int32
+	// Name identifies the mesh (generator kind or file name).
+	Name string
+	// Dim is the coordinate dimension (2 or 3).
+	Dim int
+	// Coords holds the vertex coordinates, flat with stride Dim.
+	Coords []float64
+	// Weights holds one weight per vertex; nil means unit weights.
+	Weights []float64
+	// XAdj and Adj store the adjacency in CSR form: the neighbors of
+	// vertex v are Adj[XAdj[v]:XAdj[v+1]].
+	XAdj []int64
+	Adj  []int32
 }
 
 // N returns the number of vertices.
@@ -370,7 +401,9 @@ func Extrude(surface *MeshData, part2d []int32, layerHeight float64) (*MeshData,
 
 // RefineResult reports what a refinement pass achieved.
 type RefineResult struct {
-	Moves     int
+	// Moves is the number of boundary vertices that changed block.
+	Moves int
+	// CutBefore and CutAfter are the edge cut at entry and exit.
 	CutBefore int64
 	CutAfter  int64
 }

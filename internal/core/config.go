@@ -143,6 +143,35 @@ func (cfg Config) Validate(k int) error {
 	return nil
 }
 
+// normalized fills the tuning knobs of a zero-value configuration from
+// DefaultConfig: the caller did not start from DefaultConfig (MaxIter
+// is zero), so the knobs take their defaults — but everything that
+// defines the caller's problem (constraints, seeds, warm centers) is
+// kept rather than silently reset. The all-on feature booleans
+// (Erosion, BBoxPruning, SampledInit, SFCBootstrap) cannot be
+// distinguished from unset here and take their defaults; callers that
+// ablate them must set MaxIter explicitly.
+func (cfg Config) normalized() Config {
+	if cfg.MaxIter != 0 {
+		return cfg
+	}
+	def := DefaultConfig()
+	if cfg.Epsilon != 0 {
+		def.Epsilon = cfg.Epsilon
+	}
+	if cfg.Workers != 0 {
+		def.Workers = cfg.Workers
+	}
+	if cfg.Bounds != "" {
+		def.Bounds = cfg.Bounds
+	}
+	def.Seed = cfg.Seed
+	def.Strict = cfg.Strict
+	def.TargetFractions = cfg.TargetFractions
+	def.WarmCenters = cfg.WarmCenters
+	return def
+}
+
 // DefaultConfig returns the configuration used in the paper's experiments
 // (ε = 3%, all optimizations on).
 func DefaultConfig() Config {

@@ -121,39 +121,27 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 	if k < 1 {
 		return nil, nil, fmt.Errorf("core: k=%d", k)
 	}
-	cfg := b.Cfg
-	if cfg.MaxIter == 0 {
-		// Zero-value safety: the caller did not start from DefaultConfig,
-		// so fill in the tuning knobs — but keep everything that defines
-		// the caller's problem (constraints, seeds, warm centers) rather
-		// than silently resetting it. The all-on feature booleans
-		// (Erosion, BBoxPruning, SampledInit, SFCBootstrap) cannot be
-		// distinguished from unset here and take their defaults; callers
-		// that ablate them must set MaxIter explicitly.
-		def := DefaultConfig()
-		if cfg.Epsilon != 0 {
-			def.Epsilon = cfg.Epsilon
-		}
-		if cfg.Workers != 0 {
-			def.Workers = cfg.Workers
-		}
-		if cfg.Bounds != "" {
-			def.Bounds = cfg.Bounds
-		}
-		def.Seed = cfg.Seed
-		def.Strict = cfg.Strict
-		def.TargetFractions = cfg.TargetFractions
-		def.WarmCenters = cfg.WarmCenters
-		cfg = def
-	}
+	cfg := b.Cfg.normalized()
 	if err := cfg.Validate(k); err != nil {
 		return nil, nil, err
 	}
-	st := &state{c: c, cfg: cfg, dim: pts.Dim, k: k, warm: len(cfg.WarmCenters) > 0}
-
-	if st.warm {
-		return b.partitionWarm(st, pts)
+	if len(cfg.WarmCenters) > 0 {
+		// Warm-start repartitioning: the §4.1 ingest pipeline is skipped
+		// entirely (see Ingest/runResident in session.go — the same code
+		// the long-lived session API reuses across timesteps; here the
+		// resident state lives for a single call). The one-time column
+		// build is attributed to the SFC phase slot for the one-shot
+		// caller's phase breakdown.
+		r := Ingest(c, pts)
+		ids, blocks, err := b.runResident(c, r, k, cfg)
+		if err == nil && c.Rank() == 0 {
+			b.mu.Lock()
+			b.info.SFCSeconds = r.IngestSeconds()
+			b.mu.Unlock()
+		}
+		return ids, blocks, err
 	}
+	st := &state{c: c, cfg: cfg, dim: pts.Dim, k: k}
 
 	// ---- Phase 1: space-filling curve keys (§4.1). -----------------------
 	// The SoA fast path fills flat dsort columns straight from the input
@@ -256,19 +244,34 @@ func (b *BalancedKMeans) finish(st *state) ([]int64, []int32, error) {
 
 // globalBounds computes the bounding box of the distributed point set.
 func globalBounds(c *mpi.Comm, pts *partition.Local) geom.Box {
-	dim := pts.Dim
-	mins := make([]float64, dim)
-	maxs := make([]float64, dim)
-	for d := 0; d < dim; d++ {
-		mins[d] = math.Inf(1)
-		maxs[d] = math.Inf(-1)
-	}
+	mins, maxs := localBoundsInit(pts.Dim)
 	for _, x := range pts.X {
-		for d := 0; d < dim; d++ {
+		for d := 0; d < pts.Dim; d++ {
 			mins[d] = math.Min(mins[d], x[d])
 			maxs[d] = math.Max(maxs[d], x[d])
 		}
 	}
+	return reduceBox(c, pts.Dim, mins, maxs)
+}
+
+// localBoundsInit allocates per-dimension fold identities for a
+// min/max bounds pass.
+func localBoundsInit(dim int) (mins, maxs []float64) {
+	mins = make([]float64, dim)
+	maxs = make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		mins[d] = math.Inf(1)
+		maxs[d] = math.Inf(-1)
+	}
+	return mins, maxs
+}
+
+// reduceBox is the collective half of a global bounding-box
+// computation, shared by globalBounds and Resident.RecomputeBounds so
+// the two can never drift apart (bit-identical boxes are part of the
+// session invariants): min/max Allreduce over the local per-dimension
+// bounds, packed into a Box.
+func reduceBox(c *mpi.Comm, dim int, mins, maxs []float64) geom.Box {
 	mins = mpi.AllreduceMin(c, mins)
 	maxs = mpi.AllreduceMax(c, maxs)
 	box := geom.Box{Dim: dim}
@@ -313,7 +316,7 @@ func (st *state) initCentersAndTargets() error {
 
 	var totalW float64
 	if st.warm {
-		st.centers = append([]geom.Point(nil), st.cfg.WarmCenters...)
+		st.centers = append(st.centers[:0], st.cfg.WarmCenters...)
 		// Exact global weight: the reduction is over integer limbs, so
 		// the value (and everything derived from it — targets, the
 		// balance scale) is independent of the rank layout.
@@ -373,27 +376,97 @@ func (st *state) initCentersAndTargets() error {
 	}
 	st.targets = targets
 
-	st.influence = make([]float64, st.k)
+	st.ensureScratch()
+	st.resetRun()
+	return nil
+}
+
+// ensureScratch allocates every per-point and per-cluster buffer whose
+// size does not match the current problem. On the one-shot paths the
+// state is fresh and everything is allocated here, exactly once per
+// Partition call — balance rounds and outer iterations must not
+// allocate. On the resident path (session API) the buffers already fit
+// and this is a no-op, which is the point: a warm timestep performs no
+// per-point allocations at all.
+func (st *state) ensureScratch() {
+	n := st.X.Len()
+	if len(st.A) != n {
+		st.A = make([]int32, n)
+		st.ub = make([]float64, n)
+		st.lb = make([]float64, n)
+		st.perm = make([]int32, n)
+		st.allIdx = make([]int32, n)
+	}
+	if st.cfg.Bounds == BoundsElkan {
+		if len(st.lbk) != n*st.k {
+			st.lbk = make([]float64, n*st.k) // zero = trivially valid
+		}
+	} else {
+		st.lbk = nil
+	}
+	if len(st.influence) != st.k {
+		st.influence = make([]float64, st.k)
+		st.orderedCenters = make([]int32, st.k)
+		st.distToBB2 = make([]float64, st.k)
+		st.invInf2 = make([]float64, st.k)
+		st.centerCols = geom.MakeCols(st.dim, st.k)
+		st.oldInfluence = make([]float64, st.k)
+		st.newCenters = make([]geom.Point, st.k)
+		st.deltas = make([]float64, st.k)
+		st.perCenter = make([]float64, st.k)
+		st.pendUbRatio = make([]float64, st.k)
+	}
+	if len(st.localW) != st.k+2 {
+		st.localW = make([]float64, st.k+2) // +2: sample weight and sampling flag ride along
+	}
+	if len(st.centVec) != st.k*(st.dim+1) {
+		st.centVec = make([]float64, st.k*(st.dim+1))
+	}
+	if nc := kernelChunks(n); len(st.shards) != nc || (nc > 0 && len(st.shards[0].LocalW) != st.k) {
+		st.shards = make([]geom.AssignKernel, nc)
+		for s := range st.shards {
+			st.shards[s].LocalW = make([]float64, st.k)
+		}
+	}
+	st.workers = resolveWorkers(st.cfg, st.c.Size())
+	if st.warm {
+		if len(st.exactW) != st.k {
+			st.exactW = make([]exact.Sum, st.k)
+		}
+		if len(st.exactC) != st.k*(st.dim+1) {
+			st.exactC = make([]exact.Sum, st.k*(st.dim+1))
+		}
+		if len(st.exactWire) != len(st.exactC)*exact.WireLen {
+			st.exactWire = make([]int64, len(st.exactC)*exact.WireLen)
+		}
+	}
+}
+
+// resetRun reinitializes the per-run values of all scratch buffers —
+// the write pattern a fresh allocation plus the old inline loops
+// produced, so a reused resident state starts a run in a state
+// bit-identical to a freshly built one: assignments unassigned, upper
+// bounds infinite, lower bounds trivially valid, influences 1, the
+// sample covering everything (warm) or shuffled and truncated (cold).
+func (st *state) resetRun() {
 	for i := range st.influence {
 		st.influence[i] = 1
 	}
-	st.A = make([]int32, st.X.Len())
-	st.ub = make([]float64, st.X.Len())
-	st.lb = make([]float64, st.X.Len())
 	for i := range st.A {
 		st.A[i] = -1
 		st.ub[i] = math.Inf(1)
+		st.lb[i] = 0
 	}
-	if st.cfg.Bounds == BoundsElkan {
-		st.lbk = make([]float64, st.X.Len()*st.k) // zero = trivially valid
+	if st.lbk != nil {
+		clear(st.lbk)
 	}
-	st.perm = make([]int32, st.X.Len())
-	st.allIdx = make([]int32, st.X.Len())
 	for i := range st.perm {
 		st.perm[i] = int32(i)
 		st.allIdx[i] = int32(i)
 	}
 	st.nSample = st.X.Len()
+	st.pendScaled = false
+	st.anySampling = false
 	if !st.warm {
 		// The sampled bootstrap exists to move bad initial centers
 		// cheaply; warm starts begin near-converged, so the warm path
@@ -405,31 +478,6 @@ func (st *state) initCentersAndTargets() error {
 			st.nSample = 100
 		}
 	}
-
-	// All per-round and per-iteration scratch is allocated once here;
-	// balance rounds and outer iterations must not allocate.
-	st.orderedCenters = make([]int32, st.k)
-	st.distToBB2 = make([]float64, st.k)
-	st.localW = make([]float64, st.k+2) // +2: sample weight and sampling flag ride along
-	st.invInf2 = make([]float64, st.k)
-	st.centerCols = geom.MakeCols(st.dim, st.k)
-	st.oldInfluence = make([]float64, st.k)
-	st.newCenters = make([]geom.Point, st.k)
-	st.deltas = make([]float64, st.k)
-	st.centVec = make([]float64, st.k*(st.dim+1))
-	st.perCenter = make([]float64, st.k)
-	st.pendUbRatio = make([]float64, st.k)
-	st.workers = resolveWorkers(st.cfg, st.c.Size())
-	st.shards = make([]geom.AssignKernel, kernelChunks(st.X.Len()))
-	for s := range st.shards {
-		st.shards[s].LocalW = make([]float64, st.k)
-	}
-	if st.warm {
-		st.exactW = make([]exact.Sum, st.k)
-		st.exactC = make([]exact.Sum, st.k*(st.dim+1))
-		st.exactWire = make([]int64, len(st.exactC)*exact.WireLen)
-	}
-	return nil
 }
 
 // run is the main loop of Algorithm 2.

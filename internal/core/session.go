@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// Resident is one rank's long-lived partitioner state: the ingested SoA
+// point columns (coordinates, weights, global ids) plus all per-point
+// and per-cluster k-means scratch, kept alive across warm Partition
+// calls. It is the per-rank building block of the session API
+// (internal/repart.Session and the geographer.Session facade): a
+// streaming driver ingests once with Ingest, then runs
+// BalancedKMeans.PartitionResident once per timestep, updating weights
+// or coordinates in place between steps instead of re-scattering the
+// whole point set.
+//
+// A Resident belongs to exactly one rank of one world; it must not be
+// shared between ranks. Reusing it across consecutive World.Run calls
+// is safe: Run establishes the necessary happens-before edges.
+type Resident struct {
+	dim int
+	box geom.Box
+
+	// st owns the resident columns (X, W, IDs) and every reusable
+	// k-means buffer. PartitionResident re-binds the per-call fields
+	// (comm, config, k) and resets the per-run values; buffer
+	// allocations survive between calls.
+	st state
+
+	ingestSeconds float64
+}
+
+// Ingest builds the resident state from this rank's scattered points:
+// one collective bounding-box reduction plus one copy of the local
+// points into SoA columns. This is the only per-point-set cost of a
+// session; every subsequent warm partition reuses the columns.
+func Ingest(c *mpi.Comm, pts *partition.Local) *Resident {
+	t0 := time.Now()
+	r := &Resident{dim: pts.Dim, box: globalBounds(c, pts)}
+	st := &r.st
+	st.X = geom.MakeCols(pts.Dim, pts.Len())
+	st.W = make([]float64, pts.Len())
+	st.IDs = make([]int64, pts.Len())
+	for i, x := range pts.X {
+		st.X.Set(i, x)
+		st.W[i] = pts.Weight(i)
+		st.IDs[i] = pts.IDs[i]
+	}
+	r.ingestSeconds = time.Since(t0).Seconds()
+	return r
+}
+
+// Len returns the number of resident local points.
+func (r *Resident) Len() int { return r.st.X.Len() }
+
+// Dim returns the coordinate dimension.
+func (r *Resident) Dim() int { return r.dim }
+
+// IngestSeconds returns the wall time Ingest spent building this rank's
+// resident columns (the one-time cost a session amortizes).
+func (r *Resident) IngestSeconds() float64 { return r.ingestSeconds }
+
+// SetWeightsGlobal replaces the resident weight column from a global
+// weight vector indexed by point id (nil means unit weights). Purely
+// local — no communication — so a session applies a weight delta
+// without re-scattering coordinates. The warm path recomputes every
+// global weight reduction exactly each call, so no derived state needs
+// invalidation.
+func (r *Resident) SetWeightsGlobal(w []float64) {
+	st := &r.st
+	if w == nil {
+		for i := range st.W {
+			st.W[i] = 1
+		}
+		return
+	}
+	for i, id := range st.IDs {
+		st.W[i] = w[id]
+	}
+}
+
+// SetCoordsGlobal replaces the resident coordinate columns from a flat
+// global coordinate slice (stride Dim, indexed by point id). Callers
+// must follow with RecomputeBounds on every rank — the cached global
+// bounding box (and the center-movement threshold derived from its
+// diagonal) is a function of the coordinates.
+func (r *Resident) SetCoordsGlobal(coords []float64) {
+	st := &r.st
+	for i, id := range st.IDs {
+		var p geom.Point
+		base := int(id) * r.dim
+		for d := 0; d < r.dim; d++ {
+			p[d] = coords[base+d]
+		}
+		st.X.Set(i, p)
+	}
+}
+
+// RecomputeBounds refreshes the cached global bounding box from the
+// resident columns. Collective: every rank of the world must call it.
+// The reduction is min/max, so the result is bit-identical to the box
+// the one-shot warm path computes, regardless of the rank layout.
+func (r *Resident) RecomputeBounds(c *mpi.Comm) {
+	st := &r.st
+	mins, maxs := localBoundsInit(r.dim)
+	n := st.X.Len()
+	for i := 0; i < n; i++ {
+		p := st.X.At(i)
+		for d := 0; d < r.dim; d++ {
+			mins[d] = math.Min(mins[d], p[d])
+			maxs[d] = math.Max(maxs[d], p[d])
+		}
+	}
+	r.box = reduceBox(c, r.dim, mins, maxs)
+}
+
+// PartitionResident is Partition for resident state: the warm-start
+// balanced k-means (b.Cfg.WarmCenters, length k, is required) runs
+// directly on r's columns — no scatter, no SFC sort, no redistribution,
+// and no per-point allocations after the first call on a given
+// Resident. The output contract matches Partition: (ids, blocks) pairs
+// for this rank's points, bit-identical across rank and worker counts
+// (see DESIGN.md, "Repartitioning invariants" and "Session
+// invariants").
+func (b *BalancedKMeans) PartitionResident(c *mpi.Comm, r *Resident, k int) ([]int64, []int32, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: k=%d", k)
+	}
+	cfg := b.Cfg.normalized()
+	if err := cfg.Validate(k); err != nil {
+		return nil, nil, err
+	}
+	if len(cfg.WarmCenters) != k {
+		return nil, nil, fmt.Errorf("core: resident partitioning is warm-start only: %d warm centers for k=%d", len(cfg.WarmCenters), k)
+	}
+	return b.runResident(c, r, k, cfg)
+}
+
+// runResident binds the per-call fields of the resident state and runs
+// the k-means phase. The ingest phase time is zero by construction —
+// ingest happened in Ingest, once, and is reported by IngestSeconds.
+func (b *BalancedKMeans) runResident(c *mpi.Comm, r *Resident, k int, cfg Config) ([]int64, []int32, error) {
+	st := &r.st
+	st.c, st.cfg, st.k, st.dim = c, cfg, k, r.dim
+	st.warm = true
+	st.info = Info{}
+	st.diag = r.box.Diagonal()
+	if st.diag == 0 {
+		st.diag = 1
+	}
+	return b.finish(st)
+}

@@ -1,43 +1,18 @@
 package core
 
-import (
-	"time"
+// This file holds the exact (order-independent) reductions of the
+// warm-start repartitioning path (cfg.WarmCenters): the ingest pipeline
+// of §4.1 is skipped entirely — see Ingest/PartitionResident in
+// session.go for the state lifetime — and every global float reduction
+// runs through internal/exact, which makes the output bit-identical
+// across rank and worker counts (DESIGN.md, "Repartitioning
+// invariants").
 
+import (
 	"geographer/internal/exact"
 	"geographer/internal/geom"
 	"geographer/internal/mpi"
-	"geographer/internal/partition"
 )
-
-// partitionWarm is Partition for the warm-start repartitioning path
-// (cfg.WarmCenters, driven by internal/repart): the ingest pipeline of
-// §4.1 is skipped entirely. The previous partition's centers replace
-// the curve-spaced seeds of Algorithm 2, line 7, which is the only
-// consumer of the global (Key, ID) order — so neither the Hilbert keys
-// nor the sort/redistribution are needed and points stay in their input
-// distribution (owner-contiguous chunks under partition.Scatter). The
-// k-means phase itself is unchanged except that every global float
-// reduction runs through internal/exact, which makes the output
-// bit-identical across rank and worker counts (see DESIGN.md,
-// "Repartitioning invariants").
-func (b *BalancedKMeans) partitionWarm(st *state, pts *partition.Local) ([]int64, []int32, error) {
-	tStart := time.Now()
-	box := globalBounds(st.c, pts)
-	st.diag = box.Diagonal()
-	if st.diag == 0 {
-		st.diag = 1
-	}
-	st.X = geom.MakeCols(st.dim, pts.Len())
-	st.W = make([]float64, pts.Len())
-	st.IDs = make([]int64, pts.Len())
-	for i, x := range pts.X {
-		st.X.Set(i, x)
-		st.W[i] = pts.Weight(i)
-		st.IDs[i] = pts.IDs[i]
-	}
-	st.info.SFCSeconds = time.Since(tStart).Seconds()
-	return b.finish(st)
-}
 
 // exactBlockWeights returns the global per-block sample weights of the
 // current assignment through the exact accumulators: one O(n) local

@@ -32,7 +32,7 @@ func TestSingleValuesRoundTrip(t *testing.T) {
 		0, 1, -1, 0.1, -0.1, 1e300, -1e300, 1e-300, 3.5,
 		math.MaxFloat64, -math.MaxFloat64,
 		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
-		0x1p-1022,          // smallest normal
+		0x1p-1022, // smallest normal
 		0x1.fffffffffffffp1023 / 2,
 		math.Pi, math.E, 1<<53 - 1, 1 << 53,
 	}

@@ -81,6 +81,27 @@ func WriteRepartRowsCSV(w io.Writer, rows []RepartRow) error {
 	return cw.Error()
 }
 
+// WriteStreamRowsCSV dumps the streaming-session timesteps (see
+// docs/cli.md for the column reference).
+func WriteStreamRowsCSV(w io.Writer, rows []StreamRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"graph", "step", "mode", "k", "p",
+		"wall_s", "ingest_s", "kmeans_s", "cut", "imbalance", "migrated_w", "migrated_frac"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Graph, strconv.Itoa(r.Step), r.Mode, strconv.Itoa(r.K), strconv.Itoa(r.P),
+			fmtF(r.Seconds), fmtF(r.IngestSeconds), fmtF(r.KMeansSeconds),
+			strconv.FormatInt(r.Cut, 10), fmtF(r.Imbalance),
+			fmtF(r.MigratedWeight), fmtF(r.MigratedFrac)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteScalePointsCSV dumps scaling series (Figures 3a/3b).
 func WriteScalePointsCSV(w io.Writer, pts []ScalePoint) error {
 	cw := csv.NewWriter(w)

@@ -355,6 +355,57 @@ func TestRepartQuick(t *testing.T) {
 	}
 }
 
+func TestStreamQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var buf bytes.Buffer
+	rows, err := Stream(&buf, QuickScale())
+	if err != nil {
+		t.Fatal(err) // includes the driver's own bit-identicality check
+	}
+	// Per workload: one cold row plus (session, oneshot) per warm step.
+	if want := len(repartWorkloads(QuickScale())) * (1 + streamSteps*2); len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	ingest := map[string]map[string]int{}
+	for _, r := range rows {
+		if ingest[r.Graph] == nil {
+			ingest[r.Graph] = map[string]int{}
+		}
+		if r.IngestSeconds > 0 {
+			ingest[r.Graph][r.Mode]++
+		}
+		if r.Mode == "session" && r.IngestSeconds != 0 {
+			t.Errorf("%s step %d: session warm step reports ingest %g, want 0", r.Graph, r.Step, r.IngestSeconds)
+		}
+		if r.Cut <= 0 {
+			t.Errorf("%s step %d %s: cut %d", r.Graph, r.Step, r.Mode, r.Cut)
+		}
+	}
+	// The acceptance shape: in the session chain ingest appears once
+	// (the cold step), not per step; the one-shot chain re-pays it.
+	for graph, byMode := range ingest {
+		if byMode["cold"] != 1 {
+			t.Errorf("%s: ingest appears %d times in the session phase breakdown, want once", graph, byMode["cold"])
+		}
+		if byMode["session"] != 0 {
+			t.Errorf("%s: session warm steps paid ingest %d times, want 0", graph, byMode["session"])
+		}
+	}
+	if !strings.Contains(buf.String(), "partitions bit-identical") {
+		t.Error("missing summary line")
+	}
+
+	var csv bytes.Buffer
+	if err := WriteStreamRowsCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != len(rows)+1 {
+		t.Errorf("%d CSV lines for %d rows", lines, len(rows))
+	}
+}
+
 func TestNearestPow2(t *testing.T) {
 	cases := map[int]int{0: 2, 1: 2, 2: 2, 3: 2, 5: 4, 6: 4 /* tie rounds down */, 7: 8, 8: 8, 11: 8, 13: 16, 100: 128}
 	for in, want := range cases {

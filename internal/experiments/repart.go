@@ -50,7 +50,7 @@ func perturbedWeights(m *mesh.Mesh, t int) []float64 {
 	for i := 0; i < n; i++ {
 		x := ps.Coords[i*ps.Dim]
 		y := ps.Coords[i*ps.Dim+1]
-		wave := math.Sin(0.08*x+0.05*y+0.9*float64(t)) // spatial wave, phase moves per step
+		wave := math.Sin(0.08*x + 0.05*y + 0.9*float64(t)) // spatial wave, phase moves per step
 		out[i] = ps.W(i) * (1 + 0.4*wave)
 	}
 	return out
@@ -74,27 +74,19 @@ func repartWorkloads(sc Scale) []struct {
 
 // Repart runs the warm-start repartitioning experiment: T timesteps of
 // evolving node weights, partitioned once per step either by warm-start
-// repartitioning (geographer.Repartition: previous centers, no SFC
-// phase) or from scratch (a full Partition per step). Both chains start
-// from the same initial partition. Reported per step: wall time, edge
-// cut, imbalance, and the migration volume against the chain's previous
-// partition. The summary compares total migrated weight — the measure
-// warm starts exist to minimize.
+// repartitioning (a long-lived repart.Session: previous centers, no SFC
+// phase, resident state — ingest paid once) or from scratch (a full
+// Partition per step). Both chains start from the same initial
+// partition. Reported per step: wall time, edge cut, imbalance, and the
+// migration volume against the chain's previous partition. The summary
+// compares total migrated weight — the measure warm starts exist to
+// minimize.
 func Repart(w io.Writer, sc Scale) ([]RepartRow, error) {
 	const p = 4
 	var out []RepartRow
 	fmt.Fprintf(w, "Warm-start repartitioning vs from-scratch over %d perturbed timesteps, p=%d\n", repartSteps, p)
 	for _, wl := range repartWorkloads(sc) {
-		var m *mesh.Mesh
-		var err error
-		switch wl.kind {
-		case "climate":
-			m, err = mesh.GenClimate(wl.n, 42)
-		case "refined":
-			m, err = mesh.GenRefinedTri(wl.n, 42)
-		default:
-			err = fmt.Errorf("repart: unknown workload %q", wl.kind)
-		}
+		m, err := repartMesh(wl.kind, wl.n)
 		if err != nil {
 			return nil, err
 		}
@@ -102,10 +94,17 @@ func Repart(w io.Writer, sc Scale) ([]RepartRow, error) {
 		cfg := core.DefaultConfig()
 		cfg.Seed = 1
 
-		// Common initial partition at t=0 load. The timestep point sets
-		// share the mesh coordinates and differ only in weights.
+		// Common initial partition at t=0 load, computed through the warm
+		// chain's session (bit-identical to a one-shot partition.Run).
+		// The timestep point sets share the mesh coordinates and differ
+		// only in weights.
 		ps0 := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: perturbedWeights(m, 0)}
-		initial, err := partition.Run(mpi.NewWorld(p), ps0, wl.k, core.New(cfg))
+		sess, err := repart.NewSession(mpi.NewWorld(p), ps0, wl.k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Close()
+		initial, err := sess.Partition()
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +123,12 @@ func Repart(w io.Writer, sc Scale) ([]RepartRow, error) {
 				var assign []int32
 				switch mode {
 				case "warm":
-					pw, _, err := repart.Repartition(mpi.NewWorld(p), ps, prev[mode], wl.k, cfg)
+					// Delta application on the resident state, then one
+					// warm k-means phase — no re-scatter, no re-ingest.
+					if err := sess.UpdateWeights(wt); err != nil {
+						return nil, fmt.Errorf("repart %s step %d: %w", wl.kind, t, err)
+					}
+					pw, _, err := sess.RepartitionFrom(prev[mode])
 					if err != nil {
 						return nil, fmt.Errorf("repart %s step %d: %w", wl.kind, t, err)
 					}
@@ -163,6 +167,7 @@ func Repart(w io.Writer, sc Scale) ([]RepartRow, error) {
 					t, mode, secs, rep.EdgeCut, rep.Imbalance, migW, 100*row.MigratedFrac)
 			}
 		}
+		sess.Close() // release this workload's resident state before the next (defer covers error paths)
 		fmt.Fprintf(w, "summary %s: migrated weight warm %.1f vs scratch %.1f (%.2fx less), time warm %.4fs vs scratch %.4fs, mean cut warm %.0f vs scratch %.0f\n",
 			wl.kind, totals["warm_mig"], totals["scratch_mig"],
 			safeRatio(totals["scratch_mig"], totals["warm_mig"]),

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"geographer/internal/core"
+	"geographer/internal/geom"
 	"geographer/internal/mesh"
 	"geographer/internal/mpi"
 	"geographer/internal/partition"
@@ -35,6 +36,56 @@ func BenchmarkRepartition(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Repartition(mpi.NewWorld(p), ps, prev.Assign, k, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionRepartition measures one warm streaming step on a
+// long-lived Session — UpdateWeights delta plus warm k-means on the
+// resident columns — the per-timestep cost of the streaming driver.
+// Compare BenchmarkRepartition, which pays scatter + ingest on every
+// step, and BenchmarkScratchRepartition, which pays the full cold
+// pipeline.
+func BenchmarkSessionRepartition(b *testing.B) {
+	m, err := mesh.GenRefinedTri(20000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k, p = 16, 4
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	weightsAt := func(t int) []float64 {
+		w := make([]float64, m.Points.Len())
+		for i := range w {
+			x := m.Points.Coords[i*m.Points.Dim]
+			w[i] = 1 + 0.4*math.Sin(0.08*x+0.9*float64(t))
+		}
+		return w
+	}
+	sess, err := NewSession(mpi.NewWorld(p), &geom.PointSet{
+		Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: weightsAt(0),
+	}, k, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	if _, err := sess.Partition(); err != nil {
+		b.Fatal(err)
+	}
+	// Two alternating load states keep every iteration a real
+	// (deterministic) warm step instead of a converged no-op.
+	wA, wB := weightsAt(1), weightsAt(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := wA
+		if i%2 == 1 {
+			w = wB
+		}
+		if err := sess.UpdateWeights(w); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sess.Repartition(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -41,6 +41,12 @@ type Stats struct {
 	Centers []geom.Point
 	// Info carries the k-means diagnostics of the run.
 	Info core.Info
+	// IngestSeconds is the wall time spent scattering the points and
+	// building the resident SoA columns before the warm k-means could
+	// run. A one-shot Repartition pays it on every call; a Session pays
+	// it once at construction (Session.IngestSeconds) and its warm steps
+	// report 0 here.
+	IngestSeconds float64
 }
 
 // RecoverCenters computes the warm-start seed centers from a previous
@@ -104,35 +110,27 @@ func RecoverCenters(ps *geom.PointSet, prev []int32, k int) ([]geom.Point, error
 
 // Repartition re-partitions ps into k blocks over world w, warm-started
 // from prev: the seed centers are recovered from prev by RecoverCenters
-// and the balanced k-means runs with cfg on the WarmCenters path of
+// and the balanced k-means runs with cfg on the warm path of
 // internal/core (no SFC sort/redistribution; exact, rank-layout-
 // independent reductions). Any WarmCenters already present in cfg are
 // replaced. The returned stats carry the migration volume against prev.
+//
+// This one-shot driver is a single-step Session: it ingests ps, runs
+// one warm step from prev, and releases the resident state — so a
+// chain of Repartition calls and a Session chain over the same inputs
+// produce bit-identical partitions, and the only difference is that
+// the Session pays the ingest once (compare Stats.IngestSeconds).
 func Repartition(w *mpi.World, ps *geom.PointSet, prev []int32, k int, cfg core.Config) (partition.P, Stats, error) {
-	centers, err := RecoverCenters(ps, prev, k)
+	cfg.WarmCenters = nil // the session recovers centers from prev itself
+	s, err := NewSession(w, ps, k, cfg)
 	if err != nil {
 		return partition.P{}, Stats{}, err
 	}
-	// A zero-value cfg is filled in by core.Partition itself, which
-	// preserves WarmCenters and the other problem-defining fields.
-	cfg.WarmCenters = centers
-	if err := cfg.Validate(k); err != nil {
-		return partition.P{}, Stats{}, err
-	}
-
-	bkm := core.New(cfg)
-	p, err := partition.Run(w, ps, k, bkm)
+	defer s.Close()
+	p, st, err := s.RepartitionFrom(prev)
 	if err != nil {
 		return partition.P{}, Stats{}, err
 	}
-
-	st := Stats{
-		TotalWeight: ps.TotalWeight(),
-		Centers:     centers,
-		Info:        bkm.LastInfo(),
-	}
-	if st.MigratedWeight, st.MigratedPoints, err = metrics.MigrationVolume(ps, prev, p.Assign); err != nil {
-		return partition.P{}, Stats{}, err
-	}
+	st.IngestSeconds = s.IngestSeconds()
 	return p, st, nil
 }

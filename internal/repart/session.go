@@ -1,0 +1,282 @@
+package repart
+
+import (
+	"fmt"
+	"time"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/metrics"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// ErrClosed is returned by every Session method called after Close.
+var ErrClosed = fmt.Errorf("repart: session is closed")
+
+// Session is a long-lived partitioner for repeated repartitioning: the
+// point set is scattered and ingested into per-rank resident SoA state
+// (core.Resident) exactly once, and every subsequent Repartition call
+// runs only the warm balanced k-means phase on the resident columns —
+// no re-scatter, no SFC sort, no per-point allocations. Weight and
+// coordinate deltas are applied in place with UpdateWeights and
+// UpdateCoords.
+//
+// This is the streaming timestep shape the paper motivates geometric
+// partitioners with (§1: a simulation repartitions "when the imbalance
+// exceeds a threshold"): a T-step chain costs one ingest plus T warm
+// k-means phases, where the one-shot Repartition chain pays the ingest
+// every step.
+//
+// Determinism: a Session chain is bit-identical to the equivalent chain
+// of one-shot Repartition calls (which are themselves implemented on
+// top of Session) — warm steps reduce through internal/exact, so the
+// output does not depend on rank layout, worker count, or whether the
+// state was freshly ingested or resident (DESIGN.md, "Session
+// invariants"; pinned by TestSessionMatchesOneShotChain).
+//
+// A Session is not safe for concurrent use; like the simulated MPI
+// world it owns, it expects one driving goroutine.
+type Session struct {
+	w   *mpi.World
+	ps  *geom.PointSet
+	k   int
+	cfg core.Config
+
+	res  []*core.Resident // per-rank resident state, indexed by rank
+	prev []int32          // most recent partition (session-owned copy)
+
+	ingestSeconds float64
+	lastInfo      core.Info
+	closed        bool
+}
+
+// NewSession scatters ps over the simulated world w and ingests it into
+// resident per-rank state. The Session takes ownership of both: w must
+// not run other work between session calls, and the caller must not
+// mutate ps afterwards (the facade clones caller slices before handing
+// them over; UpdateWeights and UpdateCoords replace, never share, the
+// stored slices).
+//
+// cfg follows the one-shot Repartition contract; cfg.WarmCenters must
+// be unset — the session recovers centers from the previous partition
+// itself on every warm step.
+func NewSession(w *mpi.World, ps *geom.PointSet, k int, cfg core.Config) (*Session, error) {
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	if ps.Len() == 0 {
+		return nil, fmt.Errorf("repart: empty point set")
+	}
+	if len(cfg.WarmCenters) > 0 {
+		return nil, fmt.Errorf("repart: cfg.WarmCenters is managed by the session; leave it unset")
+	}
+	if err := cfg.Validate(k); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		w:   w,
+		ps:  ps,
+		k:   k,
+		cfg: cfg,
+		res: make([]*core.Resident, w.Size()),
+	}
+	t0 := time.Now()
+	if err := s.w.Run(func(c *mpi.Comm) {
+		s.res[c.Rank()] = core.Ingest(c, partition.Scatter(c, ps))
+	}); err != nil {
+		return nil, err
+	}
+	s.ingestSeconds = time.Since(t0).Seconds()
+	return s, nil
+}
+
+// Len returns the number of points in the session's point set.
+func (s *Session) Len() int { return s.ps.Len() }
+
+// K returns the number of blocks the session partitions into.
+func (s *Session) K() int { return s.k }
+
+// IngestSeconds returns the wall time NewSession spent scattering and
+// building the resident columns — the one-time cost every warm step
+// amortizes (one-shot Repartition pays it on each call, reported there
+// as Stats.IngestSeconds).
+func (s *Session) IngestSeconds() float64 { return s.ingestSeconds }
+
+// LastInfo returns the k-means diagnostics of the most recent
+// Partition or Repartition call.
+func (s *Session) LastInfo() core.Info { return s.lastInfo }
+
+// Blocks returns a copy of the most recent partition, or nil if no
+// partition has been computed or installed yet.
+func (s *Session) Blocks() []int32 {
+	if s.prev == nil {
+		return nil
+	}
+	return append([]int32(nil), s.prev...)
+}
+
+// Partition computes a cold initial partition of the session's point
+// set — the full pipeline including the SFC sort/redistribution
+// bootstrap, bit-identical to a one-shot partition.Run with the same
+// configuration — and installs it as the session's current partition.
+func (s *Session) Partition() (partition.P, error) {
+	if s.closed {
+		return partition.P{}, ErrClosed
+	}
+	bkm := core.New(s.cfg)
+	p, err := partition.Run(s.w, s.ps, s.k, bkm)
+	if err != nil {
+		return partition.P{}, err
+	}
+	s.lastInfo = bkm.LastInfo()
+	s.prev = append(s.prev[:0], p.Assign...)
+	return p, nil
+}
+
+// SetPartition installs prev as the session's current partition without
+// running the partitioner — the entry point for warm-starting from a
+// partition computed elsewhere (a previous process, a checkpoint, a
+// different tool). The slice is copied.
+func (s *Session) SetPartition(prev []int32) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if err := metrics.ValidatePartition(prev, s.ps.Len(), s.k); err != nil {
+		return fmt.Errorf("repart: invalid partition: %w", err)
+	}
+	s.prev = append(s.prev[:0], prev...)
+	return nil
+}
+
+// Repartition runs one warm repartitioning step from the session's
+// current partition and installs the result as the new current
+// partition. A partition must exist first (Partition or SetPartition).
+func (s *Session) Repartition() (partition.P, Stats, error) {
+	if s.closed {
+		return partition.P{}, Stats{}, ErrClosed
+	}
+	if s.prev == nil {
+		return partition.P{}, Stats{}, fmt.Errorf("repart: no partition to warm-start from; call Partition or SetPartition first")
+	}
+	return s.RepartitionFrom(s.prev)
+}
+
+// RepartitionFrom runs one warm repartitioning step seeded from an
+// explicit previous assignment (migration is measured against it), and
+// installs the result as the session's current partition. This is the
+// primitive the one-shot Repartition driver and Session.Repartition
+// share.
+func (s *Session) RepartitionFrom(prev []int32) (partition.P, Stats, error) {
+	if s.closed {
+		return partition.P{}, Stats{}, ErrClosed
+	}
+	centers, err := RecoverCenters(s.ps, prev, s.k)
+	if err != nil {
+		return partition.P{}, Stats{}, err
+	}
+	cfg := s.cfg
+	cfg.WarmCenters = centers
+	if err := cfg.Validate(s.k); err != nil {
+		return partition.P{}, Stats{}, err
+	}
+
+	bkm := core.New(cfg)
+	out := partition.New(s.ps.Len(), s.k)
+	for i := range out.Assign {
+		out.Assign[i] = -1
+	}
+	runErr := s.w.Run(func(c *mpi.Comm) {
+		ids, blocks, err := bkm.PartitionResident(c, s.res[c.Rank()], s.k)
+		if err != nil {
+			panic(fmt.Sprintf("%s: %v", bkm.Name(), err))
+		}
+		for i, id := range ids {
+			out.Assign[id] = blocks[i] // ids are globally disjoint
+		}
+	})
+	if runErr != nil {
+		return partition.P{}, Stats{}, runErr
+	}
+	for i, b := range out.Assign {
+		if b < 0 {
+			return partition.P{}, Stats{}, fmt.Errorf("repart: point %d left unassigned", i)
+		}
+	}
+
+	st := Stats{
+		TotalWeight: s.ps.TotalWeight(),
+		Centers:     centers,
+		Info:        bkm.LastInfo(),
+	}
+	if st.MigratedWeight, st.MigratedPoints, err = metrics.MigrationVolume(s.ps, prev, out.Assign); err != nil {
+		return partition.P{}, Stats{}, err
+	}
+	s.lastInfo = st.Info
+	s.prev = append(s.prev[:0], out.Assign...)
+	return out, st, nil
+}
+
+// UpdateWeights replaces the point weights (nil = unit weights) without
+// re-scattering: the stored point set gets a copy and each rank's
+// resident weight column is refreshed in place. The next Repartition
+// balances against the new weights.
+func (s *Session) UpdateWeights(weights []float64) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if weights != nil && len(weights) != s.ps.Len() {
+		return fmt.Errorf("repart: %d weights for %d points", len(weights), s.ps.Len())
+	}
+	if weights == nil {
+		s.ps.Weight = nil
+	} else {
+		for i, w := range weights {
+			if w < 0 {
+				return fmt.Errorf("repart: negative weight %g at point %d", w, i)
+			}
+		}
+		s.ps.Weight = append([]float64(nil), weights...)
+	}
+	for _, r := range s.res {
+		r.SetWeightsGlobal(s.ps.Weight)
+	}
+	return nil
+}
+
+// UpdateCoords replaces the point coordinates (flat, len = n·dim)
+// without re-scattering: each rank refreshes its resident columns from
+// the new slice and the cached global bounding box is recomputed
+// collectively. Point identity (and therefore the meaning of the
+// current partition) is preserved — this models points that moved, not
+// a new point set.
+func (s *Session) UpdateCoords(coords []float64) error {
+	if s.closed {
+		return ErrClosed
+	}
+	if len(coords) != s.ps.Len()*s.ps.Dim {
+		return fmt.Errorf("repart: %d coordinates for %d points in %dD", len(coords), s.ps.Len(), s.ps.Dim)
+	}
+	s.ps = &geom.PointSet{
+		Dim:    s.ps.Dim,
+		Coords: append([]float64(nil), coords...),
+		Weight: s.ps.Weight,
+	}
+	return s.w.Run(func(c *mpi.Comm) {
+		r := s.res[c.Rank()]
+		r.SetCoordsGlobal(s.ps.Coords)
+		r.RecomputeBounds(c)
+	})
+}
+
+// Close releases the resident state. Closing an already-closed session
+// is a no-op. After Close, every mutating method (Partition,
+// Repartition, RepartitionFrom, SetPartition, UpdateWeights,
+// UpdateCoords) returns ErrClosed; the read-only accessors (Len, K,
+// IngestSeconds, LastInfo, Blocks) keep answering from what remains.
+func (s *Session) Close() error {
+	s.closed = true
+	s.res = nil
+	s.prev = nil
+	return nil
+}

@@ -1,0 +1,269 @@
+package repart
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/mesh"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// sessionTestMesh builds a small refined mesh with strictly positive,
+// spatially correlated weights at phase t (the stream experiment's
+// perturbation shape).
+func sessionTestMesh(t *testing.T, n int) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.GenRefinedTri(n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testWeights(m *mesh.Mesh, t int) []float64 {
+	ps := m.Points
+	out := make([]float64, ps.Len())
+	for i := range out {
+		x := ps.Coords[i*ps.Dim]
+		y := ps.Coords[i*ps.Dim+1]
+		out[i] = ps.W(i) * (1 + 0.4*math.Sin(0.08*x+0.05*y+0.9*float64(t)))
+	}
+	return out
+}
+
+// TestSessionMatchesOneShotChain is the differential pin of the session
+// subsystem: a T-step session chain (one ingest, warm steps on resident
+// state with in-place weight updates) must produce bit-identical
+// partitions — and identical migration stats — to the equivalent chain
+// of one-shot Repartition calls that re-ingests every step.
+func TestSessionMatchesOneShotChain(t *testing.T) {
+	m := sessionTestMesh(t, 2500)
+	const k, p, steps = 8, 4, 4
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+
+	ps0 := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: testWeights(m, 0)}
+	sess, err := NewSession(mpi.NewWorld(p), ps0.Clone(), k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	initSess, err := sess.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The session's cold partition must equal the one-shot cold path.
+	initOne, err := partition.Run(mpi.NewWorld(p), ps0, k, core.New(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range initOne.Assign {
+		if initSess.Assign[i] != initOne.Assign[i] {
+			t.Fatalf("cold partition diverged at point %d: session %d vs one-shot %d", i, initSess.Assign[i], initOne.Assign[i])
+		}
+	}
+
+	prev := initOne.Assign
+	for step := 1; step <= steps; step++ {
+		wt := testWeights(m, step)
+		if err := sess.UpdateWeights(wt); err != nil {
+			t.Fatal(err)
+		}
+		pSess, stSess, err := sess.Repartition()
+		if err != nil {
+			t.Fatalf("session step %d: %v", step, err)
+		}
+		if stSess.IngestSeconds != 0 {
+			t.Errorf("step %d: session warm step reports ingest time %g, want 0 (ingest happens once at NewSession)", step, stSess.IngestSeconds)
+		}
+
+		ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: wt}
+		pOne, stOne, err := Repartition(mpi.NewWorld(p), ps, prev, k, cfg)
+		if err != nil {
+			t.Fatalf("one-shot step %d: %v", step, err)
+		}
+		for i := range pOne.Assign {
+			if pSess.Assign[i] != pOne.Assign[i] {
+				t.Fatalf("step %d diverged at point %d: session %d vs one-shot %d", step, i, pSess.Assign[i], pOne.Assign[i])
+			}
+		}
+		if stSess.MigratedWeight != stOne.MigratedWeight || stSess.MigratedPoints != stOne.MigratedPoints {
+			t.Fatalf("step %d stats diverged: session (%g, %d) vs one-shot (%g, %d)",
+				step, stSess.MigratedWeight, stSess.MigratedPoints, stOne.MigratedWeight, stOne.MigratedPoints)
+		}
+		prev = pOne.Assign
+	}
+}
+
+// TestSessionUpdateCoords pins coordinate deltas: after UpdateCoords
+// the session's warm step must match a one-shot Repartition on the
+// moved points.
+func TestSessionUpdateCoords(t *testing.T) {
+	m := sessionTestMesh(t, 1500)
+	const k, p = 8, 4
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+
+	ps0 := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: testWeights(m, 0)}
+	sess, err := NewSession(mpi.NewWorld(p), ps0.Clone(), k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	initial, err := sess.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drift every point a little (points moved, identity preserved).
+	moved := append([]float64(nil), m.Points.Coords...)
+	for i := range moved {
+		moved[i] += 0.01 * math.Sin(float64(i))
+	}
+	if err := sess.UpdateCoords(moved); err != nil {
+		t.Fatal(err)
+	}
+	pSess, _, err := sess.Repartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	psMoved := &geom.PointSet{Dim: m.Points.Dim, Coords: moved, Weight: ps0.Weight}
+	pOne, _, err := Repartition(mpi.NewWorld(p), psMoved, initial.Assign, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pOne.Assign {
+		if pSess.Assign[i] != pOne.Assign[i] {
+			t.Fatalf("after UpdateCoords, point %d: session %d vs one-shot %d", i, pSess.Assign[i], pOne.Assign[i])
+		}
+	}
+}
+
+// TestSessionLifecycle covers the error contract: repartitioning
+// without a seed partition, bad delta shapes, and use after Close.
+func TestSessionLifecycle(t *testing.T) {
+	m := sessionTestMesh(t, 600)
+	const k, p = 4, 2
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords}
+
+	if _, err := NewSession(mpi.NewWorld(p), &geom.PointSet{Dim: 2}, k, cfg); err == nil {
+		t.Error("NewSession accepted an empty point set")
+	}
+	warm := cfg
+	warm.WarmCenters = make([]geom.Point, k)
+	if _, err := NewSession(mpi.NewWorld(p), ps.Clone(), k, warm); err == nil {
+		t.Error("NewSession accepted cfg.WarmCenters (session-managed)")
+	}
+
+	sess, err := NewSession(mpi.NewWorld(p), ps.Clone(), k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Blocks() != nil {
+		t.Error("Blocks() non-nil before any partition")
+	}
+	if _, _, err := sess.Repartition(); err == nil {
+		t.Error("Repartition succeeded without a previous partition")
+	}
+	if err := sess.SetPartition(make([]int32, 3)); err == nil {
+		t.Error("SetPartition accepted a wrong-length assignment")
+	}
+	if _, err := sess.Partition(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Blocks(); len(got) != ps.Len() {
+		t.Fatalf("Blocks() length %d, want %d", len(got), ps.Len())
+	}
+
+	if err := sess.UpdateWeights(make([]float64, 3)); err == nil {
+		t.Error("UpdateWeights accepted a wrong-length vector")
+	}
+	if err := sess.UpdateWeights([]float64{}); err == nil {
+		t.Error("UpdateWeights accepted an empty non-nil vector for a non-empty set")
+	}
+	bad := make([]float64, ps.Len())
+	bad[7] = -1
+	if err := sess.UpdateWeights(bad); err == nil {
+		t.Error("UpdateWeights accepted a negative weight")
+	}
+	if err := sess.UpdateCoords(make([]float64, 3)); err == nil {
+		t.Error("UpdateCoords accepted a wrong-length slice")
+	}
+	// A failed update must not corrupt the session: a warm step still runs.
+	if _, _, err := sess.Repartition(); err != nil {
+		t.Fatalf("Repartition after rejected updates: %v", err)
+	}
+
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, _, err := sess.Repartition(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Repartition after Close: got %v, want ErrClosed", err)
+	}
+	if _, err := sess.Partition(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Partition after Close: got %v, want ErrClosed", err)
+	}
+	if err := sess.UpdateWeights(nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("UpdateWeights after Close: got %v, want ErrClosed", err)
+	}
+	if err := sess.UpdateCoords(make([]float64, ps.Len()*2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("UpdateCoords after Close: got %v, want ErrClosed", err)
+	}
+	if err := sess.SetPartition(make([]int32, ps.Len())); !errors.Is(err, ErrClosed) {
+		t.Errorf("SetPartition after Close: got %v, want ErrClosed", err)
+	}
+	if sess.Blocks() != nil {
+		t.Error("Blocks() non-nil after Close")
+	}
+}
+
+// TestSessionScratchResetExact pins the resident-state reset: running
+// the same warm step (same previous assignment, same weights) over and
+// over on one session must reproduce a bit-identical partition every
+// time — the reused per-point scratch starts each run exactly like a
+// fresh allocation would.
+func TestSessionScratchResetExact(t *testing.T) {
+	m := sessionTestMesh(t, 1200)
+	const k, p = 8, 4
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: testWeights(m, 0)}
+	sess, err := NewSession(mpi.NewWorld(p), ps, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	initial, err := sess.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, firstStats, err := sess.RepartitionFrom(initial.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for repeat := 0; repeat < 3; repeat++ {
+		next, st, err := sess.RepartitionFrom(initial.Assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range next.Assign {
+			if next.Assign[i] != first.Assign[i] {
+				t.Fatalf("repeat %d: partition changed at point %d under identical input", repeat, i)
+			}
+		}
+		if st.MigratedWeight != firstStats.MigratedWeight || st.MigratedPoints != firstStats.MigratedPoints {
+			t.Fatalf("repeat %d: migration stats changed under identical input", repeat)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package geographer
+
+import (
+	"fmt"
+	"strings"
+
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/repart"
+)
+
+// Session is a long-lived partitioner for workloads that repartition
+// repeatedly — the dynamic simulations of the paper's §1, which
+// rebalance "when the imbalance exceeds a threshold" as their load
+// evolves. Where each one-shot Partition/Repartition call scatters the
+// coordinates and rebuilds all distributed state from scratch, a
+// Session ingests the point set once at construction and keeps the
+// per-rank state (coordinate columns, weights, previous assignment)
+// resident, so a chain of T repartitioning steps costs one ingest plus
+// T warm k-means phases:
+//
+//	s, err := geographer.NewSession(coords, 2, weights, geographer.Options{K: 16})
+//	defer s.Close()
+//	blocks, err := s.Partition()          // cold initial partition
+//	for step := range timesteps {
+//		err = s.UpdateWeights(newWeights) // load evolved; no re-scatter
+//		res, err := s.Repartition()       // warm step: few points migrate
+//	}
+//
+// The partitions are bit-identical to the equivalent sequence of
+// one-shot Partition/Repartition calls — the session only removes
+// redundant work, never changes results. Only MethodGeographer
+// supports sessions (warm starts need the balanced k-means).
+//
+// A Session holds memory proportional to the point set until Close and
+// is not safe for concurrent use.
+type Session struct {
+	inner  *repart.Session
+	closed bool
+}
+
+// errSessionClosed is what every Session method returns after Close.
+var errSessionClosed = fmt.Errorf("geographer: session is closed")
+
+// NewSession ingests a point set for repeated repartitioning: the
+// coordinates (flat, len = n·dim, dim ∈ {2,3}) and weights (nil = unit
+// weights) are copied, scattered over opts.Processes simulated ranks,
+// and kept resident until Close. Inputs and Options follow Partition;
+// Options.Method must be MethodGeographer (or empty).
+func NewSession(coords []float64, dim int, weights []float64, opts Options) (*Session, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if strings.ToLower(opts.Method) != MethodGeographer {
+		return nil, fmt.Errorf("geographer: sessions require Method=%q, got %q", MethodGeographer, opts.Method)
+	}
+	ps := &geom.PointSet{Dim: dim, Coords: append([]float64(nil), coords...)}
+	if weights != nil {
+		ps.Weight = append([]float64(nil), weights...)
+	}
+	if err := ps.Validate(); err != nil {
+		return nil, err
+	}
+	if ps.Len() == 0 {
+		return nil, fmt.Errorf("geographer: empty point set")
+	}
+	inner, err := repart.NewSession(mpi.NewWorld(opts.Processes), ps, opts.K, opts.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner}, nil
+}
+
+// Partition computes the initial partition of the session's points —
+// the full cold pipeline, bit-identical to the one-shot Partition with
+// the same Options — and installs it as the session's current
+// partition, the seed of the next Repartition.
+func (s *Session) Partition() ([]int32, error) {
+	if s.closed {
+		return nil, errSessionClosed
+	}
+	p, err := s.inner.Partition()
+	if err != nil {
+		return nil, err
+	}
+	return p.Assign, nil
+}
+
+// Repartition runs one warm repartitioning step from the session's
+// current partition (set by Partition, SetPartition, or the previous
+// Repartition) against the current weights and coordinates, installs
+// the new partition, and reports it with its migration cost. Results
+// are bit-identical to the one-shot Repartition given the same inputs;
+// only the per-step scatter/ingest work is gone.
+func (s *Session) Repartition() (RepartResult, error) {
+	if s.closed {
+		return RepartResult{}, errSessionClosed
+	}
+	p, stats, err := s.inner.Repartition()
+	if err != nil {
+		return RepartResult{}, err
+	}
+	return RepartResult{
+		Blocks:         p.Assign,
+		MigratedWeight: stats.MigratedWeight,
+		MigratedPoints: stats.MigratedPoints,
+		TotalWeight:    stats.TotalWeight,
+	}, nil
+}
+
+// SetPartition installs blocks (one block id in [0, K) per point) as
+// the session's current partition without running the partitioner —
+// for warm-starting from an assignment computed elsewhere, e.g. a
+// checkpoint or another tool. The slice is copied.
+func (s *Session) SetPartition(blocks []int32) error {
+	if s.closed {
+		return errSessionClosed
+	}
+	return s.inner.SetPartition(blocks)
+}
+
+// UpdateWeights replaces the point weights (nil = unit weights; length
+// must match the point count otherwise). Only the weight columns are
+// touched — no coordinates move, nothing is re-scattered. The next
+// Repartition balances against the new weights.
+func (s *Session) UpdateWeights(weights []float64) error {
+	if s.closed {
+		return errSessionClosed
+	}
+	return s.inner.UpdateWeights(weights)
+}
+
+// UpdateCoords replaces the point coordinates (flat, len = n·dim, same
+// n and dim as at construction). Point identity is preserved — this
+// models points that moved, not a new point set — so the current
+// partition remains a valid warm-start seed.
+func (s *Session) UpdateCoords(coords []float64) error {
+	if s.closed {
+		return errSessionClosed
+	}
+	return s.inner.UpdateCoords(coords)
+}
+
+// Blocks returns a copy of the session's current partition, or nil if
+// none has been computed or installed yet.
+func (s *Session) Blocks() []int32 {
+	if s.closed {
+		return nil
+	}
+	return s.inner.Blocks()
+}
+
+// IngestSeconds reports the one-time cost NewSession paid to scatter
+// the points and build the resident per-rank state — the work each
+// one-shot Repartition call repeats and a session amortizes across
+// steps.
+func (s *Session) IngestSeconds() float64 {
+	if s.closed {
+		return 0
+	}
+	return s.inner.IngestSeconds()
+}
+
+// Close releases the resident per-rank state. Closing twice is a
+// no-op. After Close, every mutating method (Partition, Repartition,
+// SetPartition, UpdateWeights, UpdateCoords) errors; the read-only
+// accessors Blocks and IngestSeconds return their zero values.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.inner.Close()
+}

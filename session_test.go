@@ -1,0 +1,192 @@
+package geographer_test
+
+import (
+	"math"
+	"testing"
+
+	"geographer"
+)
+
+// perturb builds strictly positive weights at timestep t (the stream
+// experiment's spatial-wave shape) for a 2D mesh.
+func perturb(m *geographer.MeshData, t int) []float64 {
+	out := make([]float64, m.N())
+	for i := range out {
+		x := m.Coords[i*m.Dim]
+		y := m.Coords[i*m.Dim+1]
+		base := 1.0
+		if m.Weights != nil {
+			base = m.Weights[i]
+		}
+		out[i] = base * (1 + 0.4*math.Sin(0.08*x+0.05*y+0.9*float64(t)))
+	}
+	return out
+}
+
+// TestSessionMatchesOneShotChain is the facade-level differential pin
+// of the acceptance criterion: a Session chain (one ingest, T warm
+// steps) must be bit-identical, step by step, to the equivalent chain
+// of one-shot Partition + Repartition calls.
+func TestSessionMatchesOneShotChain(t *testing.T) {
+	m, err := geographer.GenerateMesh(geographer.MeshClimate, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := geographer.Options{K: 8, Processes: 4}
+	const steps = 3
+
+	s, err := geographer.NewSession(m.Coords, m.Dim, m.Weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sessBlocks, err := s.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneBlocks, err := geographer.Partition(m.Coords, m.Dim, m.Weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oneBlocks {
+		if sessBlocks[i] != oneBlocks[i] {
+			t.Fatalf("cold partition diverged at point %d: session %d vs one-shot %d", i, sessBlocks[i], oneBlocks[i])
+		}
+	}
+
+	prev := oneBlocks
+	for step := 1; step <= steps; step++ {
+		wt := perturb(m, step)
+		if err := s.UpdateWeights(wt); err != nil {
+			t.Fatal(err)
+		}
+		sres, err := s.Repartition()
+		if err != nil {
+			t.Fatalf("session step %d: %v", step, err)
+		}
+		ores, err := geographer.Repartition(m.Coords, m.Dim, wt, prev, opts)
+		if err != nil {
+			t.Fatalf("one-shot step %d: %v", step, err)
+		}
+		for i := range ores.Blocks {
+			if sres.Blocks[i] != ores.Blocks[i] {
+				t.Fatalf("step %d diverged at point %d: session %d vs one-shot %d", step, i, sres.Blocks[i], ores.Blocks[i])
+			}
+		}
+		if sres.MigratedWeight != ores.MigratedWeight ||
+			sres.MigratedPoints != ores.MigratedPoints ||
+			sres.TotalWeight != ores.TotalWeight {
+			t.Fatalf("step %d migration stats diverged: session %+v vs one-shot %+v", step, sres, ores)
+		}
+		prev = ores.Blocks
+	}
+}
+
+// TestSessionLifecycleErrors covers the facade error contract of the
+// Session: construction validation, delta shape validation, and use
+// after Close.
+func TestSessionLifecycleErrors(t *testing.T) {
+	m, err := geographer.GenerateMesh(geographer.MeshDelaunay2D, 800, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := geographer.NewSession(m.Coords, m.Dim, nil, geographer.Options{K: 4, Method: geographer.MethodRCB}); err == nil {
+		t.Error("NewSession accepted a non-geographer method")
+	}
+	if _, err := geographer.NewSession(m.Coords, m.Dim, nil, geographer.Options{K: 0}); err == nil {
+		t.Error("NewSession accepted K=0")
+	}
+	if _, err := geographer.NewSession(nil, 2, nil, geographer.Options{K: 4}); err == nil {
+		t.Error("NewSession accepted an empty point set")
+	}
+	if _, err := geographer.NewSession(m.Coords, m.Dim, make([]float64, 3), geographer.Options{K: 4}); err == nil {
+		t.Error("NewSession accepted mismatched weights")
+	}
+
+	s, err := geographer.NewSession(m.Coords, m.Dim, nil, geographer.Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != nil {
+		t.Error("Blocks() non-nil before any partition")
+	}
+	if _, err := s.Repartition(); err == nil {
+		t.Error("Repartition succeeded before Partition/SetPartition")
+	}
+	if _, err := s.Partition(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UpdateWeights(make([]float64, 5)); err == nil {
+		t.Error("UpdateWeights accepted a wrong-length vector")
+	}
+	if err := s.UpdateCoords(make([]float64, 5)); err == nil {
+		t.Error("UpdateCoords accepted a wrong-length slice")
+	}
+	if _, err := s.Repartition(); err != nil {
+		t.Errorf("Repartition after rejected updates: %v", err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Partition(); err == nil {
+		t.Error("Partition succeeded after Close")
+	}
+	if _, err := s.Repartition(); err == nil {
+		t.Error("Repartition succeeded after Close")
+	}
+	if err := s.UpdateWeights(nil); err == nil {
+		t.Error("UpdateWeights succeeded after Close")
+	}
+	if err := s.UpdateCoords(m.Coords); err == nil {
+		t.Error("UpdateCoords succeeded after Close")
+	}
+	if err := s.SetPartition(make([]int32, m.N())); err == nil {
+		t.Error("SetPartition succeeded after Close")
+	}
+	if s.Blocks() != nil {
+		t.Error("Blocks() non-nil after Close")
+	}
+}
+
+// TestSessionSetPartition warm-starts a session from an externally
+// computed partition and checks the result matches the one-shot
+// Repartition from the same seed.
+func TestSessionSetPartition(t *testing.T) {
+	m, err := geographer.GenerateMesh(geographer.MeshRefined, 1500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := geographer.Options{K: 8, Processes: 4}
+	initial, err := geographer.Partition(m.Coords, m.Dim, m.Weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := geographer.NewSession(m.Coords, m.Dim, m.Weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.SetPartition(initial); err != nil {
+		t.Fatal(err)
+	}
+	sres, err := s.Repartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores, err := geographer.Repartition(m.Coords, m.Dim, m.Weights, initial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ores.Blocks {
+		if sres.Blocks[i] != ores.Blocks[i] {
+			t.Fatalf("point %d: session %d vs one-shot %d", i, sres.Blocks[i], ores.Blocks[i])
+		}
+	}
+}
