@@ -196,6 +196,47 @@ type RepartResult struct {
 	// TotalWeight is the weight of the whole point set, so
 	// MigratedWeight/TotalWeight is the migrated fraction.
 	TotalWeight float64
+
+	// DistCalcs and HamerlySkips expose the step's global
+	// distance-evaluation and bound-skip counts — the cost the
+	// incremental warm path (sessions; see Session.Repartition) exists
+	// to cut.
+	DistCalcs    int64
+	HamerlySkips int64
+	// Incremental reports whether this step took the incremental fast
+	// path: every rank corrected and reused the distance bounds carried
+	// from the previous warm step instead of recomputing all points.
+	// One-shot Repartition calls always report false (there is no
+	// previous resident step to carry from).
+	Incremental bool
+	// BoundaryFrac is the fraction of points the step's first
+	// assignment pass had to examine — the boundary points whose
+	// corrected bounds could not prove their assignment unchanged. 1.0
+	// on non-incremental steps.
+	BoundaryFrac float64
+
+	// PreImbalance is the imbalance of the previous partition under the
+	// current weights, measured before the step ran. Only
+	// Session.RepartitionIfAbove fills it (on both the skip and the act
+	// path — it is the quantity tested against the threshold); other
+	// entry points leave it 0.
+	PreImbalance float64
+}
+
+// fromStats copies the migration and incremental-observability numbers
+// of one warm step into the facade shape.
+func fromStats(blocks []int32, st repart.Stats) RepartResult {
+	return RepartResult{
+		Blocks:         blocks,
+		MigratedWeight: st.MigratedWeight,
+		MigratedPoints: st.MigratedPoints,
+		TotalWeight:    st.TotalWeight,
+		DistCalcs:      st.DistCalcs,
+		HamerlySkips:   st.HamerlySkips,
+		Incremental:    st.Incremental,
+		BoundaryFrac:   st.BoundaryFrac,
+		PreImbalance:   st.PreImbalance,
+	}
 }
 
 // Repartition recomputes a partition for points that already carry one —
@@ -232,12 +273,7 @@ func Repartition(coords []float64, dim int, weights []float64, prevAssign []int3
 	if err != nil {
 		return RepartResult{}, err
 	}
-	return RepartResult{
-		Blocks:         p.Assign,
-		MigratedWeight: stats.MigratedWeight,
-		MigratedPoints: stats.MigratedPoints,
-		TotalWeight:    stats.TotalWeight,
-	}, nil
+	return fromStats(p.Assign, stats), nil
 }
 
 // Quality holds the graph-based partition metrics of the paper (§2).

@@ -21,6 +21,10 @@ import (
 func (st *state) assignAndBalance() bool {
 	sample := st.sampleIdx()
 
+	// The passes below (re)validate the stored bounds against the
+	// current centers; remember them for cross-run carrying (warm.go).
+	copy(st.boundCenters, st.centers)
+
 	// Line 1: bounding box around the local (sampled) points.
 	bb, localSampleW := geom.SampleBoxW(st.dim, st.X.X, st.X.Y, st.X.Z, st.W, sample)
 
@@ -38,6 +42,12 @@ func (st *state) assignAndBalance() bool {
 	sampling := boolTo64(st.nSample < st.X.Len())
 	scale := 1.0
 
+	// Center-center pruning tables for the raw pass: centers are fixed
+	// across the balance rounds below, so one build serves them all.
+	if st.trackRaw {
+		st.buildCCTables()
+	}
+
 	balanced := false
 
 	for round := 0; round < st.cfg.MaxBalanceIter; round++ {
@@ -47,9 +57,13 @@ func (st *state) assignAndBalance() bool {
 		// center columns, and the squared effective distance of every
 		// center to the local box, centers sorted ascending (sound
 		// pruning order; see DESIGN.md on the paper's maxDist typo).
+		maxInf := 0.0
 		for b := 0; b < st.k; b++ {
 			inv := 1 / st.influence[b]
 			st.invInf2[b] = inv * inv
+			if st.influence[b] > maxInf {
+				maxInf = st.influence[b]
+			}
 			st.centerCols.Set(b, st.centers[b])
 			st.orderedCenters[b] = int32(b)
 			if bb.Empty() {
@@ -59,16 +73,35 @@ func (st *state) assignAndBalance() bool {
 			}
 			st.localW[b] = 0
 		}
+		if st.trackRaw {
+			// Effective distances are at least raw/maxInf, so the raw
+			// shadow floors the skip test at rlb/maxInf — conservatively
+			// rounded so the division can only loosen it.
+			st.rawLbInv = (1 / maxInf) * (1 - boundSlack)
+		}
 		if st.cfg.BBoxPruning {
 			sortCentersByDist(st.orderedCenters, st.distToBB2)
 		}
 
 		// Lines 8–30: assignment loop, dispatched to the batch kernels.
-		distCalcs, skips, breaks := st.runAssignKernels(sample)
+		// An incremental warm step's first pass runs over the boundary
+		// worklist alone (prepareCarried proved every interior point's
+		// corrected bounds, so omitting them is the same Hamerly skip the
+		// full pass would take — counted as such, so the diagnostics are
+		// identical across the worklist and full-pass modes).
+		idx := sample
+		var omitted int64
+		if st.useWorklist {
+			idx = st.worklist
+			omitted = int64(len(sample) - len(idx))
+			st.useWorklist = false
+		}
+		distCalcs, skips, breaks := st.runAssignKernels(idx)
 		st.info.DistCalcs += distCalcs
-		st.info.HamerlySkips += skips
+		st.info.HamerlySkips += skips + omitted
 		st.info.BBoxBreaks += breaks
-		st.c.AddOps(distCalcs + int64(len(sample)))
+		st.info.Visits += int64(len(sample))
+		st.c.AddOps(distCalcs + int64(len(idx)))
 
 		// Line 31: the only communication of the balance routine. The
 		// warm path reduces exact accumulators instead of the kernel's
@@ -203,6 +236,12 @@ func (st *state) runAssignKernels(sample []int32) (distCalcs, skips, breaks int6
 		K: st.k,
 		A: st.A, Ub: st.ub, Lb: st.lb, Lbk: st.lbk,
 	}
+	if st.trackRaw {
+		template.RawLb = st.rlb
+		template.RawLbInv = st.rawLbInv
+		template.CCOrder = st.ccOrder
+		template.CCDist = st.ccDist
+	}
 	if st.pendScaled {
 		template.UbScale = st.pendUbRatio
 		template.LbScale = st.pendLbRatio
@@ -266,9 +305,12 @@ func (st *state) runAssignKernels(sample []int32) (distCalcs, skips, breaks int6
 }
 
 func (st *state) runOneKernel(kr *geom.AssignKernel, idx []int32, hamerly, elkan bool) {
-	if elkan {
+	switch {
+	case elkan:
 		kr.RunElkan(st.dim, idx)
-	} else {
+	case hamerly && kr.RawLb != nil:
+		kr.RunBoundedRaw(st.dim, idx)
+	default:
 		kr.RunBounded(st.dim, idx, hamerly)
 	}
 }

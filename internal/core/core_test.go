@@ -155,17 +155,93 @@ func TestOptimizationsPreserveResult(t *testing.T) {
 	}
 }
 
+// warmCentersFrom recovers warm-start seed centers (weighted block
+// means) from an assignment — the test-local equivalent of
+// repart.RecoverCenters for non-degenerate partitions.
+func warmCentersFrom(ps *geom.PointSet, assign []int32, k int) []geom.Point {
+	sum := make([]geom.Point, k)
+	wsum := make([]float64, k)
+	for i := 0; i < ps.Len(); i++ {
+		b := assign[i]
+		x := ps.At(i)
+		w := ps.W(i)
+		for d := 0; d < ps.Dim; d++ {
+			sum[b][d] += w * x[d]
+		}
+		wsum[b] += w
+	}
+	for b := range sum {
+		for d := 0; d < ps.Dim; d++ {
+			sum[b][d] /= wsum[b]
+		}
+	}
+	return sum
+}
+
 func TestHamerlySkipRate(t *testing.T) {
 	// Paper §4.3: "the innermost loop can be skipped in about 80% of the
-	// cases". Demand a healthy margin at our scale.
+	// cases". SkipRate is the per-run measurement of exactly that —
+	// bound-resolved point visits over all visits.
 	ps := uniformPoints(8000, 2, 31)
-	_, bkm := runPartition(t, ps, 16, 2, DefaultConfig())
+	part, bkm := runPartition(t, ps, 16, 2, DefaultConfig())
 	info := bkm.LastInfo()
-	rate := float64(info.HamerlySkips) / float64(info.HamerlySkips+int64(info.BalanceRounds)) // rough
-	_ = rate
-	// More robust: skips must dominate full scans of later rounds.
-	if info.HamerlySkips*3 < info.DistCalcs/int64(16) {
-		t.Errorf("suspiciously few Hamerly skips: %d skips, %d dist calcs", info.HamerlySkips, info.DistCalcs)
+	if info.Visits <= 0 {
+		t.Fatalf("no point visits recorded: %+v", info)
+	}
+	if rate := info.SkipRate(); rate < 0.75 {
+		t.Errorf("cold skip rate %.3f below the paper's ~80%% (skips %d / visits %d)",
+			rate, info.HamerlySkips, info.Visits)
+	}
+
+	// Cross-step carried bounds: two warm runs on one Resident. The
+	// first must reset (nothing to carry), the second must take the
+	// incremental fast path, touch only a small boundary fraction, cut
+	// the distance evaluations at least 2x, and skip even more visits.
+	const k, p = 16, 2
+	w := mpi.NewWorld(p)
+	res := make([]*Resident, p)
+	if err := w.Run(func(c *mpi.Comm) {
+		res[c.Rank()] = Ingest(c, partition.Scatter(c, ps))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	prev := part.Assign
+	step := func() Info {
+		t.Helper()
+		cfg := DefaultConfig()
+		cfg.WarmCenters = warmCentersFrom(ps, prev, k)
+		wb := New(cfg)
+		out := make([]int32, ps.Len())
+		if err := w.Run(func(c *mpi.Comm) {
+			ids, blocks, err := wb.PartitionResident(c, res[c.Rank()], k)
+			if err != nil {
+				panic(err)
+			}
+			for i, id := range ids {
+				out[id] = blocks[i]
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		prev = out
+		return wb.LastInfo()
+	}
+	first := step()
+	if first.CarriedBounds {
+		t.Error("first warm run on a fresh Resident reports carried bounds")
+	}
+	second := step()
+	if !second.CarriedBounds {
+		t.Fatalf("second warm run did not carry bounds: %+v", second)
+	}
+	if second.BoundaryFrac <= 0 || second.BoundaryFrac > 0.5 {
+		t.Errorf("carried boundary fraction %.3f outside (0, 0.5]", second.BoundaryFrac)
+	}
+	if second.DistCalcs*2 > first.DistCalcs {
+		t.Errorf("carried bounds cut dist calcs only %d -> %d, want >= 2x", first.DistCalcs, second.DistCalcs)
+	}
+	if rate := second.SkipRate(); rate < 0.8 {
+		t.Errorf("carried skip rate %.3f below the paper's ~80%%", rate)
 	}
 }
 

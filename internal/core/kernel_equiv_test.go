@@ -257,6 +257,106 @@ func TestKernelMatchesReference(t *testing.T) {
 	}
 }
 
+// TestRawKernelMatchesReference pins the warm incremental Hamerly pass
+// (RunBoundedRaw: raw shadow bound maintenance, raw skip floor,
+// center-anchored scans with the triangle break) bit-identical to its
+// scalar reference, for the serial and the sharded dispatch.
+func TestRawKernelMatchesReference(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		t.Run(fmt.Sprintf("dim=%d", dim), func(t *testing.T) {
+			for seed := int64(0); seed < 4; seed++ {
+				st, sample := kernelScenario(t, dim, 2000, 13, BoundsHamerly, false, 200+seed)
+				rng := rand.New(rand.NewSource(300 + seed))
+				st.trackRaw = true
+				st.rlb = make([]float64, st.X.Len())
+				for i := range st.rlb {
+					st.rlb[i] = rng.Float64() * 0.5
+				}
+				maxInf := 0.0
+				for _, f := range st.influence {
+					if f > maxInf {
+						maxInf = f
+					}
+				}
+				st.rawLbInv = (1 / maxInf) * (1 - boundSlack)
+				st.perCenter = make([]float64, st.k)
+				st.ccDist = make([]float64, st.k*st.k)
+				st.ccOrder = make([]int32, st.k*st.k)
+				st.buildCCTables()
+				pend := st.pendScaled
+				a0, ub0, lb0, lbk0, lw0 := cloneSlices(st)
+				rlb0 := append([]float64(nil), st.rlb...)
+
+				ref := geom.AssignKernel{
+					PX: st.X.X, PY: st.X.Y, PZ: st.X.Z, W: st.W,
+					CX: st.centerCols.X, CY: st.centerCols.Y, CZ: st.centerCols.Z,
+					InvInf2: st.invInf2,
+					Order:   st.orderedCenters,
+					K:       st.k,
+					A:       st.A, Ub: st.ub, Lb: st.lb,
+					RawLb: st.rlb, RawLbInv: st.rawLbInv,
+					CCOrder: st.ccOrder, CCDist: st.ccDist,
+					LocalW: make([]float64, st.k),
+				}
+				if pend {
+					ref.UbScale = st.pendUbRatio
+					ref.LbScale = st.pendLbRatio
+				}
+				refLW := make([]float64, st.k)
+				nc := kernelChunks(len(sample))
+				chunk := (len(sample) + nc - 1) / nc
+				for s := 0; s < nc; s++ {
+					lo := s * chunk
+					hi := lo + chunk
+					if hi > len(sample) {
+						hi = len(sample)
+					}
+					clear(ref.LocalW)
+					referenceAssignRaw(dim, &ref, sample[lo:hi])
+					for b := 0; b < st.k; b++ {
+						refLW[b] += ref.LocalW[b]
+					}
+				}
+				refA, refUb, refLb, _, _ := cloneSlices(st)
+				refRlb := append([]float64(nil), st.rlb...)
+
+				for _, workers := range []int{1, 3} {
+					restoreSlices(st, a0, ub0, lb0, lbk0, lw0)
+					copy(st.rlb, rlb0)
+					st.pendScaled = pend
+					st.workers = workers
+					st.shards = make([]geom.AssignKernel, nc)
+					for s := range st.shards {
+						st.shards[s].LocalW = make([]float64, st.k)
+					}
+					dc, sk, br := st.runAssignKernels(sample)
+					for i := range st.A {
+						if st.A[i] != refA[i] {
+							t.Fatalf("workers=%d: A[%d] = %d, reference %d", workers, i, st.A[i], refA[i])
+						}
+					}
+					if i := bitsEqual(st.ub, refUb); i >= 0 {
+						t.Fatalf("workers=%d: ub[%d] = %x, reference %x", workers, i, st.ub[i], refUb[i])
+					}
+					if i := bitsEqual(st.lb, refLb); i >= 0 {
+						t.Fatalf("workers=%d: lb[%d] = %x, reference %x", workers, i, st.lb[i], refLb[i])
+					}
+					if i := bitsEqual(st.rlb, refRlb); i >= 0 {
+						t.Fatalf("workers=%d: rlb[%d] = %x, reference %x", workers, i, st.rlb[i], refRlb[i])
+					}
+					if i := bitsEqual(st.localW, refLW); i >= 0 {
+						t.Fatalf("workers=%d: localW[%d] = %x, reference %x", workers, i, st.localW[i], refLW[i])
+					}
+					if dc != ref.DistCalcs || sk != ref.Skips || br != ref.Breaks {
+						t.Fatalf("workers=%d counters (%d,%d,%d), reference (%d,%d,%d)",
+							workers, dc, sk, br, ref.DistCalcs, ref.Skips, ref.Breaks)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestShardedPartitionValid runs the full pipeline with a forced worker
 // pool and checks that sharding preserves balance, validity, and
 // fixed-worker-count determinism.

@@ -103,6 +103,8 @@ type state struct {
 	// balance collective): whether any rank's sample is still growing.
 	anySampling bool
 
+	globalN int64 // global point count, fixed at init
+
 	// Warm-start repartitioning (cfg.WarmCenters): global float sums are
 	// taken through order-independent exact accumulators so the output
 	// does not depend on how points are grouped into ranks or kernel
@@ -112,6 +114,36 @@ type state struct {
 	exactW    []exact.Sum // per-block weight accumulators, len k
 	exactC    []exact.Sum // center accumulators, len k·(dim+1)
 	exactWire []int64     // encode/reduce buffer for the larger of the two
+
+	// Cross-run bound carrying (cfg.Incremental, warm resident path; see
+	// warm.go and DESIGN.md, "Incremental bound invariants"). The stored
+	// A/ub/lb/lbk stay valid between PartitionResident calls relative to
+	// boundCenters (the centers of the run's most recent kernel pass)
+	// and the final influence values; the next warm run corrects them by
+	// the per-center drift instead of resetting to "unknown".
+	boundCenters []geom.Point // centers the stored bounds are valid against
+	carryValid   bool         // a previous warm run left reusable bounds
+	carryBounds  BoundsKind   // bounds mode that produced them
+	carryK       int          // k that produced them
+	worklist     []int32      // boundary points of an incremental first pass
+	useWorklist  bool         // consume worklist on the next kernel pass
+
+	// Raw-space shadow of the Hamerly lower bound (trackRaw runs): the
+	// influence-free min distance to any non-assigned center. Influence
+	// rescales cannot touch it, so it converts losslessly across runs
+	// (effective bounds lose the whole influence spread) and floors the
+	// balance loop's compounding lb decay (geom.AssignKernel.RawLb).
+	rlb      []float64
+	trackRaw bool    // maintain rlb this run (warm+incremental+Hamerly)
+	rawLbInv float64 // per-round conservative 1/max-influence for the floor
+
+	// Center-center pruning tables of the raw pass (k×k, rebuilt once
+	// per assignAndBalance call — centers are fixed across its balance
+	// rounds): ccOrder rows list centers ascending by raw distance from
+	// the row's center, ccDist the matching (conservatively deflated)
+	// distances (geom.AssignKernel.CCOrder/CCDist).
+	ccOrder []int32
+	ccDist  []float64
 
 	info Info
 }
@@ -232,8 +264,22 @@ func (b *BalancedKMeans) finish(st *state) ([]int64, []int32, error) {
 	st.run()
 	st.info.KMeansSeconds = time.Since(tKM).Seconds()
 
-	counters := mpi.AllreduceSum(st.c, []int64{st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks})
+	// Non-carried runs assign every point fresh in their first pass, so
+	// the whole local set is "boundary" by definition.
+	if !st.info.CarriedBounds {
+		st.info.BoundaryPoints = int64(st.X.Len())
+	}
+	counters := mpi.AllreduceSum(st.c, []int64{st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks,
+		st.info.Visits, st.info.BoundaryPoints, boolTo64(st.info.CarriedBounds)})
 	st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks = counters[0], counters[1], counters[2]
+	st.info.Visits, st.info.BoundaryPoints = counters[3], counters[4]
+	// The incremental fast path "was taken" only if every rank reused
+	// its carried bounds (per-rank fallbacks never change the output,
+	// but a mixed step is not the fast path).
+	st.info.CarriedBounds = counters[5] == int64(st.c.Size())
+	if st.globalN > 0 {
+		st.info.BoundaryFrac = float64(st.info.BoundaryPoints) / float64(st.globalN)
+	}
 	if st.c.Rank() == 0 {
 		b.mu.Lock()
 		b.info = st.info
@@ -313,6 +359,7 @@ func (st *state) initCentersAndTargets() error {
 	if n == 0 {
 		return fmt.Errorf("core: empty global point set")
 	}
+	st.globalN = n
 
 	var totalW float64
 	if st.warm {
@@ -376,8 +423,13 @@ func (st *state) initCentersAndTargets() error {
 	}
 	st.targets = targets
 
+	st.trackRaw = st.warm && st.cfg.Incremental && st.cfg.Bounds == BoundsHamerly
 	st.ensureScratch()
-	st.resetRun()
+	if st.carryOK() {
+		st.prepareCarried()
+	} else {
+		st.resetRun()
+	}
 	return nil
 }
 
@@ -396,6 +448,8 @@ func (st *state) ensureScratch() {
 		st.lb = make([]float64, n)
 		st.perm = make([]int32, n)
 		st.allIdx = make([]int32, n)
+		st.worklist = make([]int32, 0, n)
+		st.carryValid = false // fresh per-point buffers carry nothing
 	}
 	if st.cfg.Bounds == BoundsElkan {
 		if len(st.lbk) != n*st.k {
@@ -403,6 +457,13 @@ func (st *state) ensureScratch() {
 		}
 	} else {
 		st.lbk = nil
+	}
+	if st.trackRaw && len(st.rlb) != n {
+		st.rlb = make([]float64, n) // zero = trivially valid
+	}
+	if st.trackRaw && len(st.ccDist) != st.k*st.k {
+		st.ccDist = make([]float64, st.k*st.k)
+		st.ccOrder = make([]int32, st.k*st.k)
 	}
 	if len(st.influence) != st.k {
 		st.influence = make([]float64, st.k)
@@ -415,6 +476,7 @@ func (st *state) ensureScratch() {
 		st.deltas = make([]float64, st.k)
 		st.perCenter = make([]float64, st.k)
 		st.pendUbRatio = make([]float64, st.k)
+		st.boundCenters = make([]geom.Point, st.k)
 	}
 	if len(st.localW) != st.k+2 {
 		st.localW = make([]float64, st.k+2) // +2: sample weight and sampling flag ride along
@@ -460,6 +522,9 @@ func (st *state) resetRun() {
 	if st.lbk != nil {
 		clear(st.lbk)
 	}
+	if st.rlb != nil {
+		clear(st.rlb)
+	}
 	for i := range st.perm {
 		st.perm[i] = int32(i)
 		st.allIdx[i] = int32(i)
@@ -467,6 +532,7 @@ func (st *state) resetRun() {
 	st.nSample = st.X.Len()
 	st.pendScaled = false
 	st.anySampling = false
+	st.useWorklist = false
 	if !st.warm {
 		// The sampled bootstrap exists to move bad initial centers
 		// cheaply; warm starts begin near-converged, so the warm path
@@ -524,14 +590,28 @@ func (st *state) run() {
 					maxShift = st.perCenter[b]
 				}
 			}
-			if st.nSample == st.X.Len() {
+			switch {
+			case st.nSample == st.X.Len() && st.trackRaw:
+				// The raw shadow shrinks by the maximum *raw* movement
+				// (influences don't touch raw space), padded so rounding
+				// can only loosen it.
+				rawShift := maxDelta * (1 + boundSlack)
+				for i := range st.A {
+					if a := st.A[i]; a >= 0 {
+						st.ub[i] += st.perCenter[a]
+						st.lb[i] -= maxShift
+						st.rlb[i] -= rawShift
+					}
+				}
+			case st.nSample == st.X.Len():
 				for i := range st.A {
 					if a := st.A[i]; a >= 0 {
 						st.ub[i] += st.perCenter[a]
 						st.lb[i] -= maxShift
 					}
 				}
-			} else {
+			default:
+				// Sampled bootstrap is cold-only; trackRaw never holds here.
 				for _, i := range st.perm[:st.nSample] {
 					if a := st.A[i]; a >= 0 {
 						st.ub[i] += st.perCenter[a]
@@ -557,6 +637,14 @@ func (st *state) run() {
 				}
 			}
 		}
+
+		// The additive updates above re-validate every stored bound
+		// against the moved centers; record that for cross-run carrying
+		// (the convergence break above leaves boundCenters at the last
+		// kernel pass's centers, which is exactly what its bounds are
+		// valid for — the final sub-threshold movement is part of the
+		// next run's drift correction).
+		copy(st.boundCenters, st.newCenters)
 
 		// Influence erosion after movement (Eqs. (2)–(3)): centers that
 		// moved far regress their influence toward 1.
@@ -599,6 +687,9 @@ func (st *state) run() {
 	if st.cfg.Strict && !st.info.Balanced {
 		st.strictFinish()
 	}
+
+	// Leave the bounds reusable for the next warm run on this state.
+	st.recordCarry()
 }
 
 // sampleIdx returns the indices of the active sample. Once the sample

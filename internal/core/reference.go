@@ -74,6 +74,97 @@ func referenceAssign(dim int, kr *geom.AssignKernel, idx []int32, hamerly, elkan
 	}
 }
 
+// referenceAssignRaw is the scalar reference of RunBoundedRaw (the warm
+// incremental Hamerly pass): skip against max(effective Lb, raw floor
+// RawLb·RawLbInv) with the winner stored back, a center-anchored scan
+// with the triangle-inequality break for assigned points (full scan in
+// pruning order otherwise), and the raw second-minimum tracked into
+// RawLb.
+func referenceAssignRaw(dim int, kr *geom.AssignKernel, idx []int32) {
+	invMaxInf2 := kr.RawLbInv * kr.RawLbInv
+	for _, i := range idx {
+		cur := kr.A[i]
+		if cur >= 0 {
+			u, l := kr.Ub[i], kr.Lb[i]
+			if kr.UbScale != nil {
+				u *= kr.UbScale[cur]
+				l *= kr.LbScale
+			}
+			if lr := kr.RawLb[i] * kr.RawLbInv; lr > l {
+				l = lr
+			}
+			if u < l {
+				kr.Ub[i] = u
+				kr.Lb[i] = l
+				kr.Skips++
+				kr.LocalW[cur] += kr.W[i]
+				continue
+			}
+		}
+		x := geom.Point{kr.PX[i], kr.PY[i], kr.PZ[i]}
+		best2, second2 := math.Inf(1), math.Inf(1)
+		r1, r2 := math.Inf(1), math.Inf(1)
+		r1id := int32(-1)
+		bestC := int32(0)
+		rawFloor2 := math.Inf(1)
+		track := func(bc int32) {
+			c := geom.Point{kr.CX[bc], kr.CY[bc], kr.CZ[bc]}
+			raw2 := geom.Dist2(x, c, dim)
+			d2 := raw2 * kr.InvInf2[bc]
+			kr.DistCalcs++
+			if raw2 < r1 {
+				r2 = r1
+				r1 = raw2
+				r1id = bc
+			} else if raw2 < r2 {
+				r2 = raw2
+			}
+			if d2 < best2 {
+				second2 = best2
+				best2 = d2
+				bestC = bc
+			} else if d2 < second2 {
+				second2 = d2
+			}
+		}
+		if cur >= 0 {
+			row := int(cur) * kr.K
+			cc := geom.Point{kr.CX[cur], kr.CY[cur], kr.CZ[cur]}
+			rawA2 := geom.Dist2(x, cc, dim)
+			kr.DistCalcs++
+			rub := math.Sqrt(rawA2)
+			r1, r1id = rawA2, cur
+			best2 = rawA2 * kr.InvInf2[cur]
+			bestC = cur
+			for j := 1; j < kr.K; j++ {
+				lr := kr.CCDist[row+j] - rub
+				if lr > 0 && lr*lr*invMaxInf2 > second2 {
+					kr.Breaks++
+					rawFloor2 = lr * lr
+					break
+				}
+				track(kr.CCOrder[row+j])
+			}
+		} else {
+			for _, bc := range kr.Order {
+				track(bc)
+			}
+		}
+		kr.A[i] = bestC
+		kr.Ub[i] = math.Sqrt(best2)
+		kr.Lb[i] = math.Sqrt(second2)
+		rl := r1
+		if r1id == bestC {
+			rl = r2
+		}
+		if rawFloor2 < rl {
+			rl = rawFloor2
+		}
+		kr.RawLb[i] = math.Sqrt(rl)
+		kr.LocalW[bestC] += kr.W[i]
+	}
+}
+
 func referenceElkan(dim int, kr *geom.AssignKernel, idx []int32) {
 	for _, i := range idx {
 		x := geom.Point{kr.PX[i], kr.PY[i], kr.PZ[i]}

@@ -29,8 +29,9 @@ type Resident struct {
 
 	// st owns the resident columns (X, W, IDs) and every reusable
 	// k-means buffer. PartitionResident re-binds the per-call fields
-	// (comm, config, k) and resets the per-run values; buffer
-	// allocations survive between calls.
+	// (comm, config, k) and resets — or, on the incremental path
+	// (Config.Incremental), drift-corrects and reuses — the per-run
+	// values; buffer allocations survive between calls.
 	st state
 
 	ingestSeconds float64
@@ -71,7 +72,8 @@ func (r *Resident) IngestSeconds() float64 { return r.ingestSeconds }
 // local — no communication — so a session applies a weight delta
 // without re-scattering coordinates. The warm path recomputes every
 // global weight reduction exactly each call, so no derived state needs
-// invalidation.
+// invalidation; in particular the carried distance bounds survive —
+// weights influence balance targets, never distances.
 func (r *Resident) SetWeightsGlobal(w []float64) {
 	st := &r.st
 	if w == nil {
@@ -89,9 +91,13 @@ func (r *Resident) SetWeightsGlobal(w []float64) {
 // global coordinate slice (stride Dim, indexed by point id). Callers
 // must follow with RecomputeBounds on every rank — the cached global
 // bounding box (and the center-movement threshold derived from its
-// diagonal) is a function of the coordinates.
+// diagonal) is a function of the coordinates. Carried k-means bounds
+// are dropped: they relate the *old* point positions to the centers,
+// and per-point displacements are unbounded (see DESIGN.md,
+// "Incremental bound invariants"), so the next warm run resets.
 func (r *Resident) SetCoordsGlobal(coords []float64) {
 	st := &r.st
+	st.carryValid = false
 	for i, id := range st.IDs {
 		var p geom.Point
 		base := int(id) * r.dim

@@ -14,6 +14,173 @@ import (
 	"geographer/internal/mpi"
 )
 
+// boundSlack inflates the cross-run drift corrections by a few ulps so
+// that the handful of float64 roundings in prepareCarried can only ever
+// *loosen* a bound, never tighten it below its true value. A loose
+// bound costs one redundant recompute; a too-tight one would let a skip
+// keep a stale assignment and break the bit-identicality contract.
+const boundSlack = 4e-16
+
+// carryOK reports whether the previous warm run's per-point state can
+// seed this run incrementally. All checks are rank-local; a rank that
+// falls back to resetRun while others carry produces the same output
+// (carried bounds are conservative, so skipped points keep assignments
+// a fresh argmin would recompute identically).
+func (st *state) carryOK() bool {
+	ok := st.warm && st.cfg.Incremental && st.carryValid &&
+		st.carryBounds == st.cfg.Bounds && st.cfg.Bounds != BoundsNone &&
+		st.carryK == st.k && len(st.boundCenters) == st.k
+	if ok && st.cfg.Bounds == BoundsHamerly && len(st.rlb) != len(st.A) {
+		return false // raw shadow missing: nothing sound to carry
+	}
+	return ok
+}
+
+// prepareCarried is resetRun for an incremental warm run: instead of
+// resetting assignments and bounds to "unknown", the values left by the
+// previous warm run are corrected for everything that changed between
+// the runs — each center's drift from the position the bounds were
+// valid against (boundCenters) to this run's warm seed (st.centers),
+// and the influence rescale from the previous run's final influences
+// back to the fresh all-ones (the eager materialization of the same
+// per-center ratios scaleBoundsForInfluence leaves pending within a
+// run; here the pass doubles as the boundary-worklist build, so the
+// lazy form has nothing left to fuse into). The inequalities (DESIGN.md,
+// "Incremental bound invariants"):
+//
+//	ub' = ub·inf_prev[a] + ‖c_a − c'_a‖     ((near-)exact raw distance + drift)
+//	lb' = rlb − max_b ‖c_b − c'_b‖          (raw shadow: no influence loss)
+//	lbk'[b] = lbk[b] − ‖c_b − c'_b‖         (Elkan, raw-distance space)
+//
+// In Hamerly mode the pass also collects the boundary points — those
+// whose corrected bounds cross (ub' ≥ lb') and therefore need a fresh
+// argmin — into st.worklist; when their fraction stays under
+// cfg.BoundaryFraction, the first kernel pass runs over the worklist
+// alone and never gathers interior points at all.
+func (st *state) prepareCarried() {
+	// Per-run values that reset exactly as in resetRun. Influences are
+	// read by the correction loops below and reset at the end.
+	for i := range st.perm {
+		st.perm[i] = int32(i)
+		st.allIdx[i] = int32(i)
+	}
+	st.nSample = st.X.Len()
+	st.pendScaled = false
+	st.anySampling = false
+	st.useWorklist = false
+
+	maxDrift := 0.0
+	for b := 0; b < st.k; b++ {
+		d := geom.Dist(st.boundCenters[b], st.centers[b], st.dim) * (1 + boundSlack)
+		st.perCenter[b] = d
+		if d > maxDrift {
+			maxDrift = d
+		}
+	}
+
+	switch st.cfg.Bounds {
+	case BoundsHamerly:
+		st.worklist = st.worklist[:0]
+		for i := range st.A {
+			a := st.A[i]
+			if a < 0 {
+				// Never happens after a completed warm run; kept so a
+				// stray unassigned point is recomputed, not trusted.
+				st.worklist = append(st.worklist, int32(i))
+				continue
+			}
+			// ub·inf_prev[a] is the (near-)exact raw distance to the
+			// assigned center; the raw shadow needs no influence term at
+			// all — that losslessness is why it exists.
+			u := (st.ub[i]*st.influence[a] + st.perCenter[a]) * (1 + boundSlack)
+			l := st.rlb[i] - maxDrift
+			if l > 0 {
+				l *= 1 - boundSlack
+			}
+			st.ub[i] = u
+			st.lb[i] = l // influences are all 1: effective = raw
+			st.rlb[i] = l
+			if !(u < l) {
+				st.worklist = append(st.worklist, int32(i))
+			}
+		}
+		st.info.BoundaryPoints = int64(len(st.worklist))
+		frac := 1.0
+		if n := len(st.A); n > 0 {
+			frac = float64(len(st.worklist)) / float64(n)
+		}
+		st.useWorklist = frac <= st.cfg.BoundaryFraction
+	case BoundsElkan:
+		// Elkan's per-center bounds live in raw-distance space and every
+		// point is visited each pass anyway (the current center's
+		// distance is always recomputed), so there is no worklist mode —
+		// the carried lbk skip per-candidate distance evaluations
+		// instead.
+		for i := range st.A {
+			if a := st.A[i]; a >= 0 {
+				st.ub[i] = (st.ub[i]*st.influence[a] + st.perCenter[a]) * (1 + boundSlack)
+			}
+			base := i * st.k
+			for b := 0; b < st.k; b++ {
+				l := st.lbk[base+b] - st.perCenter[b]
+				if l > 0 {
+					l *= 1 - boundSlack
+				}
+				st.lbk[base+b] = l
+			}
+		}
+		st.info.BoundaryPoints = int64(st.X.Len())
+	}
+	st.info.CarriedBounds = true
+
+	for b := range st.influence {
+		st.influence[b] = 1
+	}
+}
+
+// buildCCTables fills the center-center pruning tables of the raw pass:
+// for every center a, the other centers in ascending raw distance from
+// it (a itself pinned first) plus the matching distances, deflated by
+// boundSlack so the kernels' triangle bound (ccDist − rawdist(p,c_a))
+// stays below its true value under rounding. Centers are fixed across
+// the balance rounds of one assignAndBalance call, so this runs once
+// per call — k² distances against the thousands of point-center
+// evaluations the anchored breaks save.
+func (st *state) buildCCTables() {
+	k := st.k
+	tmp := st.perCenter // per-center scratch; consumers recompute it later
+	for a := 0; a < k; a++ {
+		row := st.ccOrder[a*k : a*k+k]
+		for b := 0; b < k; b++ {
+			tmp[b] = geom.Dist(st.centers[a], st.centers[b], st.dim)
+			row[b] = int32(b)
+		}
+		row[0], row[a] = row[a], row[0]
+		sortCentersByDist(row[1:], tmp)
+		for j, id := range row {
+			st.ccDist[a*k+j] = tmp[id] * (1 - boundSlack)
+		}
+	}
+}
+
+// recordCarry snapshots, at the end of a warm run, everything the next
+// warm run on this state needs to reuse the stored bounds: the validity
+// reference (boundCenters already tracks the centers of the most recent
+// kernel pass; st.influence holds the final influence values and is
+// only reset after prepareCarried reads it), the bounds mode, and k. A
+// pending influence rescale is materialized first so the stored ub/lb
+// are what the next run's corrections expect.
+func (st *state) recordCarry() {
+	st.carryValid = false
+	if !st.warm || !st.cfg.Incremental || st.cfg.Bounds == BoundsNone {
+		return
+	}
+	st.applyPendingBounds()
+	st.carryBounds = st.cfg.Bounds
+	st.carryK = st.k
+	st.carryValid = true
+}
+
 // exactBlockWeights returns the global per-block sample weights of the
 // current assignment through the exact accumulators: one O(n) local
 // pass in index order, one integer AllreduceSum (keeping the balance

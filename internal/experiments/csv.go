@@ -86,14 +86,17 @@ func WriteRepartRowsCSV(w io.Writer, rows []RepartRow) error {
 func WriteStreamRowsCSV(w io.Writer, rows []StreamRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"graph", "step", "mode", "k", "p",
-		"wall_s", "ingest_s", "kmeans_s", "cut", "imbalance", "migrated_w", "migrated_frac"}); err != nil {
+		"wall_s", "ingest_s", "kmeans_s", "cut", "imbalance", "migrated_w", "migrated_frac",
+		"dist_calcs", "hamerly_skips", "boundary_frac", "incremental"}); err != nil {
 		return err
 	}
 	for _, r := range rows {
 		rec := []string{r.Graph, strconv.Itoa(r.Step), r.Mode, strconv.Itoa(r.K), strconv.Itoa(r.P),
 			fmtF(r.Seconds), fmtF(r.IngestSeconds), fmtF(r.KMeansSeconds),
 			strconv.FormatInt(r.Cut, 10), fmtF(r.Imbalance),
-			fmtF(r.MigratedWeight), fmtF(r.MigratedFrac)}
+			fmtF(r.MigratedWeight), fmtF(r.MigratedFrac),
+			strconv.FormatInt(r.DistCalcs, 10), strconv.FormatInt(r.HamerlySkips, 10),
+			fmtF(r.BoundaryFrac), strconv.FormatBool(r.Incremental)}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}

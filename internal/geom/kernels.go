@@ -204,6 +204,32 @@ type AssignKernel struct {
 	UbScale []float64
 	LbScale float64
 
+	// Raw-space shadow lower bound (RunBoundedRaw; the warm incremental
+	// path of internal/core): RawLb[i] lower-bounds the *influence-free*
+	// distance from point i to every center other than A[i]. Influence
+	// changes cannot touch it, so it survives the balance loop's
+	// compounding Lb rescales and converts losslessly across runs. The
+	// raw pass maintains it on every recompute by tracking the two
+	// smallest raw distances of the scan, and uses RawLb[i]·RawLbInv
+	// (RawLbInv = a conservatively rounded 1/max-influence) as a second
+	// skip floor next to the effective Lb.
+	RawLb    []float64
+	RawLbInv float64
+
+	// Center-center pruning tables for the raw pass (row-major K×K,
+	// centers fixed across the balance rounds of one pass sequence):
+	// CCOrder[a·K+j] lists the centers in ascending raw distance from
+	// center a, with CCOrder[a·K] = a itself, and CCDist[a·K+j] holds
+	// the matching raw distances, pre-deflated by the caller so that
+	// rounding keeps the triangle bound below its true value. A rescan
+	// of a point still assigned to a walks row a and stops as soon as
+	// (CCDist[a·K+j] − rawdist(p,c_a))²·RawLbInv² exceeds the current
+	// second-best effective distance — every remaining center is then
+	// provably unable to change best or second best, so the truncated
+	// scan stores the same A/Ub/Lb a full scan would.
+	CCOrder []int32
+	CCDist  []float64
+
 	// Accumulators, private per kernel value.
 	LocalW    []float64
 	DistCalcs int64
@@ -406,6 +432,268 @@ func (kr *AssignKernel) elkan2D(idx []int32) {
 		a[i] = bestC
 		ub[i] = math.Sqrt(best2)
 		localW[bestC] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}
+
+// RunBoundedRaw is the Hamerly pass of the warm incremental path: next
+// to the plain bounded pass it (a) tests the skip against the better of
+// the effective Lb and the raw-space floor RawLb·RawLbInv, storing the
+// winning (still valid) bound back, (b) refreshes RawLb for every
+// recomputed point by tracking the two smallest raw distances of the
+// scan, and (c) anchors each rescan of an already-assigned point at its
+// current center, walking the CCOrder row in ascending center-center
+// distance and breaking once the triangle inequality proves the tail
+// irrelevant. The bounding-box prune of the plain pass is not used: its
+// break would leave the raw minimum over the unscanned tail unknown
+// (DistBB2 lives in effective space), and on the warm path — points in
+// input distribution, per-rank boxes spanning the whole domain — it
+// never fires anyway. Both truncation rules leave best and second-best
+// exactly as a full scan computes them, so A, Ub and Lb match the plain
+// pass (modulo exact-tie scan order; see DESIGN.md).
+func (kr *AssignKernel) RunBoundedRaw(dim int, idx []int32) {
+	if dim == 3 {
+		kr.boundedRaw3D(idx)
+	} else {
+		kr.boundedRaw2D(idx)
+	}
+}
+
+func (kr *AssignKernel) boundedRaw2D(idx []int32) {
+	px, py := kr.PX, kr.PY
+	cx, cy := kr.CX, kr.CY
+	inv2 := kr.InvInf2
+	k := kr.K
+	order := kr.Order
+	ccOrder, ccDist := kr.CCOrder, kr.CCDist
+	w, a, ub, lb, localW := kr.W, kr.A, kr.Ub, kr.Lb, kr.LocalW
+	rawLb, rawLbInv := kr.RawLb, kr.RawLbInv
+	invMaxInf2 := rawLbInv * rawLbInv
+	ubScale, lbScale := kr.UbScale, kr.LbScale
+	scaled := ubScale != nil
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		cur := a[i]
+		if cur >= 0 {
+			u, l := ub[i], lb[i]
+			if scaled {
+				u *= ubScale[cur]
+				l *= lbScale
+			}
+			if lr := rawLb[i] * rawLbInv; lr > l {
+				l = lr
+			}
+			if u < l {
+				ub[i] = u
+				lb[i] = l
+				skips++
+				localW[cur] += w[i]
+				continue
+			}
+		}
+		x, y := px[i], py[i]
+		best2, second2 := math.Inf(1), math.Inf(1)
+		r1, r2 := math.Inf(1), math.Inf(1)
+		r1id := int32(-1)
+		best := int32(0)
+		rawFloor2 := math.Inf(1) // sound (squared) floor under unscanned centers
+		if cur >= 0 {
+			row := int(cur) * k
+			dx := x - cx[cur]
+			dy := y - cy[cur]
+			rawA2 := dx*dx + dy*dy
+			distCalcs++
+			rub := math.Sqrt(rawA2)
+			r1, r1id = rawA2, cur
+			best2 = rawA2 * inv2[cur]
+			best = cur
+			for j := 1; j < k; j++ {
+				// Triangle bound for every center from j on (the row is
+				// ascending): rawdist ≥ CCDist − rawdist(p, c_cur).
+				lr := ccDist[row+j] - rub
+				if lr > 0 && lr*lr*invMaxInf2 > second2 {
+					breaks++
+					rawFloor2 = lr * lr
+					break
+				}
+				bc := ccOrder[row+j]
+				dx := x - cx[bc]
+				dy := y - cy[bc]
+				raw2 := dx*dx + dy*dy
+				d2 := raw2 * inv2[bc]
+				distCalcs++
+				if raw2 < r1 {
+					r2 = r1
+					r1 = raw2
+					r1id = bc
+				} else if raw2 < r2 {
+					r2 = raw2
+				}
+				if d2 < best2 {
+					second2 = best2
+					best2 = d2
+					best = bc
+				} else if d2 < second2 {
+					second2 = d2
+				}
+			}
+		} else {
+			for _, bc := range order {
+				dx := x - cx[bc]
+				dy := y - cy[bc]
+				raw2 := dx*dx + dy*dy
+				d2 := raw2 * inv2[bc]
+				distCalcs++
+				if raw2 < r1 {
+					r2 = r1
+					r1 = raw2
+					r1id = bc
+				} else if raw2 < r2 {
+					r2 = raw2
+				}
+				if d2 < best2 {
+					second2 = best2
+					best2 = d2
+					best = bc
+				} else if d2 < second2 {
+					second2 = d2
+				}
+			}
+		}
+		a[i] = best
+		ub[i] = math.Sqrt(best2)
+		lb[i] = math.Sqrt(second2)
+		rl := r1
+		if r1id == best {
+			rl = r2
+		}
+		if rawFloor2 < rl {
+			rl = rawFloor2
+		}
+		rawLb[i] = math.Sqrt(rl)
+		localW[best] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}
+
+func (kr *AssignKernel) boundedRaw3D(idx []int32) {
+	px, py, pz := kr.PX, kr.PY, kr.PZ
+	cx, cy, cz := kr.CX, kr.CY, kr.CZ
+	inv2 := kr.InvInf2
+	k := kr.K
+	order := kr.Order
+	ccOrder, ccDist := kr.CCOrder, kr.CCDist
+	w, a, ub, lb, localW := kr.W, kr.A, kr.Ub, kr.Lb, kr.LocalW
+	rawLb, rawLbInv := kr.RawLb, kr.RawLbInv
+	invMaxInf2 := rawLbInv * rawLbInv
+	ubScale, lbScale := kr.UbScale, kr.LbScale
+	scaled := ubScale != nil
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		cur := a[i]
+		if cur >= 0 {
+			u, l := ub[i], lb[i]
+			if scaled {
+				u *= ubScale[cur]
+				l *= lbScale
+			}
+			if lr := rawLb[i] * rawLbInv; lr > l {
+				l = lr
+			}
+			if u < l {
+				ub[i] = u
+				lb[i] = l
+				skips++
+				localW[cur] += w[i]
+				continue
+			}
+		}
+		x, y, z := px[i], py[i], pz[i]
+		best2, second2 := math.Inf(1), math.Inf(1)
+		r1, r2 := math.Inf(1), math.Inf(1)
+		r1id := int32(-1)
+		best := int32(0)
+		rawFloor2 := math.Inf(1)
+		if cur >= 0 {
+			row := int(cur) * k
+			dx := x - cx[cur]
+			dy := y - cy[cur]
+			dz := z - cz[cur]
+			rawA2 := dx*dx + dy*dy + dz*dz
+			distCalcs++
+			rub := math.Sqrt(rawA2)
+			r1, r1id = rawA2, cur
+			best2 = rawA2 * inv2[cur]
+			best = cur
+			for j := 1; j < k; j++ {
+				lr := ccDist[row+j] - rub
+				if lr > 0 && lr*lr*invMaxInf2 > second2 {
+					breaks++
+					rawFloor2 = lr * lr
+					break
+				}
+				bc := ccOrder[row+j]
+				dx := x - cx[bc]
+				dy := y - cy[bc]
+				dz := z - cz[bc]
+				raw2 := dx*dx + dy*dy + dz*dz
+				d2 := raw2 * inv2[bc]
+				distCalcs++
+				if raw2 < r1 {
+					r2 = r1
+					r1 = raw2
+					r1id = bc
+				} else if raw2 < r2 {
+					r2 = raw2
+				}
+				if d2 < best2 {
+					second2 = best2
+					best2 = d2
+					best = bc
+				} else if d2 < second2 {
+					second2 = d2
+				}
+			}
+		} else {
+			for _, bc := range order {
+				dx := x - cx[bc]
+				dy := y - cy[bc]
+				dz := z - cz[bc]
+				raw2 := dx*dx + dy*dy + dz*dz
+				d2 := raw2 * inv2[bc]
+				distCalcs++
+				if raw2 < r1 {
+					r2 = r1
+					r1 = raw2
+					r1id = bc
+				} else if raw2 < r2 {
+					r2 = raw2
+				}
+				if d2 < best2 {
+					second2 = best2
+					best2 = d2
+					best = bc
+				} else if d2 < second2 {
+					second2 = d2
+				}
+			}
+		}
+		a[i] = best
+		ub[i] = math.Sqrt(best2)
+		lb[i] = math.Sqrt(second2)
+		rl := r1
+		if r1id == best {
+			rl = r2
+		}
+		if rawFloor2 < rl {
+			rl = rawFloor2
+		}
+		rawLb[i] = math.Sqrt(rl)
+		localW[best] += w[i]
 	}
 	kr.DistCalcs += distCalcs
 	kr.Skips += skips

@@ -41,13 +41,11 @@ func BenchmarkRepartition(b *testing.B) {
 	}
 }
 
-// BenchmarkSessionRepartition measures one warm streaming step on a
-// long-lived Session — UpdateWeights delta plus warm k-means on the
-// resident columns — the per-timestep cost of the streaming driver.
-// Compare BenchmarkRepartition, which pays scatter + ingest on every
-// step, and BenchmarkScratchRepartition, which pays the full cold
-// pipeline.
-func BenchmarkSessionRepartition(b *testing.B) {
+// benchSessionSteps drives alternating-load warm steps on one session
+// and reports the mean boundary fraction and per-step distance
+// evaluations next to ns/op — the shape BenchmarkSessionRepartition and
+// BenchmarkSessionRepartitionIncremental share.
+func benchSessionSteps(b *testing.B, incremental bool) {
 	m, err := mesh.GenRefinedTri(20000, 42)
 	if err != nil {
 		b.Fatal(err)
@@ -55,6 +53,7 @@ func BenchmarkSessionRepartition(b *testing.B) {
 	const k, p = 16, 4
 	cfg := core.DefaultConfig()
 	cfg.Seed = 1
+	cfg.Incremental = incremental
 	weightsAt := func(t int) []float64 {
 		w := make([]float64, m.Points.Len())
 		for i := range w {
@@ -74,21 +73,54 @@ func BenchmarkSessionRepartition(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Two alternating load states keep every iteration a real
-	// (deterministic) warm step instead of a converged no-op.
+	// (deterministic) warm step instead of a converged no-op; a warm-up
+	// step lets the incremental path start from carried bounds.
 	wA, wB := weightsAt(1), weightsAt(2)
+	if err := sess.UpdateWeights(wA); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := sess.Repartition(); err != nil {
+		b.Fatal(err)
+	}
+	var boundary float64
+	var dist int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		w := wA
+		w := wB
 		if i%2 == 1 {
-			w = wB
+			w = wA
 		}
 		if err := sess.UpdateWeights(w); err != nil {
 			b.Fatal(err)
 		}
-		if _, _, err := sess.Repartition(); err != nil {
+		_, st, err := sess.Repartition()
+		if err != nil {
 			b.Fatal(err)
 		}
+		boundary += st.BoundaryFrac
+		dist += st.DistCalcs
 	}
+	b.ReportMetric(boundary/float64(b.N), "boundary_frac")
+	b.ReportMetric(float64(dist)/float64(b.N), "dist/op")
+}
+
+// BenchmarkSessionRepartition measures one warm streaming step on a
+// long-lived Session with the cross-step bound carrying disabled — the
+// bounds-reset warm path, the baseline the incremental variant below is
+// measured against. Compare BenchmarkRepartition, which additionally
+// pays scatter + ingest on every step, and BenchmarkScratchRepartition,
+// which pays the full cold pipeline.
+func BenchmarkSessionRepartition(b *testing.B) {
+	benchSessionSteps(b, false)
+}
+
+// BenchmarkSessionRepartitionIncremental is the same warm streaming
+// step with Config.Incremental on (the default): bounds carried across
+// steps, first pass over the boundary worklist only. Reported
+// boundary_frac is the mean fraction of points per step whose corrected
+// bounds crossed; dist/op the mean distance evaluations per step.
+func BenchmarkSessionRepartitionIncremental(b *testing.B) {
+	benchSessionSteps(b, true)
 }
 
 // BenchmarkScratchRepartition is the from-scratch baseline for

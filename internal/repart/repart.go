@@ -47,6 +47,25 @@ type Stats struct {
 	// it once at construction (Session.IngestSeconds) and its warm steps
 	// report 0 here.
 	IngestSeconds float64
+
+	// Observability of the incremental warm path (core.Config.
+	// Incremental; duplicated out of Info so the facade and the stream
+	// experiment read one flat surface). DistCalcs and HamerlySkips are
+	// the step's global distance-evaluation and bound-skip counts;
+	// Incremental reports whether this step reused the previous step's
+	// carried bounds on every rank, and BoundaryFrac the fraction of
+	// points its first assignment pass had to examine (1 when not
+	// incremental).
+	DistCalcs    int64
+	HamerlySkips int64
+	BoundaryFrac float64
+	Incremental  bool
+
+	// PreImbalance is the imbalance of the previous partition under the
+	// current weights, measured before the step ran. Only
+	// RepartitionIfAbove fills it (it is the quantity the eps threshold
+	// is tested against); plain Repartition leaves it 0.
+	PreImbalance float64
 }
 
 // RecoverCenters computes the warm-start seed centers from a previous

@@ -2,6 +2,7 @@ package repart
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"geographer/internal/core"
@@ -45,6 +46,15 @@ type Session struct {
 
 	res  []*core.Resident // per-rank resident state, indexed by rank
 	prev []int32          // most recent partition (session-owned copy)
+
+	// Pending-delta coalescing: UpdateWeights/UpdateCoords only record
+	// the new values on s.ps; the per-rank resident columns are
+	// refreshed lazily by flush() right before the next warm step. Any
+	// number of updates between two steps therefore costs at most one
+	// pass over the resident columns and one collective bounding-box
+	// recompute.
+	weightsDirty bool
+	coordsDirty  bool
 
 	ingestSeconds float64
 	lastInfo      core.Info
@@ -171,6 +181,9 @@ func (s *Session) RepartitionFrom(prev []int32) (partition.P, Stats, error) {
 	if s.closed {
 		return partition.P{}, Stats{}, ErrClosed
 	}
+	if err := s.flush(); err != nil {
+		return partition.P{}, Stats{}, err
+	}
 	centers, err := RecoverCenters(s.ps, prev, s.k)
 	if err != nil {
 		return partition.P{}, Stats{}, err
@@ -209,6 +222,10 @@ func (s *Session) RepartitionFrom(prev []int32) (partition.P, Stats, error) {
 		Centers:     centers,
 		Info:        bkm.LastInfo(),
 	}
+	st.DistCalcs = st.Info.DistCalcs
+	st.HamerlySkips = st.Info.HamerlySkips
+	st.BoundaryFrac = st.Info.BoundaryFrac
+	st.Incremental = st.Info.CarriedBounds
 	if st.MigratedWeight, st.MigratedPoints, err = metrics.MigrationVolume(s.ps, prev, out.Assign); err != nil {
 		return partition.P{}, Stats{}, err
 	}
@@ -218,9 +235,11 @@ func (s *Session) RepartitionFrom(prev []int32) (partition.P, Stats, error) {
 }
 
 // UpdateWeights replaces the point weights (nil = unit weights) without
-// re-scattering: the stored point set gets a copy and each rank's
-// resident weight column is refreshed in place. The next Repartition
-// balances against the new weights.
+// re-scattering. The call is validation plus one local copy; the
+// per-rank resident weight columns are refreshed lazily before the next
+// warm step, so several weight updates between two repartitions coalesce
+// into a single resident pass. The next Repartition balances against
+// the new weights.
 func (s *Session) UpdateWeights(weights []float64) error {
 	if s.closed {
 		return ErrClosed
@@ -238,18 +257,17 @@ func (s *Session) UpdateWeights(weights []float64) error {
 		}
 		s.ps.Weight = append([]float64(nil), weights...)
 	}
-	for _, r := range s.res {
-		r.SetWeightsGlobal(s.ps.Weight)
-	}
+	s.weightsDirty = true
 	return nil
 }
 
 // UpdateCoords replaces the point coordinates (flat, len = n·dim)
-// without re-scattering: each rank refreshes its resident columns from
-// the new slice and the cached global bounding box is recomputed
-// collectively. Point identity (and therefore the meaning of the
-// current partition) is preserved — this models points that moved, not
-// a new point set.
+// without re-scattering. Like UpdateWeights the call only records the
+// new values; the resident columns — and the collective bounding-box
+// recompute the coordinates demand — are applied lazily before the next
+// warm step, at most once regardless of how many updates queued. Point
+// identity (and therefore the meaning of the current partition) is
+// preserved — this models points that moved, not a new point set.
 func (s *Session) UpdateCoords(coords []float64) error {
 	if s.closed {
 		return ErrClosed
@@ -262,18 +280,107 @@ func (s *Session) UpdateCoords(coords []float64) error {
 		Coords: append([]float64(nil), coords...),
 		Weight: s.ps.Weight,
 	}
-	return s.w.Run(func(c *mpi.Comm) {
-		r := s.res[c.Rank()]
-		r.SetCoordsGlobal(s.ps.Coords)
-		r.RecomputeBounds(c)
-	})
+	s.coordsDirty = true
+	return nil
+}
+
+// flush applies the pending weight/coordinate deltas to the per-rank
+// resident state: one pass over the resident columns and — only when
+// coordinates changed — one collective bounding-box recompute (which
+// also drops the carried k-means bounds; moved points invalidate them).
+// Weight-only deltas are communication-free and keep the carried bounds.
+func (s *Session) flush() error {
+	if s.coordsDirty {
+		err := s.w.Run(func(c *mpi.Comm) {
+			r := s.res[c.Rank()]
+			r.SetCoordsGlobal(s.ps.Coords)
+			if s.weightsDirty {
+				r.SetWeightsGlobal(s.ps.Weight)
+			}
+			r.RecomputeBounds(c)
+		})
+		if err != nil {
+			return err
+		}
+	} else if s.weightsDirty {
+		for _, r := range s.res {
+			r.SetWeightsGlobal(s.ps.Weight)
+		}
+	}
+	s.weightsDirty, s.coordsDirty = false, false
+	return nil
+}
+
+// Imbalance measures the imbalance of the session's current partition
+// under the current (possibly just-updated) weights and target
+// fractions: max_b weight(b)/target(b) − 1. Purely local — the session
+// holds the global point set — and independent of any pending
+// coordinate delta (coordinates don't enter block weights). Errors when
+// no partition is installed.
+func (s *Session) Imbalance() (float64, error) {
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.prev == nil {
+		return 0, fmt.Errorf("repart: no partition to measure; call Partition or SetPartition first")
+	}
+	w := metrics.BlockWeights(s.ps, s.prev, s.k)
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	targets, err := partition.Targets(total, s.k, s.cfg.TargetFractions)
+	if err != nil {
+		return 0, err
+	}
+	imb := 0.0
+	for b, wb := range w {
+		if targets[b] <= 0 {
+			continue
+		}
+		if r := wb/targets[b] - 1; r > imb {
+			imb = r
+		}
+	}
+	return imb, nil
+}
+
+// RepartitionIfAbove is the paper's §1 trigger verbatim — repartition
+// "when the imbalance exceeds a threshold": it measures the imbalance
+// of the current partition under the current weights and runs a warm
+// repartitioning step only when that exceeds eps, reporting whether it
+// acted. When it skips, the pending weight/coordinate deltas stay
+// queued (measuring costs no resident work at all) and the current
+// partition remains installed; the measured imbalance is returned in
+// Stats.PreImbalance either way.
+func (s *Session) RepartitionIfAbove(eps float64) (partition.P, Stats, bool, error) {
+	if s.closed {
+		return partition.P{}, Stats{}, false, ErrClosed
+	}
+	if s.prev == nil {
+		return partition.P{}, Stats{}, false, fmt.Errorf("repart: no partition to warm-start from; call Partition or SetPartition first")
+	}
+	if eps < 0 || math.IsNaN(eps) {
+		return partition.P{}, Stats{}, false, fmt.Errorf("repart: threshold eps=%g", eps)
+	}
+	imb, err := s.Imbalance()
+	if err != nil {
+		return partition.P{}, Stats{}, false, err
+	}
+	if imb <= eps {
+		return partition.P{}, Stats{PreImbalance: imb}, false, nil
+	}
+	p, st, err := s.RepartitionFrom(s.prev)
+	st.PreImbalance = imb
+	return p, st, err == nil, err
 }
 
 // Close releases the resident state. Closing an already-closed session
 // is a no-op. After Close, every mutating method (Partition,
-// Repartition, RepartitionFrom, SetPartition, UpdateWeights,
-// UpdateCoords) returns ErrClosed; the read-only accessors (Len, K,
-// IngestSeconds, LastInfo, Blocks) keep answering from what remains.
+// Repartition, RepartitionFrom, RepartitionIfAbove, SetPartition,
+// UpdateWeights, UpdateCoords) and Imbalance return ErrClosed; the
+// read-only accessors (Len, K, IngestSeconds, LastInfo, Blocks) keep
+// answering from what remains.
 func (s *Session) Close() error {
 	s.closed = true
 	s.res = nil

@@ -228,6 +228,169 @@ func TestSessionLifecycle(t *testing.T) {
 	}
 }
 
+// TestRepartitionIfAbove covers the imbalance-threshold trigger: skip
+// below eps (partition untouched, deltas still pending), act above it
+// (result identical to an unconditional Repartition over the same
+// inputs), and reject invalid thresholds.
+func TestRepartitionIfAbove(t *testing.T) {
+	m := sessionTestMesh(t, 1500)
+	const k, p = 8, 4
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	newSess := func() *Session {
+		t.Helper()
+		ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: testWeights(m, 0)}
+		sess, err := NewSession(mpi.NewWorld(p), ps, k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sess.Partition(); err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+
+	sess := newSess()
+	defer sess.Close()
+	if _, _, _, err := sess.RepartitionIfAbove(-0.1); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, _, _, err := sess.RepartitionIfAbove(math.NaN()); err == nil {
+		t.Error("NaN eps accepted")
+	}
+
+	// The fresh cold partition is within the configured epsilon, so a
+	// loose threshold must skip — and leave the partition in place.
+	before := sess.Blocks()
+	_, st, acted, err := sess.RepartitionIfAbove(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acted {
+		t.Fatalf("repartitioned at imbalance %g despite eps=0.5", st.PreImbalance)
+	}
+	if st.PreImbalance <= 0 {
+		t.Errorf("skip path did not report the measured imbalance (got %g)", st.PreImbalance)
+	}
+	after := sess.Blocks()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("skipped step changed the installed partition")
+		}
+	}
+
+	// Skew the weights until the old partition is badly imbalanced: the
+	// trigger must fire and reproduce the unconditional step exactly.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for i := 0; i < m.Points.Len(); i++ {
+		x := m.Points.Coords[i*m.Points.Dim]
+		xmin = math.Min(xmin, x)
+		xmax = math.Max(xmax, x)
+	}
+	skewed := make([]float64, m.Points.Len())
+	for i := range skewed {
+		x := m.Points.Coords[i*m.Points.Dim]
+		skewed[i] = 1
+		if x < xmin+(xmax-xmin)/4 {
+			skewed[i] = 10 // one corner carries most of the load
+		}
+	}
+	if err := sess.UpdateWeights(skewed); err != nil {
+		t.Fatal(err)
+	}
+	imb, err := sess.Imbalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imb <= 0.1 {
+		t.Fatalf("skewed weights produced imbalance %g, test needs > 0.1", imb)
+	}
+	pIf, stIf, acted, err := sess.RepartitionIfAbove(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acted {
+		t.Fatalf("did not repartition at imbalance %g > 0.1", stIf.PreImbalance)
+	}
+	if stIf.PreImbalance != imb {
+		t.Errorf("PreImbalance %g != measured %g", stIf.PreImbalance, imb)
+	}
+
+	ref := newSess()
+	defer ref.Close()
+	if err := ref.UpdateWeights(skewed); err != nil {
+		t.Fatal(err)
+	}
+	pRef, _, err := ref.Repartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pRef.Assign {
+		if pIf.Assign[i] != pRef.Assign[i] {
+			t.Fatalf("threshold-triggered step diverged from unconditional step at point %d", i)
+		}
+	}
+}
+
+// TestSessionDeltaCoalescing pins the lazy delta application: any
+// number of UpdateWeights/UpdateCoords calls between two steps must
+// behave exactly like the last one applied eagerly — including a
+// coordinate delta that sat pending across a skipped
+// RepartitionIfAbove.
+func TestSessionDeltaCoalescing(t *testing.T) {
+	m := sessionTestMesh(t, 1500)
+	const k, p = 8, 4
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	ps0 := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: testWeights(m, 0)}
+	sess, err := NewSession(mpi.NewWorld(p), ps0.Clone(), k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	initial, err := sess.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three queued weight updates and two queued coordinate updates; only
+	// the last of each may matter.
+	moved := append([]float64(nil), m.Points.Coords...)
+	for i := range moved {
+		moved[i] += 0.01 * math.Sin(float64(i))
+	}
+	for _, wt := range [][]float64{testWeights(m, 1), testWeights(m, 2), testWeights(m, 3)} {
+		if err := sess.UpdateWeights(wt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.UpdateCoords(m.Points.Coords); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.UpdateCoords(moved); err != nil {
+		t.Fatal(err)
+	}
+	// A skipped threshold step must not lose the pending deltas.
+	if _, _, acted, err := sess.RepartitionIfAbove(1e9); err != nil || acted {
+		t.Fatalf("expected skip, got acted=%v err=%v", acted, err)
+	}
+	pSess, _, err := sess.Repartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	psRef := &geom.PointSet{Dim: m.Points.Dim, Coords: moved, Weight: testWeights(m, 3)}
+	pOne, _, err := Repartition(mpi.NewWorld(p), psRef, initial.Assign, k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pOne.Assign {
+		if pSess.Assign[i] != pOne.Assign[i] {
+			t.Fatalf("coalesced deltas diverged from eager application at point %d", i)
+		}
+	}
+}
+
 // TestSessionScratchResetExact pins the resident-state reset: running
 // the same warm step (same previous assignment, same weights) over and
 // over on one session must reproduce a bit-identical partition every

@@ -101,12 +101,44 @@ func (s *Session) Repartition() (RepartResult, error) {
 	if err != nil {
 		return RepartResult{}, err
 	}
-	return RepartResult{
-		Blocks:         p.Assign,
-		MigratedWeight: stats.MigratedWeight,
-		MigratedPoints: stats.MigratedPoints,
-		TotalWeight:    stats.TotalWeight,
-	}, nil
+	return fromStats(p.Assign, stats), nil
+}
+
+// RepartitionIfAbove repartitions only when it pays: it measures the
+// imbalance of the session's current partition under the current
+// weights — coalescing any pending UpdateWeights/UpdateCoords deltas
+// costs nothing until a step actually runs — and performs a warm
+// repartitioning step only when that imbalance exceeds eps, the
+// threshold trigger of the paper's dynamic simulations ("repartition
+// when the imbalance exceeds a threshold"). The boolean reports whether
+// a step ran: when false, the previous partition is still current and
+// the result carries only PreImbalance (the measured imbalance, set on
+// both paths), no new assignment. eps must be non-negative; eps 0
+// repartitions on any measurable imbalance.
+func (s *Session) RepartitionIfAbove(eps float64) (RepartResult, bool, error) {
+	if s.closed {
+		return RepartResult{}, false, errSessionClosed
+	}
+	p, stats, acted, err := s.inner.RepartitionIfAbove(eps)
+	if err != nil {
+		return RepartResult{}, false, err
+	}
+	if !acted {
+		return RepartResult{PreImbalance: stats.PreImbalance}, false, nil
+	}
+	return fromStats(p.Assign, stats), true, nil
+}
+
+// Imbalance measures the imbalance of the session's current partition
+// under the current weights and target fractions (max_b
+// weight(b)/target(b) − 1) without running the partitioner — the
+// quantity RepartitionIfAbove tests against its threshold. Errors when
+// no partition has been computed or installed yet.
+func (s *Session) Imbalance() (float64, error) {
+	if s.closed {
+		return 0, errSessionClosed
+	}
+	return s.inner.Imbalance()
 }
 
 // SetPartition installs blocks (one block id in [0, K) per point) as

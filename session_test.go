@@ -190,3 +190,88 @@ func TestSessionSetPartition(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionRepartitionIfAbove covers the facade threshold trigger:
+// skip below eps, act above it, and surface the incremental
+// observability fields on warm steps.
+func TestSessionRepartitionIfAbove(t *testing.T) {
+	m, err := geographer.GenerateMesh(geographer.MeshClimate, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := geographer.Options{K: 8, Processes: 4}
+	s, err := geographer.NewSession(m.Coords, m.Dim, m.Weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Partition(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := s.RepartitionIfAbove(-1); err == nil {
+		t.Error("negative eps accepted")
+	}
+
+	// Fresh partition meets epsilon: a loose threshold skips, but still
+	// reports the measured imbalance.
+	res0, acted, err := s.RepartitionIfAbove(0.5)
+	if err != nil || acted || res0.Blocks != nil {
+		t.Fatalf("expected skip, got acted=%v res=%+v err=%v", acted, res0, err)
+	}
+	imb, err := s.Imbalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.PreImbalance != imb || imb <= 0 {
+		t.Errorf("skip path PreImbalance %g, Imbalance() %g; want equal and > 0", res0.PreImbalance, imb)
+	}
+
+	// Heavy corner: the trigger fires and the result carries the
+	// incremental counters.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for i := 0; i < m.N(); i++ {
+		x := m.Coords[i*m.Dim]
+		xmin = math.Min(xmin, x)
+		xmax = math.Max(xmax, x)
+	}
+	skew := make([]float64, m.N())
+	for i := range skew {
+		skew[i] = 1
+		if m.Coords[i*m.Dim] < xmin+(xmax-xmin)/4 {
+			skew[i] = 25
+		}
+	}
+	if err := s.UpdateWeights(skew); err != nil {
+		t.Fatal(err)
+	}
+	res, acted, err := s.RepartitionIfAbove(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acted {
+		t.Fatal("did not repartition under heavily skewed weights")
+	}
+	if len(res.Blocks) != m.N() {
+		t.Fatalf("result holds %d blocks for %d points", len(res.Blocks), m.N())
+	}
+	if res.DistCalcs <= 0 || res.HamerlySkips <= 0 {
+		t.Errorf("missing incremental counters: %+v", res)
+	}
+	if res.BoundaryFrac <= 0 || res.BoundaryFrac > 1 {
+		t.Errorf("boundary fraction %g outside (0, 1]", res.BoundaryFrac)
+	}
+
+	// A second warm step right after must take the incremental fast
+	// path and say so.
+	res2, err := s.Repartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Incremental {
+		t.Error("second consecutive warm step did not report the incremental fast path")
+	}
+	if res2.BoundaryFrac >= 1 {
+		t.Errorf("incremental step examined the full set (boundary fraction %g)", res2.BoundaryFrac)
+	}
+}
