@@ -25,11 +25,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|all")
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|all")
 		scale   = flag.String("scale", "default", "default|quick")
 		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
 		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
 		csvDir  = flag.String("csv", "", "also dump raw results as CSV files into this directory")
+		bench   = flag.String("bench", "", "write the soak report as JSON to this path (BENCH_soak.json convention)")
 	)
 	flag.Parse()
 
@@ -169,6 +170,28 @@ func main() {
 	if all || *exp == "ablation" {
 		any = true
 		run("ablation", func() error { _, err := experiments.Ablation(os.Stdout, sc); return err })
+	}
+	// The soak is opt-in only ("-exp all" regenerates the paper's
+	// tables/figures; the soak is a runtime stress, not a paper
+	// artifact, and takes much longer at default scale).
+	if *exp == "soak" {
+		any = true
+		run("soak", func() error {
+			rep, err := experiments.Soak(os.Stdout, sc)
+			if err != nil || *bench == "" {
+				return err
+			}
+			f, err := os.Create(*bench)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteSoakJSON(f, rep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *bench)
+			return nil
+		})
 	}
 	if !any {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// warmStepAllocs measures the per-step heap allocations of a
+// steady-state warm session: resident columns ingested once, weights
+// updated in place, PartitionResident called repeatedly. Two warm-up
+// steps first grow every reusable buffer (and seed the carried bounds),
+// so the measured step is the shape the soak experiment runs millions
+// of points through.
+func warmStepAllocs(t *testing.T, n int) float64 {
+	t.Helper()
+	const k, p = 8, 4
+	ps := uniformPoints(n, 2, 23)
+	prev, _ := runPartition(t, ps, k, p, DefaultConfig())
+	w := mpi.NewWorld(p)
+	res := make([]*Resident, p)
+	if err := w.Run(func(c *mpi.Comm) {
+		res[c.Rank()] = Ingest(c, partition.Scatter(c, ps))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two alternating weight states keep every step a real warm run
+	// instead of a converged no-op; out is reused across steps.
+	wA := make([]float64, n)
+	wB := make([]float64, n)
+	for i := range wA {
+		wA[i] = 1 + 0.3*math.Sin(float64(i)*0.37)
+		wB[i] = 1 + 0.3*math.Sin(float64(i)*0.37+1)
+	}
+	assign := append([]int32(nil), prev.Assign...)
+	out := make([]int32, n)
+	step := 0
+	body := func() {
+		wt := wA
+		if step%2 == 1 {
+			wt = wB
+		}
+		step++
+		cfg := DefaultConfig()
+		cfg.WarmCenters = warmCentersFrom(ps, assign, k)
+		bkm := New(cfg)
+		for _, r := range res {
+			r.SetWeightsGlobal(wt)
+		}
+		if err := w.Run(func(c *mpi.Comm) {
+			ids, blocks, err := bkm.PartitionResident(c, res[c.Rank()], k)
+			if err != nil {
+				panic(err)
+			}
+			for i, id := range ids {
+				out[id] = blocks[i]
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		copy(assign, out)
+	}
+	body()
+	body()
+	return testing.AllocsPerRun(5, body)
+}
+
+// TestWarmStepAllocsIndependentOfN pins the resident warm path's memory
+// contract at the step level: after warm-up, a step's heap allocations
+// must not scale with the point count. What remains per step is
+// n-independent — the world's p goroutines, the warm-center recovery
+// (k-sized), and the exact-decode scratch (k·(dim+2) sums per round) —
+// so an 8× larger point set must not cost meaningfully more allocations.
+// A per-point or per-collective leak anywhere on the warm path (kernel
+// scratch, exact banks, collective deposits) fails the ratio check.
+func TestWarmStepAllocsIndependentOfN(t *testing.T) {
+	small := warmStepAllocs(t, 3000)
+	big := warmStepAllocs(t, 24000)
+	t.Logf("warm step allocs: n=3000 → %.0f, n=24000 → %.0f", small, big)
+	if big > 3*small+512 {
+		t.Errorf("warm step allocations scale with n: %.0f at n=3000 vs %.0f at n=24000", small, big)
+	}
+}
+
+// TestResidentWarmStepReusesOutputBuffers double-checks the documented
+// PartitionResident contract that the returned slices are the state's
+// reused buffers, not fresh per-call allocations.
+func TestResidentWarmStepReusesOutputBuffers(t *testing.T) {
+	const n, k, p = 1000, 4, 2
+	ps := uniformPoints(n, 2, 29)
+	prev, _ := runPartition(t, ps, k, p, DefaultConfig())
+	w := mpi.NewWorld(p)
+	res := make([]*Resident, p)
+	if err := w.Run(func(c *mpi.Comm) {
+		res[c.Rank()] = Ingest(c, partition.Scatter(c, ps))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.WarmCenters = warmCentersFrom(ps, prev.Assign, k)
+	bkm := New(cfg)
+	ptr := make([]*int32, p)
+	for round := 0; round < 2; round++ {
+		if err := w.Run(func(c *mpi.Comm) {
+			_, blocks, err := bkm.PartitionResident(c, res[c.Rank()], k)
+			if err != nil {
+				panic(err)
+			}
+			if round == 0 {
+				ptr[c.Rank()] = &blocks[0]
+			} else if ptr[c.Rank()] != &blocks[0] {
+				panic("warm step reallocated its output buffer")
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

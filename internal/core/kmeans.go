@@ -109,11 +109,22 @@ type state struct {
 	// taken through order-independent exact accumulators so the output
 	// does not depend on how points are grouped into ranks or kernel
 	// chunks (see DESIGN.md, "Repartitioning invariants").
-	warm      bool
-	totalW    float64     // exact global point weight
-	exactW    []exact.Sum // per-block weight accumulators, len k
-	exactC    []exact.Sum // center accumulators, len k·(dim+1)
-	exactWire []int64     // encode/reduce buffer for the larger of the two
+	warm   bool
+	totalW float64 // exact global point weight
+	// The accumulator banks are limb-major (exact.RowSums): their
+	// backing arrays double as the reduction wire, and only the touched
+	// exponent-row window rides the collective (mpi.AllreduceSumSparse),
+	// which is what keeps per-rank exact scratch and per-round collective
+	// bytes flat as k and p grow (DESIGN.md, "Scaling invariants").
+	exactW   *exact.RowSums // per-block weight accumulators, k sums
+	exactC   *exact.RowSums // center accumulators, k·(dim+1) sums
+	exactTot *exact.RowSums // global weight accumulator, 1 sum
+
+	// Small reusable collective buffers of the steady-state path: the
+	// diagnostics counter reduction of finish and the fused bounding-box
+	// fold (mins and negated maxs in one vector, see reduceBox).
+	ctrBuf []int64
+	boxBuf []float64
 
 	// Cross-run bound carrying (cfg.Incremental, warm resident path; see
 	// warm.go and DESIGN.md, "Incremental bound invariants"). The stored
@@ -269,8 +280,10 @@ func (b *BalancedKMeans) finish(st *state) ([]int64, []int32, error) {
 	if !st.info.CarriedBounds {
 		st.info.BoundaryPoints = int64(st.X.Len())
 	}
-	counters := mpi.AllreduceSum(st.c, []int64{st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks,
-		st.info.Visits, st.info.BoundaryPoints, boolTo64(st.info.CarriedBounds)})
+	counters := st.ctrBuf
+	counters[0], counters[1], counters[2] = st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks
+	counters[3], counters[4], counters[5] = st.info.Visits, st.info.BoundaryPoints, boolTo64(st.info.CarriedBounds)
+	mpi.AllreduceSumInto(st.c, counters, counters)
 	st.info.DistCalcs, st.info.HamerlySkips, st.info.BBoxBreaks = counters[0], counters[1], counters[2]
 	st.info.Visits, st.info.BoundaryPoints = counters[3], counters[4]
 	// The incremental fast path "was taken" only if every rank reused
@@ -290,40 +303,48 @@ func (b *BalancedKMeans) finish(st *state) ([]int64, []int32, error) {
 
 // globalBounds computes the bounding box of the distributed point set.
 func globalBounds(c *mpi.Comm, pts *partition.Local) geom.Box {
-	mins, maxs := localBoundsInit(pts.Dim)
+	buf := localBoundsInit(nil, pts.Dim)
 	for _, x := range pts.X {
-		for d := 0; d < pts.Dim; d++ {
-			mins[d] = math.Min(mins[d], x[d])
-			maxs[d] = math.Max(maxs[d], x[d])
-		}
+		foldBounds(buf, x, pts.Dim)
 	}
-	return reduceBox(c, pts.Dim, mins, maxs)
+	return reduceBox(c, pts.Dim, buf)
 }
 
-// localBoundsInit allocates per-dimension fold identities for a
-// min/max bounds pass.
-func localBoundsInit(dim int) (mins, maxs []float64) {
-	mins = make([]float64, dim)
-	maxs = make([]float64, dim)
-	for d := 0; d < dim; d++ {
-		mins[d] = math.Inf(1)
-		maxs[d] = math.Inf(-1)
+// localBoundsInit prepares the fold buffer of a bounds pass: dim mins
+// followed by dim *negated* maxs, all starting at +Inf, so the whole box
+// reduces with a single AllreduceMin (max x = -min(-x), including the
+// IEEE zero-sign tie-breaks). Reuses buf when it is large enough —
+// the resident path passes a persistent buffer and stays allocation-free.
+func localBoundsInit(buf []float64, dim int) []float64 {
+	if cap(buf) < 2*dim {
+		buf = make([]float64, 2*dim)
 	}
-	return mins, maxs
+	buf = buf[:2*dim]
+	for d := range buf {
+		buf[d] = math.Inf(1)
+	}
+	return buf
+}
+
+// foldBounds folds one point into a localBoundsInit buffer.
+func foldBounds(buf []float64, x geom.Point, dim int) {
+	for d := 0; d < dim; d++ {
+		buf[d] = math.Min(buf[d], x[d])
+		buf[dim+d] = math.Min(buf[dim+d], -x[d])
+	}
 }
 
 // reduceBox is the collective half of a global bounding-box
 // computation, shared by globalBounds and Resident.RecomputeBounds so
 // the two can never drift apart (bit-identical boxes are part of the
-// session invariants): min/max Allreduce over the local per-dimension
-// bounds, packed into a Box.
-func reduceBox(c *mpi.Comm, dim int, mins, maxs []float64) geom.Box {
-	mins = mpi.AllreduceMin(c, mins)
-	maxs = mpi.AllreduceMax(c, maxs)
+// session invariants): one element-wise min Allreduce over the packed
+// mins/negated-maxs buffer (in place), unpacked into a Box.
+func reduceBox(c *mpi.Comm, dim int, buf []float64) geom.Box {
+	mpi.AllreduceMinInto(c, buf, buf)
 	box := geom.Box{Dim: dim}
 	for d := 0; d < dim; d++ {
-		box.Min[d] = mins[d]
-		box.Max[d] = maxs[d]
+		box.Min[d] = buf[d]
+		box.Max[d] = -buf[dim+d]
 	}
 	return box
 }
@@ -355,6 +376,11 @@ const maxKernelShards = geom.MaxKernelChunks
 // sortedPoints[i·n/k + n/2k]), or straight from cfg.WarmCenters on the
 // warm-start path — and computes per-block target weights.
 func (st *state) initCentersAndTargets() error {
+	// Scratch first: every reduction below can then run through the
+	// persistent buffers, so a steady-state warm call allocates nothing.
+	st.trackRaw = st.warm && st.cfg.Incremental && st.cfg.Bounds == BoundsHamerly
+	st.ensureScratch()
+
 	n := mpi.ReduceScalarSum(st.c, int64(st.X.Len()))
 	if n == 0 {
 		return fmt.Errorf("core: empty global point set")
@@ -367,13 +393,14 @@ func (st *state) initCentersAndTargets() error {
 		// Exact global weight: the reduction is over integer limbs, so
 		// the value (and everything derived from it — targets, the
 		// balance scale) is independent of the rank layout.
-		var acc exact.Sum
+		st.exactTot.Reset()
 		for _, w := range st.W {
-			acc.Add(w)
+			st.exactTot.Add(0, w)
 		}
-		wire := make([]int64, exact.WireLen)
-		acc.EncodeTo(wire)
-		totalW = exact.DecodeFloat64(mpi.AllreduceSum(st.c, wire))
+		off, seg := st.exactTot.Wire()
+		lo, ln := mpi.AllreduceSumSparse(st.c, exact.WireLen, off, seg, st.exactTot.Backing())
+		st.exactTot.SetWindow(lo, ln)
+		totalW = st.exactTot.Float64(0)
 		st.totalW = totalW
 	} else {
 		start := mpi.ExscanSum(st.c, int64(st.X.Len()))
@@ -423,8 +450,6 @@ func (st *state) initCentersAndTargets() error {
 	}
 	st.targets = targets
 
-	st.trackRaw = st.warm && st.cfg.Incremental && st.cfg.Bounds == BoundsHamerly
-	st.ensureScratch()
 	if st.carryOK() {
 		st.prepareCarried()
 	} else {
@@ -491,15 +516,21 @@ func (st *state) ensureScratch() {
 		}
 	}
 	st.workers = resolveWorkers(st.cfg, st.c.Size())
+	if len(st.ctrBuf) != 6 {
+		st.ctrBuf = make([]int64, 6)
+	}
+	if len(st.boxBuf) != 2*st.dim {
+		st.boxBuf = make([]float64, 2*st.dim)
+	}
 	if st.warm {
-		if len(st.exactW) != st.k {
-			st.exactW = make([]exact.Sum, st.k)
+		if st.exactW == nil || st.exactW.Len() != st.k {
+			st.exactW = exact.NewRowSums(st.k)
 		}
-		if len(st.exactC) != st.k*(st.dim+1) {
-			st.exactC = make([]exact.Sum, st.k*(st.dim+1))
+		if st.exactC == nil || st.exactC.Len() != st.k*(st.dim+1) {
+			st.exactC = exact.NewRowSums(st.k * (st.dim + 1))
 		}
-		if len(st.exactWire) != len(st.exactC)*exact.WireLen {
-			st.exactWire = make([]int64, len(st.exactC)*exact.WireLen)
+		if st.exactTot == nil {
+			st.exactTot = exact.NewRowSums(1)
 		}
 	}
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"geographer/internal/geom"
@@ -114,16 +113,14 @@ func (r *Resident) SetCoordsGlobal(coords []float64) {
 // the one-shot warm path computes, regardless of the rank layout.
 func (r *Resident) RecomputeBounds(c *mpi.Comm) {
 	st := &r.st
-	mins, maxs := localBoundsInit(r.dim)
+	// Reuses the state's persistent fold buffer when a partition call
+	// has sized it (before the first call it is grown here, once).
+	st.boxBuf = localBoundsInit(st.boxBuf, r.dim)
 	n := st.X.Len()
 	for i := 0; i < n; i++ {
-		p := st.X.At(i)
-		for d := 0; d < r.dim; d++ {
-			mins[d] = math.Min(mins[d], p[d])
-			maxs[d] = math.Max(maxs[d], p[d])
-		}
+		foldBounds(st.boxBuf, st.X.At(i), r.dim)
 	}
-	r.box = reduceBox(c, r.dim, mins, maxs)
+	r.box = reduceBox(c, r.dim, st.boxBuf)
 }
 
 // PartitionResident is Partition for resident state: the warm-start

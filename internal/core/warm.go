@@ -182,30 +182,30 @@ func (st *state) recordCarry() {
 }
 
 // exactBlockWeights returns the global per-block sample weights of the
-// current assignment through the exact accumulators: one O(n) local
-// pass in index order, one integer AllreduceSum (keeping the balance
-// routine at a single collective per round), one rounding per block at
-// the end. Any grouping of points into ranks or chunks produces the
-// same limbs, hence the same float64 weights everywhere. The kernel's
-// chunk-merged st.localW partials are ignored on this path — their
-// summation order depends on the rank layout.
+// current assignment through the exact accumulator bank: one O(n) local
+// pass in index order, one windowed integer reduction (keeping the
+// balance routine at a single collective per round), one rounding per
+// block at the end. Any grouping of points into ranks or chunks
+// produces the same limbs, hence the same float64 weights everywhere.
+// The bank's backing array is the wire — no encode copies — and only
+// the touched exponent-row window is exchanged and folded, in place, so
+// the per-round collective allocates nothing and moves ~10× fewer bytes
+// than a dense k·WireLen reduction. The kernel's chunk-merged st.localW
+// partials are ignored on this path — their summation order depends on
+// the rank layout.
 func (st *state) exactBlockWeights() []float64 {
-	for b := range st.exactW {
-		st.exactW[b].Reset()
-	}
+	st.exactW.Reset()
 	for i, a := range st.A {
 		if a >= 0 {
-			st.exactW[a].Add(st.W[i])
+			st.exactW.Add(int(a), st.W[i])
 		}
 	}
-	wire := st.exactWire[:st.k*exact.WireLen]
-	for b := 0; b < st.k; b++ {
-		st.exactW[b].EncodeTo(wire[b*exact.WireLen:])
-	}
-	wire = mpi.AllreduceSum(st.c, wire)
+	off, seg := st.exactW.Wire()
+	lo, ln := mpi.AllreduceSumSparse(st.c, exact.WireLen*st.k, off, seg, st.exactW.Backing())
+	st.exactW.SetWindow(lo, ln)
 	out := st.localW[:st.k]
 	for b := range out {
-		out[b] = exact.DecodeFloat64(wire[b*exact.WireLen:])
+		out[b] = st.exactW.Float64(b)
 	}
 	return out
 }
@@ -218,9 +218,7 @@ func (st *state) exactBlockWeights() []float64 {
 // neutralized.
 func (st *state) computeCentersExact(out []geom.Point) bool {
 	stride := st.dim + 1
-	for i := range st.exactC {
-		st.exactC[i].Reset()
-	}
+	st.exactC.Reset()
 	px, py, pz := st.X.X, st.X.Y, st.X.Z
 	for i, a := range st.A {
 		if a < 0 {
@@ -228,27 +226,26 @@ func (st *state) computeCentersExact(out []geom.Point) bool {
 		}
 		base := int(a) * stride
 		w := st.W[i]
-		st.exactC[base].Add(w * px[i])
+		st.exactC.Add(base, w*px[i])
 		if st.dim >= 2 {
-			st.exactC[base+1].Add(w * py[i])
+			st.exactC.Add(base+1, w*py[i])
 		}
 		if st.dim >= 3 {
-			st.exactC[base+2].Add(w * pz[i])
+			st.exactC.Add(base+2, w*pz[i])
 		}
-		st.exactC[base+st.dim].Add(w)
+		st.exactC.Add(base+st.dim, w)
 	}
 	st.c.AddOps(int64(st.X.Len()))
 
-	wire := st.exactWire[:len(st.exactC)*exact.WireLen]
-	for i := range st.exactC {
-		st.exactC[i].EncodeTo(wire[i*exact.WireLen:])
-	}
-	wire = mpi.AllreduceSum(st.c, wire)
+	m := st.k * stride
+	off, seg := st.exactC.Wire()
+	lo, ln := mpi.AllreduceSumSparse(st.c, exact.WireLen*m, off, seg, st.exactC.Backing())
+	st.exactC.SetWindow(lo, ln)
 
 	any := false
 	for b := 0; b < st.k; b++ {
 		base := b * stride
-		w := exact.DecodeFloat64(wire[(base+st.dim)*exact.WireLen:])
+		w := st.exactC.Float64(base + st.dim)
 		if w <= 0 {
 			out[b] = st.centers[b]
 			continue
@@ -256,7 +253,7 @@ func (st *state) computeCentersExact(out []geom.Point) bool {
 		any = true
 		var p geom.Point
 		for d := 0; d < st.dim; d++ {
-			p[d] = exact.DecodeFloat64(wire[(base+d)*exact.WireLen:]) / w
+			p[d] = st.exactC.Float64(base+d) / w
 		}
 		out[b] = p
 	}

@@ -1,0 +1,153 @@
+package exact
+
+import "math"
+
+// RowSums is a bank of m superaccumulators stored limb-major: row l
+// holds limb l of every sum, i.e. backing[l*m+j] is limb l of sum j,
+// and the last three rows hold the nan/posInf/negInf counters. It is
+// semantically identical to m parallel Sum values — integer limb
+// addition is associative, so any Add order and any merge grouping
+// yield the same limbs — but shaped for the warm repartition path:
+//
+//   - The backing array IS the wire format: element-wise int64 summation
+//     of two banks merges them, exactly like Sum's EncodeTo wire, with
+//     no per-round encode/decode copies and no second wire buffer.
+//
+//   - Real inputs cluster in a narrow exponent range, so Adds touch a
+//     handful of the 66 limb rows. The bank tracks the touched-row
+//     window [Lo, Hi) and exchanges only rows[Lo*m : Hi*m] through
+//     mpi.AllreduceSumSparse — ~10× less fold work and traffic than a
+//     dense k·WireLen reduction, still bit-identical.
+//
+// The invariant behind the window: rows outside [lo, hi) are all-zero.
+// Add grows the window over rows it touches; Reset clears only the
+// window; a sparse reduction whose result window is a superset (the
+// union over ranks) writes global values into rows that were zero here,
+// preserving the invariant when the window widens to the union.
+//
+// The zero-extended bank of m sums takes WireLen·m int64 — for k=256
+// that is ~138 KB versus ~430 KB for 256 Sum values plus their wire
+// buffer, which is what bounds per-rank scratch at p=4096 (DESIGN.md,
+// "Scaling invariants").
+type RowSums struct {
+	m      int
+	rows   []int64
+	lo, hi int // touched-row window, in rows
+}
+
+// NewRowSums returns a bank of m empty sums.
+func NewRowSums(m int) *RowSums {
+	return &RowSums{m: m, rows: make([]int64, WireLen*m), lo: WireLen}
+}
+
+// Len returns the number of sums in the bank.
+func (rs *RowSums) Len() int { return rs.m }
+
+// Reset empties every sum. Only the touched window is cleared, so a
+// bank whose inputs span few exponent rows resets in O(window·m).
+func (rs *RowSums) Reset() {
+	if rs.hi > rs.lo {
+		clear(rs.rows[rs.lo*rs.m : rs.hi*rs.m])
+	}
+	rs.lo, rs.hi = WireLen, 0
+}
+
+// Add accumulates v into sum j exactly. Same bit path as Sum.Add.
+func (rs *RowSums) Add(j int, v float64) {
+	m := rs.m
+	bits := math.Float64bits(v)
+	exp := int((bits >> 52) & 0x7ff)
+	frac := bits & (1<<52 - 1)
+	if exp == 0x7ff {
+		var row int
+		switch {
+		case frac != 0:
+			row = numLimbs
+		case bits>>63 == 0:
+			row = numLimbs + 1
+		default:
+			row = numLimbs + 2
+		}
+		rs.rows[row*m+j]++
+		rs.grow(row, row+1)
+		return
+	}
+	if exp == 0 && frac == 0 {
+		return // ±0 contributes nothing
+	}
+	mant := frac
+	e := minExp
+	if exp != 0 {
+		mant |= 1 << 52
+		e = exp - 1075
+	}
+	p := e - minExp
+	li := p >> 5
+	sh := uint(p & 31)
+	w := mant << sh
+	lo := int64(w & 0xffffffff)
+	mid := int64(w >> 32)
+	hi := int64(mant >> (64 - sh)) // 0 when sh == 0 (Go shifts never wrap)
+	if bits>>63 != 0 {
+		lo, mid, hi = -lo, -mid, -hi
+	}
+	rs.rows[li*m+j] += lo
+	rs.rows[(li+1)*m+j] += mid
+	rs.rows[(li+2)*m+j] += hi
+	rs.grow(li, li+3)
+}
+
+func (rs *RowSums) grow(lo, hi int) {
+	if lo < rs.lo {
+		rs.lo = lo
+	}
+	if hi > rs.hi {
+		rs.hi = hi
+	}
+}
+
+// Wire exposes the touched window as an offset and segment of the flat
+// wire vector of conceptual length WireLen·m, ready for
+// mpi.AllreduceSumSparse(c, WireLen·m, off, seg, rs.Backing()). The
+// segment aliases the bank — summing into it merges banks.
+func (rs *RowSums) Wire() (off int, seg []int64) {
+	if rs.hi <= rs.lo {
+		return 0, nil
+	}
+	return rs.lo * rs.m, rs.rows[rs.lo*rs.m : rs.hi*rs.m]
+}
+
+// Backing returns the full wire vector (length WireLen·m) for use as
+// the in-place output of a sparse reduction.
+func (rs *RowSums) Backing() []int64 { return rs.rows }
+
+// SetWindow records that rows now holds valid (and outside, zero) data
+// for the flat window [off, off+n) — the result window of a sparse
+// reduction. off and n must be multiples of m, as produced by reducing
+// Wire segments.
+func (rs *RowSums) SetWindow(off, n int) {
+	if n == 0 {
+		rs.lo, rs.hi = WireLen, 0
+		return
+	}
+	if off%rs.m != 0 || n%rs.m != 0 {
+		panic("exact: RowSums window not row-aligned")
+	}
+	rs.lo, rs.hi = off/rs.m, (off+n)/rs.m
+}
+
+// Float64 returns the exactly-rounded value of sum j.
+func (rs *RowSums) Float64(j int) float64 {
+	m := rs.m
+	var limbs [numLimbs]int64
+	for l := rs.lo; l < rs.hi && l < numLimbs; l++ {
+		limbs[l] = rs.rows[l*m+j]
+	}
+	var nan, posInf, negInf int64
+	if rs.hi > numLimbs {
+		nan = rs.rows[numLimbs*m+j]
+		posInf = rs.rows[(numLimbs+1)*m+j]
+		negInf = rs.rows[(numLimbs+2)*m+j]
+	}
+	return decode(limbs[:], nan, posInf, negInf)
+}

@@ -1,0 +1,127 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// RowSums must agree bit-for-bit with a bank of Sum accumulators on any
+// input mix, including subnormals, huge magnitudes, and non-finites.
+func TestRowSumsMatchesSum(t *testing.T) {
+	const m = 7
+	rng := rand.New(rand.NewSource(42))
+	rs := NewRowSums(m)
+	ref := make([]Sum, m)
+	for i := 0; i < 5000; i++ {
+		j := rng.Intn(m)
+		var v float64
+		switch rng.Intn(10) {
+		case 0:
+			v = math.Ldexp(rng.Float64()-0.5, rng.Intn(600)-300)
+		case 1:
+			v = math.Ldexp(rng.Float64(), -1070-rng.Intn(5)) // subnormal range
+		case 2:
+			v = 0
+		default:
+			v = (rng.Float64() - 0.5) * 1e6
+		}
+		rs.Add(j, v)
+		ref[j].Add(v)
+	}
+	for j := 0; j < m; j++ {
+		got, want := rs.Float64(j), ref[j].Float64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("sum %d: RowSums %x != Sum %x", j, got, want)
+		}
+	}
+}
+
+func TestRowSumsNonFinite(t *testing.T) {
+	rs := NewRowSums(3)
+	rs.Add(0, math.Inf(1))
+	rs.Add(0, 1)
+	rs.Add(1, math.Inf(-1))
+	rs.Add(2, math.NaN())
+	if v := rs.Float64(0); !math.IsInf(v, 1) {
+		t.Errorf("sum 0 = %g, want +Inf", v)
+	}
+	if v := rs.Float64(1); !math.IsInf(v, -1) {
+		t.Errorf("sum 1 = %g, want -Inf", v)
+	}
+	if v := rs.Float64(2); !math.IsNaN(v) {
+		t.Errorf("sum 2 = %g, want NaN", v)
+	}
+}
+
+// The wire window must cover exactly the touched rows, and element-wise
+// summation of two banks' windows must merge them, matching Sum.Merge.
+func TestRowSumsWireMerge(t *testing.T) {
+	const m = 4
+	a, b := NewRowSums(m), NewRowSums(m)
+	refA, refB := make([]Sum, m), make([]Sum, m)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		j := rng.Intn(m)
+		va := (rng.Float64() - 0.5) * 1e3
+		vb := math.Ldexp(rng.Float64()-0.5, rng.Intn(100)-50)
+		a.Add(j, va)
+		refA[j].Add(va)
+		b.Add(j, vb)
+		refB[j].Add(vb)
+	}
+	// Merge b into a through the flat wire: union window, element-wise add.
+	offA, segA := a.Wire()
+	offB, segB := b.Wire()
+	lo := min(offA, offB)
+	hi := max(offA+len(segA), offB+len(segB))
+	back := a.Backing()
+	for i, v := range segB {
+		back[offB+i] += v
+	}
+	_ = offA
+	a.SetWindow(lo, hi-lo)
+	for j := 0; j < m; j++ {
+		refA[j].Merge(&refB[j])
+		got, want := a.Float64(j), refA[j].Float64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("merged sum %d: %x != %x", j, got, want)
+		}
+	}
+	_ = segA
+}
+
+// Typical k-means data (weights near 1, coordinates in a unit box)
+// must touch only a few rows, and Reset must restore the empty state.
+func TestRowSumsWindowNarrowAndReset(t *testing.T) {
+	const m = 8
+	rs := NewRowSums(m)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		rs.Add(rng.Intn(m), rng.Float64())
+	}
+	_, seg := rs.Wire()
+	if rows := len(seg) / m; rows > 4 {
+		t.Errorf("unit-box inputs touched %d rows; expected a narrow window", rows)
+	}
+	rs.Reset()
+	if off, seg := rs.Wire(); off != 0 || seg != nil {
+		t.Errorf("Reset left window (%d, %d)", off, len(seg))
+	}
+	for _, v := range rs.Backing() {
+		if v != 0 {
+			t.Fatal("Reset left nonzero backing")
+		}
+	}
+	for j := 0; j < m; j++ {
+		if rs.Float64(j) != 0 {
+			t.Errorf("sum %d nonzero after Reset", j)
+		}
+	}
+	// Reuse after Reset behaves like a fresh bank.
+	rs.Add(2, 1.5)
+	rs.Add(2, 2.5)
+	if got := rs.Float64(2); got != 4 {
+		t.Errorf("reused sum = %g, want 4", got)
+	}
+}

@@ -116,6 +116,15 @@ type Scale struct {
 	Fig1N      int // Figure 1 rendering size
 	SpMVIters  int // SpMV averaging iterations (paper: 100)
 	Repeats    int // repetitions per measurement (paper: 5)
+
+	// Soak grid (runexp -exp soak): streaming sessions at up to SoakN
+	// points over up to SoakMaxP simulated ranks with SoakK/SoakMaxK
+	// blocks, SoakSteps warm repartition steps per cell.
+	SoakN     int
+	SoakK     int
+	SoakMaxK  int
+	SoakMaxP  int
+	SoakSteps int
 }
 
 // DefaultScale is used by cmd/runexp.
@@ -132,6 +141,11 @@ func DefaultScale() Scale {
 		Fig1N:      12000,
 		SpMVIters:  20,
 		Repeats:    1,
+		SoakN:      2_000_000,
+		SoakK:      256,
+		SoakMaxK:   512,
+		SoakMaxP:   4096,
+		SoakSteps:  3,
 	}
 }
 
@@ -149,6 +163,11 @@ func QuickScale() Scale {
 		Fig1N:      2000,
 		SpMVIters:  3,
 		Repeats:    1,
+		SoakN:      50000,
+		SoakK:      16,
+		SoakMaxK:   32,
+		SoakMaxP:   64,
+		SoakSteps:  2,
 	}
 }
 

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/repart"
+)
+
+// SoakConfig is one cell of the soak grid: a streaming repartitioning
+// session of Steps warm steps at paper-scale point and rank counts.
+type SoakConfig struct {
+	N     int `json:"n"`
+	Dim   int `json:"dim"`
+	K     int `json:"k"`
+	P     int `json:"p"`
+	Steps int `json:"steps"`
+}
+
+// SoakCell is the measurement of one soak cell. The deterministic
+// fields (Collectives, CollectiveBytes, Barriers, DistCalcs,
+// ModeledCommSec, Imbalance) are exact functions of the cell config and
+// must reproduce bit-for-bit run to run — tools/benchdiff fails on
+// regressions there. Wall time, RSS, and allocation counters are
+// machine-dependent and compared warn-only.
+type SoakCell struct {
+	SoakConfig
+
+	WallSec     float64 `json:"wall_sec"`   // whole cell: ingest + all steps
+	IngestSec   float64 `json:"ingest_sec"` // NewSession (scatter + resident build)
+	StepSecMean float64 `json:"step_sec_mean"`
+
+	PeakRSSMB       float64 `json:"peak_rss_mb"`       // process VmHWM after the cell (cumulative)
+	MallocsPerStep  float64 `json:"mallocs_per_step"`  // runtime.MemStats Mallocs delta / steps
+	AllocMBPerStep  float64 `json:"alloc_mb_per_step"` // runtime.MemStats TotalAlloc delta / steps
+	Collectives     int64   `json:"collectives"`       // summed over ranks, all steps
+	CollectiveBytes int64   `json:"collective_bytes"`
+	Barriers        int64   `json:"barriers"`
+	DistCalcs       int64   `json:"dist_calcs"`       // summed over steps
+	ModeledCommSec  float64 `json:"modeled_comm_sec"` // max over ranks, α-β model
+	Imbalance       float64 `json:"imbalance"`        // after the final step
+}
+
+// SoakReport is the BENCH_soak.json document.
+type SoakReport struct {
+	Schema string     `json:"schema"`
+	Cells  []SoakCell `json:"cells"`
+}
+
+// soakSchema versions the report; benchdiff refuses mismatched schemas.
+const soakSchema = "geographer-soak/v1"
+
+// SoakCells returns the grid for a scale: the quick cells always come
+// first — they are cheap, and their presence in every report (including
+// the committed default-scale BENCH_soak.json) gives CI's quick runs
+// matching cells to diff against — followed, when sc is larger than
+// quick scale, by the paper-scale cells (k up to SoakMaxK, p up to
+// SoakMaxP, n = SoakN).
+func SoakCells(sc Scale) []SoakConfig {
+	cellsFor := func(s Scale) []SoakConfig {
+		return []SoakConfig{
+			{N: s.SoakN, Dim: 3, K: s.SoakK, P: s.SoakMaxP / 4, Steps: s.SoakSteps},
+			{N: s.SoakN, Dim: 3, K: s.SoakK, P: s.SoakMaxP, Steps: s.SoakSteps},
+			{N: s.SoakN, Dim: 3, K: s.SoakMaxK, P: s.SoakMaxP / 4, Steps: s.SoakSteps},
+		}
+	}
+	cells := cellsFor(sc)
+	if sc.SoakN > QuickScale().SoakN {
+		cells = append(cellsFor(QuickScale()), cells...)
+	}
+	return cells
+}
+
+// soakPoints generates the soak workload: n uniform points in a unit
+// cube (dim 3 exercises all coordinate columns) with unit-ish weights.
+// Deterministic in n alone so every run and every scale reproduces the
+// same cells bit-for-bit.
+func soakPoints(n, dim int) *geom.PointSet {
+	rng := rand.New(rand.NewSource(int64(n)*31 + int64(dim)))
+	ps := &geom.PointSet{Dim: dim, Coords: make([]float64, n*dim), Weight: make([]float64, n)}
+	for i := range ps.Coords {
+		ps.Coords[i] = rng.Float64()
+	}
+	for i := range ps.Weight {
+		ps.Weight[i] = 0.5 + rng.Float64()
+	}
+	return ps
+}
+
+// soakWeights is the per-step load perturbation: a travelling wave over
+// the point index, so block weights shift every step and each warm step
+// does real balancing work.
+func soakWeights(base []float64, step int) []float64 {
+	w := make([]float64, len(base))
+	for i := range w {
+		w[i] = base[i] * (1 + 0.3*math.Sin(float64(i)*0.37+float64(step)))
+	}
+	return w
+}
+
+// runSoakCell runs one cell: striped seed partition, one session, Steps
+// warm repartitioning steps, counters read from the world after the
+// final step.
+func runSoakCell(cfg SoakConfig) (SoakCell, error) {
+	cell := SoakCell{SoakConfig: cfg}
+	ps := soakPoints(cfg.N, cfg.Dim)
+	base := append([]float64(nil), ps.Weight...)
+
+	// Spatial-slab seed partition (block = x-slab): recovered centers
+	// spread across the domain, so the warm start converges like a real
+	// repartition instead of degenerating into badly-seeded cold
+	// k-means (index stripes of uniform points all have centroids at
+	// the cube center), without paying the cold SFC-sort pipeline the
+	// soak is not measuring.
+	prev := make([]int32, cfg.N)
+	for i := range prev {
+		b := int32(ps.Coords[i*cfg.Dim] * float64(cfg.K))
+		if b >= int32(cfg.K) {
+			b = int32(cfg.K) - 1
+		}
+		prev[i] = b
+	}
+
+	ccfg := core.DefaultConfig()
+	w := mpi.NewWorld(cfg.P)
+	t0 := time.Now()
+	sess, err := repart.NewSession(w, ps, cfg.K, ccfg)
+	if err != nil {
+		return cell, err
+	}
+	defer sess.Close()
+	cell.IngestSec = sess.IngestSeconds()
+	if err := sess.SetPartition(prev); err != nil {
+		return cell, err
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	stepStart := time.Now()
+	for s := 0; s < cfg.Steps; s++ {
+		if err := sess.UpdateWeights(soakWeights(base, s)); err != nil {
+			return cell, err
+		}
+		_, st, err := sess.Repartition()
+		if err != nil {
+			return cell, fmt.Errorf("step %d: %w", s, err)
+		}
+		cell.DistCalcs += st.DistCalcs
+	}
+	runtime.ReadMemStats(&ms1)
+	cell.StepSecMean = time.Since(stepStart).Seconds() / float64(cfg.Steps)
+	cell.MallocsPerStep = float64(ms1.Mallocs-ms0.Mallocs) / float64(cfg.Steps)
+	cell.AllocMBPerStep = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(cfg.Steps) / (1 << 20)
+
+	for _, st := range w.Stats() {
+		cell.Collectives += st.Collectives
+		cell.CollectiveBytes += st.CollectiveBytes
+		cell.Barriers += st.Barriers
+		if st.ModeledCommSec > cell.ModeledCommSec {
+			cell.ModeledCommSec = st.ModeledCommSec
+		}
+	}
+	if cell.Imbalance, err = sess.Imbalance(); err != nil {
+		return cell, err
+	}
+	cell.WallSec = time.Since(t0).Seconds()
+	cell.PeakRSSMB = peakRSSMB()
+	return cell, nil
+}
+
+// Soak runs the scaling soak (DESIGN.md, "Scaling invariants"): long
+// streaming sessions at up to millions of points and thousands of
+// simulated ranks, recording wall time, peak RSS, per-step allocation
+// deltas, collective counts and bytes, and α-β modeled communication
+// time per cell. The report is written as BENCH_soak.json by cmd/runexp
+// (-bench) and diffed against the committed snapshot by
+// tools/benchdiff.
+func Soak(w io.Writer, sc Scale) (SoakReport, error) {
+	rep := SoakReport{Schema: soakSchema}
+	fmt.Fprintf(w, "%-9s %5s %5s %6s | %9s %9s %11s | %12s %14s %10s %9s\n",
+		"n", "k", "p", "steps", "wall_s", "step_s", "peak_rss_mb", "collectives", "coll_bytes", "comm_s", "imbal")
+	for _, cfg := range SoakCells(sc) {
+		cell, err := runSoakCell(cfg)
+		if err != nil {
+			return rep, fmt.Errorf("soak n=%d k=%d p=%d: %w", cfg.N, cfg.K, cfg.P, err)
+		}
+		rep.Cells = append(rep.Cells, cell)
+		fmt.Fprintf(w, "%-9d %5d %5d %6d | %9.2f %9.2f %11.0f | %12d %14d %10.3f %9.4f\n",
+			cell.N, cell.K, cell.P, cell.Steps, cell.WallSec, cell.StepSecMean, cell.PeakRSSMB,
+			cell.Collectives, cell.CollectiveBytes, cell.ModeledCommSec, cell.Imbalance)
+	}
+	return rep, nil
+}
+
+// WriteSoakJSON writes the report as indented JSON (the BENCH_soak.json
+// format).
+func WriteSoakJSON(w io.Writer, rep SoakReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// peakRSSMB reads the process peak resident set size (VmHWM) from
+// /proc/self/status, in MiB. Returns 0 where unavailable (non-Linux).
+// The value is a process-lifetime high-water mark, so within one run it
+// is non-decreasing across cells — cells are ordered smallest first so
+// the early readings are not masked by the large ones.
+func peakRSSMB() float64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}

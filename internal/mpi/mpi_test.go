@@ -516,47 +516,43 @@ func BenchmarkAllreduce64(b *testing.B) {
 	}
 }
 
-func BenchmarkBarrier(b *testing.B) {
-	w := NewWorld(8)
-	b.ResetTimer()
-	if err := w.Run(func(c *Comm) {
-		for i := 0; i < b.N; i++ {
-			c.Barrier()
-		}
-	}); err != nil {
-		b.Fatal(err)
-	}
-}
-
 // A panicking rendezvous action (waitWith fn) must break the barrier:
 // waiting ranks get ErrBroken instead of returning with a stale result.
+// Every rank passes the same fn (as the collectives do); exactly one —
+// the last arriver — runs it and propagates its panic, and the rest are
+// released with ErrBroken. Both barrier implementations must agree.
 func TestBarrierRendezvousPanicBreaks(t *testing.T) {
-	b := newBarrier(2)
-	waiterBroken := make(chan bool, 1)
-	go func() {
-		defer func() {
-			waiterBroken <- recover() == ErrBroken
-		}()
-		b.wait()
-	}()
-	func() {
-		defer func() {
-			if r := recover(); r != "fold boom" {
-				t.Errorf("rendezvous panic = %v, want fold boom", r)
+	for _, tc := range []struct {
+		name string
+		mk   func(int) barrier
+	}{
+		{"tree", func(p int) barrier { return newTreeBarrier(p) }},
+		{"central", func(p int) barrier { return newCentralBarrier(p) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const p = 3
+			b := tc.mk(p)
+			res := make(chan any, p)
+			for r := 0; r < p; r++ {
+				go func(rank int) {
+					defer func() { res <- recover() }()
+					b.waitWith(rank, func() { panic("fold boom") })
+				}(r)
 			}
-		}()
-		// Give the waiter time to arrive first so the rendezvous runs here.
-		for {
-			b.mu.Lock()
-			arrived := b.count == 1
-			b.mu.Unlock()
-			if arrived {
-				break
+			var booms, broken int
+			for i := 0; i < p; i++ {
+				switch v := <-res; v {
+				case "fold boom":
+					booms++
+				case ErrBroken:
+					broken++
+				default:
+					t.Fatalf("unexpected recover value %v", v)
+				}
 			}
-		}
-		b.waitWith(func() { panic("fold boom") })
-	}()
-	if !<-waiterBroken {
-		t.Fatal("waiting rank was not released with ErrBroken")
+			if booms != 1 || broken != p-1 {
+				t.Fatalf("booms=%d broken=%d, want 1 and %d", booms, broken, p-1)
+			}
+		})
 	}
 }

@@ -1,0 +1,382 @@
+package mpi
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ---------------------------------------------------------------------
+// High-rank-count stress: the collective contracts must hold unchanged
+// at the thousands-of-ranks scale the soak harness runs at, not just at
+// the single-digit worldSizes of the unit tests.
+
+func stressRanks(t *testing.T) []int {
+	ps := []int{1024}
+	if !testing.Short() {
+		ps = append(ps, 4096)
+	}
+	return ps
+}
+
+func TestHighRankScalarCollectives(t *testing.T) {
+	for _, p := range stressRanks(t) {
+		w := NewWorld(p)
+		err := w.Run(func(c *Comm) {
+			r := int64(c.Rank())
+			if got, want := ExscanSum(c, r+1), r*(r+1)/2; got != want {
+				t.Errorf("p=%d rank %d: exscan = %d, want %d", p, r, got, want)
+			}
+			if got, want := ReduceScalarSum(c, r+1), int64(p)*int64(p+1)/2; got != want {
+				t.Errorf("p=%d rank %d: sum = %d, want %d", p, r, got, want)
+			}
+			if got, want := ReduceScalarMax(c, float64(r)), float64(p-1); got != want {
+				t.Errorf("p=%d rank %d: max = %g, want %g", p, r, got, want)
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestHighRankAllreduceInto(t *testing.T) {
+	for _, p := range stressRanks(t) {
+		w := NewWorld(p)
+		err := w.Run(func(c *Comm) {
+			const n = 8
+			v := make([]int64, n)
+			for j := range v {
+				v[j] = int64(c.Rank() + j)
+			}
+			// In place: v doubles as input and output.
+			AllreduceSumInto(c, v, v)
+			for j := range v {
+				want := int64(p)*int64(p-1)/2 + int64(p)*int64(j)
+				if v[j] != want {
+					t.Errorf("p=%d rank %d: sum[%d] = %d, want %d", p, c.Rank(), j, v[j], want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestHighRankGatherAndAlltoall(t *testing.T) {
+	for _, p := range stressRanks(t) {
+		if p > 1024 {
+			continue // quadratic aggregate payload; 1024 is plenty here
+		}
+		w := NewWorld(p)
+		err := w.Run(func(c *Comm) {
+			// Variable-length gather: rank r contributes r%3 elements.
+			in := make([]int32, c.Rank()%3)
+			for i := range in {
+				in[i] = int32(c.Rank()*10 + i)
+			}
+			out := make([]int32, 0, p)
+			out = AllgatherFlatInto(c, in, out)
+			off := 0
+			for r := 0; r < p; r++ {
+				for i := 0; i < r%3; i++ {
+					if out[off] != int32(r*10+i) {
+						t.Fatalf("p=%d rank %d: gather[%d] = %d", p, c.Rank(), off, out[off])
+					}
+					off++
+				}
+			}
+			if off != len(out) {
+				t.Fatalf("p=%d rank %d: gather len %d, want %d", p, c.Rank(), len(out), off)
+			}
+			// Sparse all-to-all: one element to each ring neighbour.
+			counts := make([]int, p)
+			next, prev := (c.Rank()+1)%p, (c.Rank()+p-1)%p
+			counts[next], counts[prev] = 1, 1
+			send := make([]int, 0, 2)
+			for dst := 0; dst < p; dst++ {
+				for j := 0; j < counts[dst]; j++ {
+					send = append(send, c.Rank()*10+dst)
+				}
+			}
+			recv, recvCounts := AlltoallFlat(c, send, counts)
+			if p == 1 {
+				return // self-loop degenerates; counts logic covers p>1
+			}
+			if recvCounts[next] != 1 || recvCounts[prev] != 1 {
+				t.Fatalf("p=%d rank %d: recvCounts next=%d prev=%d", p, c.Rank(), recvCounts[next], recvCounts[prev])
+			}
+			for i, src := range []int{prev, next} {
+				_ = i
+				want := src*10 + c.Rank()
+				found := false
+				for _, v := range recv {
+					if v == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("p=%d rank %d: missing element from %d", p, c.Rank(), src)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestAllreduceSumSparse checks the windowed reduction against a dense
+// AllreduceSum reference, with overlapping windows, empty segments, and
+// in-place (seg aliases out) updates.
+func TestAllreduceSumSparse(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 7, 64} {
+		w := NewWorld(p)
+		n := 4*p + 9
+		err := w.Run(func(c *Comm) {
+			rng := rand.New(rand.NewSource(int64(c.Rank()*7 + 1)))
+			// Overlapping windows: rank r covers [2r, 2r+5); rank 1 (if
+			// present) contributes an empty segment.
+			off, segLen := 2*c.Rank(), 5
+			if c.Rank() == 1 {
+				segLen = 0
+			}
+			dense := make([]float64, n)
+			out := make([]float64, n)
+			seg := out[off : off+segLen] // in place: seg aliases out
+			for i := range seg {
+				v := rng.Float64()
+				seg[i] = v
+				dense[off+i] = v
+			}
+			want := AllreduceSum(c, dense)
+			lo, length := AllreduceSumSparse(c, n, off, seg, out)
+			for i := 0; i < n; i++ {
+				got := 0.0
+				if i >= lo && i < lo+length {
+					got = out[i]
+				}
+				if got != want[i] {
+					t.Errorf("p=%d rank %d: sparse[%d] = %g, want %g", p, c.Rank(), i, got, want[i])
+				}
+			}
+			// The published window must cover every nonzero of the result.
+			for i, v := range want {
+				if v != 0 && (i < lo || i >= lo+length) {
+					t.Errorf("p=%d rank %d: nonzero %d outside window [%d,%d)", p, c.Rank(), i, lo, lo+length)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceSumSparseHighP(t *testing.T) {
+	for _, p := range stressRanks(t) {
+		w := NewWorld(p)
+		n := 2*p + 2 // last window is [2(p-1), 2(p-1)+4)
+		err := w.Run(func(c *Comm) {
+			out := make([]float64, n)
+			seg := []float64{1, 1, 1, 1}
+			off := c.Rank() * 2 // window [2r, 2r+4): overlaps both neighbours
+			copy(out[off:], seg)
+			lo, length := AllreduceSumSparse(c, n, off, out[off:off+4], out)
+			for i := lo; i < lo+length; i++ {
+				// Element i is covered by ranks r with 2r ≤ i < 2r+4.
+				want := 0.0
+				for r := (i - 3 + 1) / 2; r <= i/2; r++ {
+					if r >= 0 && r < p && i >= 2*r && i < 2*r+4 {
+						want++
+					}
+				}
+				if out[i] != want {
+					t.Fatalf("p=%d rank %d: sparse[%d] = %g, want %g", p, c.Rank(), i, out[i], want)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Tree vs central barrier: identical results, bit for bit, on the
+// rank-order float folds; many mixed episodes for the race detector.
+
+func TestTreeVsCentralBitIdentical(t *testing.T) {
+	const p, n = 64, 33
+	run := func(bar barrier) ([]float64, []float64) {
+		w := newWorldWithBarrier(p, bar)
+		sums := make([]float64, n)
+		scans := make([]float64, p)
+		if err := w.Run(func(c *Comm) {
+			rng := rand.New(rand.NewSource(int64(c.Rank() + 1)))
+			in := make([]float64, n)
+			for i := range in {
+				in[i] = (rng.Float64() - 0.5) * 1e9
+			}
+			out := AllreduceSum(c, in)
+			if c.Rank() == 0 {
+				copy(sums, out)
+			}
+			scans[c.Rank()] = ExscanSum(c, rng.Float64()*1e-7)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sums, scans
+	}
+	treeSums, treeScans := run(newTreeBarrier(p))
+	centSums, centScans := run(newCentralBarrier(p))
+	for i := range treeSums {
+		if treeSums[i] != centSums[i] {
+			t.Errorf("sum[%d]: tree %x != central %x", i, treeSums[i], centSums[i])
+		}
+	}
+	for i := range treeScans {
+		if treeScans[i] != centScans[i] {
+			t.Errorf("scan[%d]: tree %x != central %x", i, treeScans[i], centScans[i])
+		}
+	}
+}
+
+func TestBarrierManyEpisodes(t *testing.T) {
+	// An odd, non-square world size exercises the ragged last group of
+	// the tree; hundreds of episodes catch cross-episode races (run
+	// under -race in CI).
+	const p, episodes = 37, 300
+	w := NewWorld(p)
+	err := w.Run(func(c *Comm) {
+		v := make([]int64, 3)
+		for e := 0; e < episodes; e++ {
+			c.Barrier()
+			for j := range v {
+				v[j] = int64(c.Rank() + e + j)
+			}
+			AllreduceSumInto(c, v, v)
+			for j := range v {
+				want := int64(p)*int64(p-1)/2 + int64(p)*int64(e+j)
+				if v[j] != want {
+					t.Errorf("episode %d rank %d: sum[%d] = %d, want %d", e, c.Rank(), j, v[j], want)
+					return
+				}
+			}
+			if got := ReduceScalarMax(c, int64(c.Rank())); got != p-1 {
+				t.Errorf("episode %d rank %d: max = %d", e, c.Rank(), got)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Zero-alloc contract: the warm-path collectives must not allocate per
+// call in steady state. Measured, not asserted: a full Run of many
+// mixed collectives should cost only the Run's own goroutine spawns.
+
+func TestWarmCollectivesZeroAlloc(t *testing.T) {
+	const p, iters = 8, 200
+	w := NewWorld(p)
+	n := 64
+	vin := make([][]float64, p)
+	vout := make([][]float64, p)
+	sout := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		vin[r] = make([]float64, 16)
+		vout[r] = make([]float64, 16)
+		sout[r] = make([]float64, n)
+	}
+	body := func() {
+		if err := w.Run(func(c *Comm) {
+			r := c.Rank()
+			for i := 0; i < iters; i++ {
+				AllreduceSumInto(c, vin[r], vout[r])
+				AllreduceMinInto(c, vin[r], vout[r])
+				off := (r * 7) % (n - 8)
+				AllreduceSumSparse(c, n, off, sout[r][off:off+8], sout[r])
+				ExscanSum(c, int64(r))
+				ReduceScalarSum(c, float64(r))
+				ReduceScalarMax(c, int64(r))
+				c.Barrier()
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body() // warm up: grow the world's rendezvous buffers once
+	allocs := testing.AllocsPerRun(3, body)
+	// Each run issues iters·7·p ≈ 11k collective calls; a single
+	// per-call allocation anywhere would add thousands. The budget
+	// covers only Run's goroutine spawns and test scaffolding.
+	if allocs > 500 {
+		t.Errorf("steady-state run allocated %.0f objects; warm collectives must not allocate per call", allocs)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Benchmarks: tree vs central barrier at increasing rank counts. The
+// tree's advantage is lock convoying, so it grows with p (and with real
+// core counts; CI hosts with one core understate it).
+
+func benchWorld(p int, central bool) *World {
+	var bar barrier
+	if central {
+		bar = newCentralBarrier(p)
+	}
+	return newWorldWithBarrier(p, bar)
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{8, 256, 1024, 4096} {
+		for _, central := range []bool{false, true} {
+			name := fmt.Sprintf("tree/p=%d", p)
+			if central {
+				name = fmt.Sprintf("central/p=%d", p)
+			}
+			b.Run(name, func(b *testing.B) {
+				w := benchWorld(p, central)
+				b.ResetTimer()
+				if err := w.Run(func(c *Comm) {
+					for i := 0; i < b.N; i++ {
+						c.Barrier()
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkAllreduceHighP(b *testing.B) {
+	for _, p := range []int{1024, 4096} {
+		for _, central := range []bool{false, true} {
+			name := fmt.Sprintf("tree/p=%d", p)
+			if central {
+				name = fmt.Sprintf("central/p=%d", p)
+			}
+			b.Run(name, func(b *testing.B) {
+				w := benchWorld(p, central)
+				bufs := make([][]float64, p)
+				for r := range bufs {
+					bufs[r] = make([]float64, 64)
+				}
+				b.ResetTimer()
+				if err := w.Run(func(c *Comm) {
+					v := bufs[c.Rank()]
+					for i := 0; i < b.N; i++ {
+						AllreduceSumInto(c, v, v)
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -13,6 +13,13 @@
 // experiments can report the *scaling shape* of an algorithm even though
 // the goroutines run on a small host (see DESIGN.md, substitutions).
 //
+// The runtime is engineered for thousands of simulated ranks on one host
+// (DESIGN.md, "Scaling invariants"): ranks synchronize through a
+// two-level combining-tree barrier instead of one central mutex, most
+// collectives fold their result once at the barrier rendezvous in a
+// single crossing, and the hot collectives have caller-buffer (*Into)
+// variants that perform no per-call heap allocation.
+//
 // Usage requires the usual SPMD discipline: all ranks must invoke the same
 // sequence of collective operations. Violations deadlock, like real MPI.
 package mpi
@@ -21,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"unsafe"
 )
 
 // ErrBroken is returned by Run when a rank panicked; other ranks blocked
@@ -33,16 +41,58 @@ type message struct {
 	bytes int64
 }
 
+// slotHdr is a typed-slice deposit without interface boxing: storing a
+// []T into an `any` slot heap-allocates a three-word header on every
+// collective call, which the zero-alloc collective contract forbids.
+// The header keeps the element pointer (GC-scanned, so the backing array
+// stays alive) and length; deposit and read sites agree on T because
+// they belong to the same collective call.
+type slotHdr struct {
+	ptr unsafe.Pointer
+	len int
+}
+
 // World is a group of simulated ranks. Create with NewWorld, execute SPMD
 // code with Run. A World can be reused for several consecutive Run calls
 // (e.g. one per experiment phase); statistics accumulate until Reset.
 type World struct {
-	size   int
-	bar    *barrier
-	slots  []any // collective contribution slots, one per rank
-	result any   // reduction result published by rank 0
-	stats  []Stats
-	model  CostModel
+	size int
+	// Exactly one of tbar/cbar is non-nil. The barrier is deliberately
+	// NOT held as an interface on the wait path: an interface method
+	// call would leak the rendezvous closure to the heap (escape
+	// analysis marks a param leaking if any path leaks it), costing one
+	// allocation per collective. Direct calls on concrete types let the
+	// compiler stack-allocate every waitWith closure.
+	tbar  *treeBarrier
+	cbar  *centralBarrier
+	stats []Stats
+	model CostModel
+
+	// Collective exchange state. slots carries structured contributions
+	// (Alltoall's [][]T, the flat-send descriptors); hdrs carries flat
+	// []T contributions without boxing; scal/scalB carry one scalar (or
+	// two packed words) per rank for the scalar collectives, type-punned
+	// through uint64 so depositing allocates nothing.
+	slots []any
+	hdrs  []slotHdr
+	scal  []uint64
+	scalB []uint64
+
+	// Rendezvous-published results. resHdr points at the buffer the
+	// rendezvous fold produced (one of resBufs, reused across calls);
+	// scan holds per-rank scalar results (prefix sums); resOff/resLen
+	// describe the occupied window of a sparse reduction; resOffs holds
+	// gather offsets. All are written only at a barrier rendezvous and
+	// read only between that rendezvous and the next one, which is the
+	// single-crossing reuse discipline documented on allreduce.
+	result  any
+	resHdr  slotHdr
+	scan    []uint64
+	scalRes uint64
+	resOff  int
+	resLen  int
+	resOffs []int
+	resBufs []any
 
 	mailMu sync.Mutex
 	mail   map[int64]chan message // lazily created: key dst*size+src
@@ -54,17 +104,37 @@ type World struct {
 
 // NewWorld creates a world with the given number of ranks (>= 1).
 func NewWorld(size int) *World {
+	return newWorldWithBarrier(size, nil)
+}
+
+// newWorldWithBarrier lets benchmarks substitute the barrier
+// implementation (nil picks the default combining tree).
+func newWorldWithBarrier(size int, bar barrier) *World {
 	if size < 1 {
 		panic(fmt.Sprintf("mpi: invalid world size %d", size))
+	}
+	if bar == nil {
+		bar = newTreeBarrier(size)
 	}
 	w := &World{
 		size:  size,
 		slots: make([]any, size),
+		hdrs:  make([]slotHdr, size),
+		scal:  make([]uint64, size),
+		scalB: make([]uint64, size),
+		scan:  make([]uint64, size),
 		mail:  make(map[int64]chan message),
 		stats: make([]Stats, size),
 		model: DefaultCostModel(),
 	}
-	w.bar = newBarrier(size)
+	switch b := bar.(type) {
+	case *treeBarrier:
+		w.tbar = b
+	case *centralBarrier:
+		w.cbar = b
+	default:
+		panic("mpi: unknown barrier implementation")
+	}
 	return w
 }
 
@@ -122,7 +192,7 @@ func (w *World) breakWorld(err error) {
 		w.err = err
 	}
 	w.mu.Unlock()
-	w.bar.brk()
+	w.barBrk()
 }
 
 // Stats returns a copy of the per-rank statistics.
@@ -162,11 +232,216 @@ func (c *Comm) Barrier() {
 	st := &c.w.stats[c.rank]
 	st.Barriers++
 	st.ModeledCommSec += c.w.model.CollectiveLatency(c.w.size)
-	c.w.bar.wait()
+	c.w.barWait(c.rank)
 }
 
-// barrier is a reusable sense-reversing barrier with breakage support.
-type barrier struct {
+// barWait / barWaitWith dispatch to the concrete barrier (see the tbar
+// field comment: keeping this call direct is the linchpin of the
+// zero-alloc collective contract).
+func (w *World) barWait(rank int) {
+	if w.tbar != nil {
+		w.tbar.wait(rank)
+	} else {
+		w.cbar.wait(rank)
+	}
+}
+
+func (w *World) barWaitWith(rank int, fn func()) {
+	if w.tbar != nil {
+		w.tbar.waitWith(rank, fn)
+	} else {
+		w.cbar.waitWith(rank, fn)
+	}
+}
+
+func (w *World) barBrk() {
+	if w.tbar != nil {
+		w.tbar.brk()
+	} else {
+		w.cbar.brk()
+	}
+}
+
+// barrier is the rank-synchronization primitive of a World. waitWith is
+// wait with a rendezvous action: the last rank to arrive runs fn —
+// with every other rank's pre-arrival writes visible, and its own
+// writes visible to every rank on release — before anyone proceeds.
+// Collectives use it to fold contributions in a single barrier crossing
+// instead of a deposit barrier followed by a publish barrier. brk
+// releases all waiters with an ErrBroken panic.
+type barrier interface {
+	wait(rank int)
+	waitWith(rank int, fn func())
+	brk()
+}
+
+// ---------------------------------------------------------------------
+// Combining-tree barrier (default).
+//
+// A central sense-reversing barrier serializes all p ranks on one mutex:
+// p lock acquisitions to arrive and p more as the broadcast wakes every
+// waiter through the same lock — the dominant cost of a collective once
+// p reaches the thousands. The tree barrier splits ranks into √p groups
+// of √p: ranks arrive at their group node (contending only with their
+// group), the last arriver of each group proceeds to the root node
+// (contending only with the other group representatives), and the last
+// arriver at the root runs the rendezvous action and releases the tree —
+// root first, then each representative releases its own group, so
+// wake-ups fan out through independent locks instead of convoying on
+// one. Max contention per lock drops from p to ~√p (64 at p=4096).
+
+// bnode is one node of the tree: a counter guarded by its own lock,
+// with a generation number for sense reversal.
+type bnode struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	expect int
+	count  int
+	gen    uint64
+	broken bool
+	// Pad to a cache line so leaf nodes don't false-share.
+	_ [24]byte
+}
+
+type treeBarrier struct {
+	size   int
+	shift  uint // rank >> shift = leaf index (group size is a power of two)
+	leaves []bnode
+	root   bnode
+}
+
+func newTreeBarrier(size int) *treeBarrier {
+	// Group size ⌈√size⌉ rounded to a power of two: balances arrival
+	// contention (group size) against root contention (group count) and
+	// makes the rank→leaf mapping a shift.
+	g, shift := 1, uint(0)
+	for g*g < size {
+		g <<= 1
+		shift++
+	}
+	ng := (size + g - 1) / g
+	b := &treeBarrier{size: size, shift: shift, leaves: make([]bnode, ng)}
+	for i := range b.leaves {
+		n := size - i*g
+		if n > g {
+			n = g
+		}
+		b.leaves[i].expect = n
+		b.leaves[i].cond = sync.NewCond(&b.leaves[i].mu)
+	}
+	b.root.expect = ng
+	b.root.cond = sync.NewCond(&b.root.mu)
+	return b
+}
+
+func (b *treeBarrier) wait(rank int) { b.waitWith(rank, nil) }
+
+func (b *treeBarrier) waitWith(rank int, fn func()) {
+	leaf := &b.leaves[rank>>b.shift]
+	leaf.mu.Lock()
+	if leaf.broken {
+		leaf.mu.Unlock()
+		panic(ErrBroken)
+	}
+	gen := leaf.gen
+	leaf.count++
+	if leaf.count < leaf.expect {
+		// Not the group's last arriver: wait for the representative to
+		// release this group. No rank of this group can arrive for the
+		// *next* episode until that release, so resetting count below
+		// cannot race with new arrivals.
+		for gen == leaf.gen && !leaf.broken {
+			leaf.cond.Wait()
+		}
+		broken := leaf.broken
+		leaf.mu.Unlock()
+		if broken {
+			panic(ErrBroken)
+		}
+		return
+	}
+	leaf.count = 0
+	leaf.mu.Unlock()
+
+	// Group representative: arrive at the root.
+	r := &b.root
+	r.mu.Lock()
+	if r.broken {
+		r.mu.Unlock()
+		panic(ErrBroken)
+	}
+	rgen := r.gen
+	r.count++
+	if r.count == r.expect {
+		if fn != nil {
+			// A panicking fn must break the barrier, not complete it:
+			// waiters are released down their broken path (they panic
+			// ErrBroken instead of returning with a stale result), and
+			// the original panic propagates to Run's recover, which
+			// records it as the world's root cause.
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						r.broken = true
+						r.count = 0
+						r.cond.Broadcast()
+						r.mu.Unlock()
+						b.brkLeaves()
+						panic(rec)
+					}
+				}()
+				fn()
+			}()
+		}
+		r.count = 0
+		r.gen++
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	} else {
+		for rgen == r.gen && !r.broken {
+			r.cond.Wait()
+		}
+		broken := r.broken
+		r.mu.Unlock()
+		if broken {
+			// This group's waiters are released by brk/brkLeaves, which
+			// marked every node.
+			panic(ErrBroken)
+		}
+	}
+
+	// Release the group. The lock chain root→leaf makes the rendezvous
+	// action's writes visible to every group member on wake-up.
+	leaf.mu.Lock()
+	leaf.gen++
+	leaf.cond.Broadcast()
+	leaf.mu.Unlock()
+}
+
+func (b *treeBarrier) brk() {
+	b.root.mu.Lock()
+	b.root.broken = true
+	b.root.cond.Broadcast()
+	b.root.mu.Unlock()
+	b.brkLeaves()
+}
+
+func (b *treeBarrier) brkLeaves() {
+	for i := range b.leaves {
+		l := &b.leaves[i]
+		l.mu.Lock()
+		l.broken = true
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Central sense-reversing barrier: the pre-tree implementation, retained
+// as the reference for the barrier differential tests and the
+// tree-vs-central benchmarks (BenchmarkBarrier, BenchmarkAllreduceHighP).
+
+type centralBarrier struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	size   int
@@ -175,20 +450,15 @@ type barrier struct {
 	broken bool
 }
 
-func newBarrier(size int) *barrier {
-	b := &barrier{size: size}
+func newCentralBarrier(size int) *centralBarrier {
+	b := &centralBarrier{size: size}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-func (b *barrier) wait() { b.waitWith(nil) }
+func (b *centralBarrier) wait(rank int) { b.waitWith(rank, nil) }
 
-// waitWith is wait with a rendezvous action: the last rank to arrive
-// runs fn (under the barrier lock, so everything written by the other
-// ranks before they arrived is visible) before everyone is released.
-// Collectives use it to fold contributions in a single barrier crossing
-// instead of a deposit barrier followed by a publish barrier.
-func (b *barrier) waitWith(fn func()) {
+func (b *centralBarrier) waitWith(rank int, fn func()) {
 	b.mu.Lock()
 	if b.broken {
 		b.mu.Unlock()
@@ -198,11 +468,6 @@ func (b *barrier) waitWith(fn func()) {
 	b.count++
 	if b.count == b.size {
 		if fn != nil {
-			// A panicking fn must break the barrier, not complete it:
-			// waiters are released down their broken path (they panic
-			// ErrBroken instead of returning with a stale result), and
-			// the original panic propagates to Run's recover, which
-			// records it as the world's root cause.
 			func() {
 				defer func() {
 					if r := recover(); r != nil {
@@ -232,7 +497,7 @@ func (b *barrier) waitWith(fn func()) {
 }
 
 // brk releases all waiting ranks with a panic.
-func (b *barrier) brk() {
+func (b *centralBarrier) brk() {
 	b.mu.Lock()
 	b.broken = true
 	b.cond.Broadcast()

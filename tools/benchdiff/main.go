@@ -1,0 +1,143 @@
+// Command benchdiff compares two soak reports (BENCH_soak.json) cell by
+// cell and fails on regressions.
+//
+//	benchdiff -old BENCH_soak.json -new /tmp/soak.json [-tol 0.10]
+//
+// Cells are matched by (n, dim, k, p, steps). Deterministic metrics —
+// collective count and bytes, barrier count, distance evaluations,
+// modeled communication time, final imbalance — are exact functions of
+// the cell config, so any drift beyond the tolerance is a real
+// behavioral change and exits non-zero. Wall time, peak RSS, and
+// allocation counters depend on the machine and are reported warn-only.
+// Cells present in only one report are skipped with a note: the
+// committed snapshot is generated at default scale and CI diffs a
+// quick-scale run against it, so only the shared quick cells match.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"geographer/internal/experiments"
+)
+
+type key struct{ n, dim, k, p, steps int }
+
+func cellKey(c experiments.SoakCell) key {
+	return key{c.N, c.Dim, c.K, c.P, c.Steps}
+}
+
+func load(path string) (experiments.SoakReport, error) {
+	var rep experiments.SoakReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// relDelta returns |new-old| / |old|, treating old == 0 specially: any
+// nonzero new value against a zero baseline counts as a full-size
+// change.
+func relDelta(oldV, newV float64) float64 {
+	if oldV == newV {
+		return 0
+	}
+	if oldV == 0 {
+		return 1
+	}
+	d := (newV - oldV) / oldV
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+func main() {
+	var (
+		oldPath = flag.String("old", "BENCH_soak.json", "committed baseline report")
+		newPath = flag.String("new", "", "freshly generated report")
+		tol     = flag.Float64("tol", 0.10, "relative tolerance on deterministic metrics")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	if oldRep.Schema != newRep.Schema {
+		fatal(fmt.Errorf("schema mismatch: %q vs %q", oldRep.Schema, newRep.Schema))
+	}
+
+	oldCells := map[key]experiments.SoakCell{}
+	for _, c := range oldRep.Cells {
+		oldCells[cellKey(c)] = c
+	}
+
+	type metric struct {
+		name   string
+		strict bool
+		get    func(experiments.SoakCell) float64
+	}
+	metrics := []metric{
+		{"collectives", true, func(c experiments.SoakCell) float64 { return float64(c.Collectives) }},
+		{"collective_bytes", true, func(c experiments.SoakCell) float64 { return float64(c.CollectiveBytes) }},
+		{"barriers", true, func(c experiments.SoakCell) float64 { return float64(c.Barriers) }},
+		{"dist_calcs", true, func(c experiments.SoakCell) float64 { return float64(c.DistCalcs) }},
+		{"modeled_comm_sec", true, func(c experiments.SoakCell) float64 { return c.ModeledCommSec }},
+		{"imbalance", true, func(c experiments.SoakCell) float64 { return c.Imbalance }},
+		{"wall_sec", false, func(c experiments.SoakCell) float64 { return c.WallSec }},
+		{"step_sec_mean", false, func(c experiments.SoakCell) float64 { return c.StepSecMean }},
+		{"peak_rss_mb", false, func(c experiments.SoakCell) float64 { return c.PeakRSSMB }},
+		{"mallocs_per_step", false, func(c experiments.SoakCell) float64 { return c.MallocsPerStep }},
+	}
+
+	matched, failures := 0, 0
+	for _, nc := range newRep.Cells {
+		oc, ok := oldCells[cellKey(nc)]
+		if !ok {
+			fmt.Printf("cell n=%d k=%d p=%d: no baseline, skipped\n", nc.N, nc.K, nc.P)
+			continue
+		}
+		matched++
+		for _, m := range metrics {
+			oldV, newV := m.get(oc), m.get(nc)
+			d := relDelta(oldV, newV)
+			if d <= *tol {
+				continue
+			}
+			if m.strict {
+				failures++
+				fmt.Printf("FAIL cell n=%d k=%d p=%d: %s %.6g -> %.6g (%+.1f%%)\n",
+					nc.N, nc.K, nc.P, m.name, oldV, newV, 100*(newV-oldV)/oldV)
+			} else {
+				fmt.Printf("warn cell n=%d k=%d p=%d: %s %.6g -> %.6g (machine-dependent)\n",
+					nc.N, nc.K, nc.P, m.name, oldV, newV)
+			}
+		}
+	}
+	if matched == 0 {
+		fatal(fmt.Errorf("no cells in %s match the baseline %s", *newPath, *oldPath))
+	}
+	if failures > 0 {
+		fatal(fmt.Errorf("%d deterministic metric(s) regressed beyond %.0f%%", failures, 100**tol))
+	}
+	fmt.Printf("ok: %d cell(s) matched, no deterministic regressions\n", matched)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
