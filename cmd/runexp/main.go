@@ -25,12 +25,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|all")
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|chaos|all")
 		scale   = flag.String("scale", "default", "default|quick")
 		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
 		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
 		csvDir  = flag.String("csv", "", "also dump raw results as CSV files into this directory")
-		bench   = flag.String("bench", "", "write the soak report as JSON to this path (BENCH_soak.json convention)")
+		bench   = flag.String("bench", "", "write the soak/chaos report as JSON to this path (BENCH_soak.json / BENCH_chaos.json convention)")
 	)
 	flag.Parse()
 
@@ -190,6 +190,50 @@ func main() {
 				return err
 			}
 			fmt.Println("wrote", *bench)
+			return nil
+		})
+	}
+	// The chaos run is opt-in like the soak: it validates the
+	// fault-tolerance machinery (injected rank failures, checkpoint
+	// rollback, retry convergence), not a paper artifact.
+	if *exp == "chaos" {
+		any = true
+		run("chaos", func() error {
+			rows, rep, err := experiments.Chaos(os.Stdout, sc)
+			if err != nil {
+				return err
+			}
+			if *csvDir != "" {
+				f, err := os.Create(filepath.Join(*csvDir, "chaos.csv"))
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteChaosRowsCSV(f, rows); err != nil {
+					return err
+				}
+			}
+			if *bench != "" {
+				f, err := os.Create(*bench)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteChaosJSON(f, rep); err != nil {
+					return err
+				}
+				fmt.Println("wrote", *bench)
+			}
+			// Zero hangs is the headline claim; failing loudly here (rather
+			// than in a diff later) keeps CI's timeout wrapper honest.
+			for _, c := range rep.Cells {
+				if !c.Identical {
+					return fmt.Errorf("%s: chaos chain diverged from the fault-free chain", c.Graph)
+				}
+				if c.Recoveries != int(c.FaultsFired) {
+					return fmt.Errorf("%s: %d faults fired but %d recoveries", c.Graph, c.FaultsFired, c.Recoveries)
+				}
+			}
 			return nil
 		})
 	}

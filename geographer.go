@@ -221,6 +221,12 @@ type RepartResult struct {
 	// path — it is the quantity tested against the threshold); other
 	// entry points leave it 0.
 	PreImbalance float64
+
+	// Retries counts the rollback-and-retry cycles
+	// Session.RepartitionWithRetry needed before this step succeeded
+	// (0 = the first attempt worked; other entry points always leave
+	// it 0).
+	Retries int
 }
 
 // fromStats copies the migration and incremental-observability numbers
@@ -236,6 +242,7 @@ func fromStats(blocks []int32, st repart.Stats) RepartResult {
 		Incremental:    st.Incremental,
 		BoundaryFrac:   st.BoundaryFrac,
 		PreImbalance:   st.PreImbalance,
+		Retries:        st.Retries,
 	}
 }
 

@@ -467,14 +467,22 @@ func (st *state) initCentersAndTargets() error {
 // per-point allocations at all.
 func (st *state) ensureScratch() {
 	n := st.X.Len()
+	// The carried buffers (A/ub/lb here, influence/boundCenters below)
+	// are keyed separately from their sibling scratch: a checkpoint
+	// restore repopulates only the carried buffers, and the siblings
+	// must still be allocated on the first run after the restore.
 	if len(st.A) != n {
 		st.A = make([]int32, n)
 		st.ub = make([]float64, n)
 		st.lb = make([]float64, n)
+		st.carryValid = false // fresh per-point buffers carry nothing
+	}
+	if len(st.perm) != n {
 		st.perm = make([]int32, n)
 		st.allIdx = make([]int32, n)
+	}
+	if cap(st.worklist) < n {
 		st.worklist = make([]int32, 0, n)
-		st.carryValid = false // fresh per-point buffers carry nothing
 	}
 	if st.cfg.Bounds == BoundsElkan {
 		if len(st.lbk) != n*st.k {
@@ -492,6 +500,11 @@ func (st *state) ensureScratch() {
 	}
 	if len(st.influence) != st.k {
 		st.influence = make([]float64, st.k)
+	}
+	if len(st.boundCenters) != st.k {
+		st.boundCenters = make([]geom.Point, st.k)
+	}
+	if len(st.orderedCenters) != st.k {
 		st.orderedCenters = make([]int32, st.k)
 		st.distToBB2 = make([]float64, st.k)
 		st.invInf2 = make([]float64, st.k)
@@ -501,7 +514,6 @@ func (st *state) ensureScratch() {
 		st.deltas = make([]float64, st.k)
 		st.perCenter = make([]float64, st.k)
 		st.pendUbRatio = make([]float64, st.k)
-		st.boundCenters = make([]geom.Point, st.k)
 	}
 	if len(st.localW) != st.k+2 {
 		st.localW = make([]float64, st.k+2) // +2: sample weight and sampling flag ride along

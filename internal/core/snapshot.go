@@ -1,0 +1,385 @@
+package core
+
+// Checkpoint/restore for resident session state: a versioned,
+// self-describing binary codec over the SoA point columns and the
+// cross-run carried k-means state, so a long-lived session can be
+// persisted and resumed with its next warm step bit-identical to an
+// uninterrupted chain (DESIGN.md, "Fault-tolerance invariants").
+//
+// Float64 values travel as their IEEE bit patterns (math.Float64bits),
+// never through any textual or rounding conversion, which is what makes
+// restore exact. Every decode is length-guarded and returns a typed
+// error on corrupt, truncated, or wrong-version input — never a panic —
+// so checkpoints can be read from untrusted storage.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"geographer/internal/geom"
+)
+
+// ErrCheckpointCorrupt marks checkpoint bytes that do not decode:
+// truncated input, impossible lengths, bad magic, internal
+// inconsistencies. Matched with errors.Is.
+var ErrCheckpointCorrupt = errors.New("core: corrupt checkpoint")
+
+// ErrCheckpointVersion marks a checkpoint whose (valid) header carries a
+// version this build does not speak.
+var ErrCheckpointVersion = errors.New("core: unsupported checkpoint version")
+
+// ResidentSnapshotVersion is the current resident record format.
+const ResidentSnapshotVersion = 1
+
+// residentMagic guards each resident record ("GEOR").
+const residentMagic = 0x47454F52
+
+// ---------------------------------------------------------------------
+// Primitive codec. SnapEncoder appends little-endian fields to a byte
+// slice; SnapDecoder is its sticky-error inverse — after the first
+// failure every read returns zero values and Err() reports the cause,
+// so record decoders can run straight-line and check once.
+
+// SnapEncoder builds a checkpoint byte stream.
+type SnapEncoder struct{ buf []byte }
+
+// NewSnapEncoder returns an empty encoder.
+func NewSnapEncoder() *SnapEncoder { return &SnapEncoder{} }
+
+// Bytes returns the encoded stream (owned by the encoder).
+func (e *SnapEncoder) Bytes() []byte { return e.buf }
+
+// U32 appends one uint32.
+func (e *SnapEncoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends one uint64.
+func (e *SnapEncoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Bool appends one flag byte.
+func (e *SnapEncoder) Bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// F64s appends a length-prefixed float64 slice as raw IEEE bits.
+func (e *SnapEncoder) F64s(v []float64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.U64(math.Float64bits(x))
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *SnapEncoder) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// I64s appends a length-prefixed int64 slice.
+func (e *SnapEncoder) I64s(v []int64) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.U64(uint64(x))
+	}
+}
+
+// I32s appends a length-prefixed int32 slice.
+func (e *SnapEncoder) I32s(v []int32) {
+	e.U64(uint64(len(v)))
+	for _, x := range v {
+		e.U32(uint32(x))
+	}
+}
+
+// SnapDecoder reads a checkpoint byte stream.
+type SnapDecoder struct {
+	data []byte
+	err  error
+}
+
+// NewSnapDecoder wraps data for decoding (the slice is not copied).
+func NewSnapDecoder(data []byte) *SnapDecoder { return &SnapDecoder{data: data} }
+
+// Err returns the first decode failure, or nil.
+func (d *SnapDecoder) Err() error { return d.err }
+
+// Len returns the number of unread bytes.
+func (d *SnapDecoder) Len() int { return len(d.data) }
+
+// fail records the sticky error (first failure wins).
+func (d *SnapDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s", ErrCheckpointCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *SnapDecoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.data) < n {
+		d.fail("truncated: need %d bytes, have %d", n, len(d.data))
+		return nil
+	}
+	b := d.data[:n]
+	d.data = d.data[n:]
+	return b
+}
+
+// U32 reads one uint32.
+func (d *SnapDecoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads one uint64.
+func (d *SnapDecoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Bool reads one flag byte (any nonzero value other than 1 is corrupt).
+func (d *SnapDecoder) Bool() bool {
+	b := d.take(1)
+	if b == nil {
+		return false
+	}
+	if b[0] > 1 {
+		d.fail("flag byte %d", b[0])
+		return false
+	}
+	return b[0] == 1
+}
+
+// sliceLen validates a length prefix against the bytes actually left:
+// the guard that keeps a corrupted length from driving a huge
+// allocation. elemSize is the wire size of one element.
+func (d *SnapDecoder) sliceLen(elemSize int) int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.data)/elemSize) {
+		d.fail("slice length %d exceeds remaining %d bytes", n, len(d.data))
+		return 0
+	}
+	return int(n)
+}
+
+// F64s reads a length-prefixed float64 slice.
+func (d *SnapDecoder) F64s() []float64 {
+	n := d.sliceLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(d.U64())
+	}
+	return out
+}
+
+// Str reads a length-prefixed string.
+func (d *SnapDecoder) Str() string {
+	n := d.sliceLen(1)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// I64s reads a length-prefixed int64 slice.
+func (d *SnapDecoder) I64s() []int64 {
+	n := d.sliceLen(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(d.U64())
+	}
+	return out
+}
+
+// I32s reads a length-prefixed int32 slice.
+func (d *SnapDecoder) I32s() []int32 {
+	n := d.sliceLen(4)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(d.U32())
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Resident record.
+
+// Snapshot appends this rank's complete resident record to the encoder:
+// the SoA columns (coordinates, weights, global ids), the bounding box,
+// and — when a previous warm run left them — the carried incremental
+// bounds (assignment, ub/lb, the raw shadow, Elkan's per-center bounds,
+// final influences, and the centers the bounds are valid against).
+// Purely local: no communication, no mutation of the resident.
+func (r *Resident) Snapshot(e *SnapEncoder) {
+	st := &r.st
+	n := st.X.Len()
+	e.U32(residentMagic)
+	e.U32(ResidentSnapshotVersion)
+	e.U32(uint32(r.dim))
+	e.F64s(r.box.Min[:])
+	e.F64s(r.box.Max[:])
+	e.U64(uint64(n))
+	e.F64s(st.X.X)
+	e.F64s(st.X.Y)
+	e.F64s(st.X.Z)
+	e.F64s(st.W)
+	e.I64s(st.IDs)
+
+	carry := st.carryValid && len(st.A) == n && len(st.boundCenters) == st.carryK
+	e.Bool(carry)
+	if !carry {
+		return
+	}
+	e.Str(string(st.carryBounds))
+	e.U32(uint32(st.carryK))
+	e.I32s(st.A)
+	e.F64s(st.ub)
+	e.F64s(st.lb)
+	e.Bool(st.rlb != nil)
+	if st.rlb != nil {
+		e.F64s(st.rlb)
+	}
+	e.Bool(st.lbk != nil)
+	if st.lbk != nil {
+		e.F64s(st.lbk)
+	}
+	e.F64s(st.influence)
+	ctr := make([]float64, 0, st.carryK*3)
+	for _, p := range st.boundCenters {
+		ctr = append(ctr, p[0], p[1], p[2])
+	}
+	e.F64s(ctr)
+}
+
+// RestoreResident decodes one resident record. The returned Resident is
+// ready for PartitionResident on a world of any size whose rank layout
+// matches the one that produced the record (the session layer pairs
+// records with ranks). All slices are freshly allocated — the decoder's
+// input may be discarded or reused afterwards.
+func RestoreResident(d *SnapDecoder) (*Resident, error) {
+	if m := d.U32(); d.Err() == nil && m != residentMagic {
+		return nil, fmt.Errorf("%w: bad resident magic %#x", ErrCheckpointCorrupt, m)
+	}
+	if v := d.U32(); d.Err() == nil && v != ResidentSnapshotVersion {
+		return nil, fmt.Errorf("%w: resident record v%d, want v%d", ErrCheckpointVersion, v, ResidentSnapshotVersion)
+	}
+	dim := int(d.U32())
+	if d.Err() == nil && (dim < 1 || dim > 3) {
+		return nil, fmt.Errorf("%w: dim %d", ErrCheckpointCorrupt, dim)
+	}
+	boxMin := d.F64s()
+	boxMax := d.F64s()
+	n64 := d.U64()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if len(boxMin) != len(geom.Point{}) || len(boxMax) != len(geom.Point{}) {
+		return nil, fmt.Errorf("%w: box of %d/%d coordinates", ErrCheckpointCorrupt, len(boxMin), len(boxMax))
+	}
+	if n64 > uint64(d.Len()/8) {
+		return nil, fmt.Errorf("%w: point count %d exceeds record size", ErrCheckpointCorrupt, n64)
+	}
+	n := int(n64)
+
+	r := &Resident{dim: dim}
+	r.box.Dim = dim
+	copy(r.box.Min[:], boxMin)
+	copy(r.box.Max[:], boxMax)
+	st := &r.st
+
+	cx, cy, cz := d.F64s(), d.F64s(), d.F64s()
+	st.W = d.F64s()
+	st.IDs = d.I64s()
+	carry := d.Bool()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if len(cx) != n || len(cy) != n || len(cz) != n || len(st.W) != n || len(st.IDs) != n {
+		return nil, fmt.Errorf("%w: column lengths %d/%d/%d/%d/%d for %d points",
+			ErrCheckpointCorrupt, len(cx), len(cy), len(cz), len(st.W), len(st.IDs), n)
+	}
+	// Rebuild the columns through MakeCols so the single-backing-array
+	// layout (and its cache behavior) matches a fresh ingest.
+	st.X = geom.MakeCols(dim, n)
+	copy(st.X.X, cx)
+	copy(st.X.Y, cy)
+	copy(st.X.Z, cz)
+
+	if !carry {
+		return r, nil
+	}
+	st.carryBounds = BoundsKind(d.Str())
+	st.carryK = int(d.U32())
+	st.A = d.I32s()
+	st.ub = d.F64s()
+	st.lb = d.F64s()
+	if d.Bool() {
+		st.rlb = d.F64s()
+	}
+	if d.Bool() {
+		st.lbk = d.F64s()
+	}
+	st.influence = d.F64s()
+	ctr := d.F64s()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	k := st.carryK
+	switch st.carryBounds {
+	case BoundsHamerly, BoundsElkan, BoundsNone:
+	default:
+		return nil, fmt.Errorf("%w: carried bounds kind %q", ErrCheckpointCorrupt, st.carryBounds)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("%w: carried k=%d", ErrCheckpointCorrupt, k)
+	}
+	if len(st.A) != n || len(st.ub) != n || len(st.lb) != n {
+		return nil, fmt.Errorf("%w: carried per-point lengths %d/%d/%d for %d points",
+			ErrCheckpointCorrupt, len(st.A), len(st.ub), len(st.lb), n)
+	}
+	if st.rlb != nil && len(st.rlb) != n {
+		return nil, fmt.Errorf("%w: raw shadow of %d values for %d points", ErrCheckpointCorrupt, len(st.rlb), n)
+	}
+	if st.lbk != nil && len(st.lbk) != n*k {
+		return nil, fmt.Errorf("%w: %d Elkan bounds for n=%d k=%d", ErrCheckpointCorrupt, len(st.lbk), n, k)
+	}
+	if len(st.influence) != k || len(ctr) != k*3 {
+		return nil, fmt.Errorf("%w: %d influences / %d center coordinates for k=%d",
+			ErrCheckpointCorrupt, len(st.influence), len(ctr), k)
+	}
+	for i, a := range st.A {
+		if a < -1 || int(a) >= k {
+			return nil, fmt.Errorf("%w: assignment %d at point %d for k=%d", ErrCheckpointCorrupt, a, i, k)
+		}
+	}
+	st.boundCenters = make([]geom.Point, k)
+	for b := range st.boundCenters {
+		st.boundCenters[b] = geom.Point{ctr[b*3], ctr[b*3+1], ctr[b*3+2]}
+	}
+	st.carryValid = true
+	return r, nil
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+)
+
+// buildWarmResidents builds p residents with live carried bounds: cold
+// partition, ingest, then `steps` warm incremental steps with a weight
+// perturbation per step so the carry machinery has real work.
+func buildWarmResidents(t testing.TB, n, k, p, steps int, cfg Config) ([]*Resident, []int32, *BalancedKMeans) {
+	t.Helper()
+	ps := uniformPoints(n, 2, 101)
+	bkm0 := New(cfg)
+	w0 := mpi.NewWorld(p)
+	prev, err := partition.Run(w0, ps, k, bkm0)
+	if err != nil {
+		t.Fatalf("cold partition: %v", err)
+	}
+	w := mpi.NewWorld(p)
+	res := make([]*Resident, p)
+	if err := w.Run(func(c *mpi.Comm) {
+		res[c.Rank()] = Ingest(c, partition.Scatter(c, ps))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	assign := append([]int32(nil), prev.Assign...)
+	var bkm *BalancedKMeans
+	for s := 0; s < steps; s++ {
+		wt := make([]float64, n)
+		for i := range wt {
+			wt[i] = 1 + 0.3*math.Sin(float64(i)*0.37+float64(s))
+		}
+		for _, r := range res {
+			r.SetWeightsGlobal(wt)
+		}
+		c2 := cfg
+		c2.WarmCenters = warmCentersFrom(ps, assign, k)
+		bkm = New(c2)
+		out := make([]int32, n)
+		if err := w.Run(func(c *mpi.Comm) {
+			ids, blocks, err := bkm.PartitionResident(c, res[c.Rank()], k)
+			if err != nil {
+				panic(err)
+			}
+			for i, id := range ids {
+				out[id] = blocks[i]
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		assign = out
+	}
+	return res, assign, bkm
+}
+
+// warmStepOn runs one more warm step on the given residents and returns
+// the global assignment.
+func warmStepOn(t *testing.T, res []*Resident, assign []int32, n, k int, cfg Config) []int32 {
+	t.Helper()
+	p := len(res)
+	ps := uniformPoints(n, 2, 101)
+	wt := make([]float64, n)
+	for i := range wt {
+		wt[i] = 1 + 0.3*math.Sin(float64(i)*0.37+99)
+	}
+	for _, r := range res {
+		r.SetWeightsGlobal(wt)
+	}
+	c2 := cfg
+	c2.WarmCenters = warmCentersFrom(ps, assign, k)
+	bkm := New(c2)
+	out := make([]int32, n)
+	w := mpi.NewWorld(p)
+	if err := w.Run(func(c *mpi.Comm) {
+		ids, blocks, err := bkm.PartitionResident(c, res[c.Rank()], k)
+		if err != nil {
+			panic(err)
+		}
+		for i, id := range ids {
+			out[id] = blocks[i]
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bkm.LastInfo().CarriedBounds {
+		t.Fatal("warm step did not take the incremental carried path")
+	}
+	return out
+}
+
+// TestSnapshotRoundTripBitIdentical is the restore contract: snapshot →
+// restore yields residents whose encoding is byte-identical to the
+// original's, and whose next warm incremental step produces the exact
+// same partition as continuing on the originals — including taking the
+// carried-bounds fast path, not a silent reset.
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	const n, k, p = 3000, 8, 4
+	for _, bounds := range []BoundsKind{BoundsHamerly, BoundsElkan} {
+		t.Run(string(bounds), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Seed = 1
+			cfg.Bounds = bounds
+			res, assign, _ := buildWarmResidents(t, n, k, p, 2, cfg)
+
+			// Encode every rank, restore into fresh residents.
+			restored := make([]*Resident, p)
+			for r := range res {
+				enc := NewSnapEncoder()
+				res[r].Snapshot(enc)
+				blob := append([]byte(nil), enc.Bytes()...)
+				got, err := RestoreResident(NewSnapDecoder(blob))
+				if err != nil {
+					t.Fatalf("rank %d: restore: %v", r, err)
+				}
+				re := NewSnapEncoder()
+				got.Snapshot(re)
+				if !bytes.Equal(blob, re.Bytes()) {
+					t.Fatalf("rank %d: re-encode differs from original encode", r)
+				}
+				restored[r] = got
+			}
+
+			want := warmStepOn(t, res, assign, n, k, cfg)
+			got := warmStepOn(t, restored, assign, n, k, cfg)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("restored chain diverged at point %d: %d vs %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotWithoutCarryRestores covers the cold side: a resident
+// that never ran (no carried bounds) round-trips and partitions.
+func TestSnapshotWithoutCarryRestores(t *testing.T) {
+	const n, k, p = 1000, 4, 2
+	ps := uniformPoints(n, 3, 7)
+	prev, _ := runPartition(t, ps, k, p, DefaultConfig())
+	w := mpi.NewWorld(p)
+	res := make([]*Resident, p)
+	if err := w.Run(func(c *mpi.Comm) {
+		res[c.Rank()] = Ingest(c, partition.Scatter(c, ps))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	restored := make([]*Resident, p)
+	for r := range res {
+		enc := NewSnapEncoder()
+		res[r].Snapshot(enc)
+		got, err := RestoreResident(NewSnapDecoder(enc.Bytes()))
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if got.Len() != res[r].Len() || got.Dim() != res[r].Dim() {
+			t.Fatalf("rank %d: restored %d points dim %d", r, got.Len(), got.Dim())
+		}
+		restored[r] = got
+	}
+	cfg := DefaultConfig()
+	cfg.WarmCenters = warmCentersFrom(ps, prev.Assign, k)
+	bkm := New(cfg)
+	out := make([]int32, n)
+	w2 := mpi.NewWorld(p)
+	if err := w2.Run(func(c *mpi.Comm) {
+		ids, blocks, err := bkm.PartitionResident(c, restored[c.Rank()], k)
+		if err != nil {
+			panic(err)
+		}
+		for i, id := range ids {
+			out[id] = blocks[i]
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotDecodeErrors: corrupted, truncated, and wrong-version
+// inputs return the typed sentinels and never panic.
+func TestSnapshotDecodeErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	res, _, _ := buildWarmResidents(t, 600, 4, 2, 2, cfg)
+	enc := NewSnapEncoder()
+	res[0].Snapshot(enc)
+	valid := enc.Bytes()
+
+	t.Run("truncations", func(t *testing.T) {
+		for cut := 0; cut < len(valid); cut += 7 {
+			if _, err := RestoreResident(NewSnapDecoder(valid[:cut])); err == nil {
+				t.Fatalf("truncation at %d decoded successfully", cut)
+			} else if !errors.Is(err, ErrCheckpointCorrupt) && !errors.Is(err, ErrCheckpointVersion) {
+				t.Fatalf("truncation at %d: untyped error %v", cut, err)
+			}
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		bad[4] = 0xEE // version field, little-endian low byte
+		_, err := RestoreResident(NewSnapDecoder(bad))
+		if !errors.Is(err, ErrCheckpointVersion) {
+			t.Fatalf("want ErrCheckpointVersion, got %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), valid...)
+		bad[0] ^= 0xFF
+		_, err := RestoreResident(NewSnapDecoder(bad))
+		if !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("want ErrCheckpointCorrupt, got %v", err)
+		}
+	})
+	t.Run("huge length prefix", func(t *testing.T) {
+		// A corrupted slice length must be rejected by the remaining-bytes
+		// guard, not drive a giant allocation.
+		bad := append([]byte(nil), valid...)
+		for i := 12; i < 20; i++ {
+			bad[i] = 0xFF
+		}
+		_, err := RestoreResident(NewSnapDecoder(bad))
+		if !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("want ErrCheckpointCorrupt, got %v", err)
+		}
+	})
+}
+
+// FuzzSnapshotRoundTrip: arbitrary bytes never panic the decoder, and
+// anything that decodes successfully re-encodes to a stream that decodes
+// to the same bytes again (decode∘encode is the identity on the image of
+// encode).
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	res, _, _ := buildWarmResidents(f, 200, 4, 2, 2, cfg)
+	for _, r := range res {
+		enc := NewSnapEncoder()
+		r.Snapshot(enc)
+		f.Add(append([]byte(nil), enc.Bytes()...))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x52, 0x4F, 0x45, 0x47})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := RestoreResident(NewSnapDecoder(data))
+		if err != nil {
+			if !errors.Is(err, ErrCheckpointCorrupt) && !errors.Is(err, ErrCheckpointVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		enc := NewSnapEncoder()
+		r.Snapshot(enc)
+		first := append([]byte(nil), enc.Bytes()...)
+		r2, err := RestoreResident(NewSnapDecoder(first))
+		if err != nil {
+			t.Fatalf("re-decode of a valid encode failed: %v", err)
+		}
+		enc2 := NewSnapEncoder()
+		r2.Snapshot(enc2)
+		if !bytes.Equal(first, enc2.Bytes()) {
+			t.Fatal("encode∘decode not stable")
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/metrics"
+	"geographer/internal/mpi"
+	"geographer/internal/repart"
+)
+
+// chaosP is the rank count of the chaos chains (the fault schedule
+// names ranks, so it is fixed rather than scaled).
+const chaosP = 4
+
+// chaosSteps is the number of perturbed warm steps each chain runs.
+const chaosSteps = 5
+
+// ChaosRow is one timestep of the chaos experiment: a warm
+// repartitioning chain driven through Session.RepartitionWithRetry
+// under a deterministic fault schedule, compared step by step against
+// the identical fault-free chain.
+type ChaosRow struct {
+	Graph string
+	Step  int
+	K, P  int
+
+	// Retries is how many rollback-and-retry cycles this step needed
+	// (0 = no fault fired during it); FiredTotal is the cumulative
+	// number of faults the schedule has fired up to and including this
+	// step.
+	Retries    int
+	FiredTotal int64
+
+	// Identical reports that this step's partition is bit-identical to
+	// the fault-free chain's — the recovery guarantee under test.
+	Identical bool
+
+	PreImbalance   float64
+	MigratedWeight float64
+	DistCalcs      int64
+
+	// Seconds is the chaos step's wall time (failed attempts, backoff,
+	// rollback, and the successful attempt); RefSeconds is the fault-free
+	// chain's time for the same step. The difference is the recovery
+	// overhead, i.e. the wasted work.
+	Seconds    float64
+	RefSeconds float64
+}
+
+// ChaosCell is the per-workload summary of a chaos run. The
+// deterministic fields (FaultsFired, Recoveries, Identical, DistCalcs,
+// Cut, Imbalance) are exact functions of the workload and the fault
+// schedule and must reproduce bit-for-bit run to run — tools/benchdiff
+// fails on regressions there. The wall-clock fields are
+// machine-dependent and compared warn-only.
+type ChaosCell struct {
+	Graph string `json:"graph"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	P     int    `json:"p"`
+	Steps int    `json:"steps"`
+
+	FaultsScheduled int   `json:"faults_scheduled"`
+	FaultsFired     int64 `json:"faults_fired"`
+	// Recoveries sums the retry cycles across all steps; every fired
+	// abort fault must be recovered, so Recoveries == FaultsFired on a
+	// healthy run.
+	Recoveries int   `json:"recoveries"`
+	Delays     int64 `json:"delays"`
+	// Identical is the acceptance criterion: every step of the chaos
+	// chain produced a partition bit-identical to the fault-free chain.
+	Identical bool  `json:"identical"`
+	DistCalcs int64 `json:"dist_calcs"`
+	Cut       int64 `json:"cut"`
+	// Imbalance is measured after the final step.
+	Imbalance float64 `json:"imbalance"`
+
+	WallSec    float64 `json:"wall_sec"`     // chaos chain, all steps
+	RefWallSec float64 `json:"ref_wall_sec"` // fault-free chain, all steps
+	WastedSec  float64 `json:"wasted_sec"`   // WallSec - RefWallSec
+}
+
+// ChaosReport is the BENCH_chaos.json document.
+type ChaosReport struct {
+	Schema string      `json:"schema"`
+	Cells  []ChaosCell `json:"cells"`
+}
+
+// chaosSchema versions the report; benchdiff refuses mismatched schemas.
+const chaosSchema = "geographer-chaos/v1"
+
+// chaosPlan is the fault schedule: four single-shot transient faults on
+// distinct ranks at increasing collective episodes, plus one injected
+// delay. Episodes count per rank per world and the schedule is explicit
+// — no clock, no global randomness — so every run fails (and recovers)
+// identically. Each transient abort kills the world at its first armed
+// episode, the retry driver rolls back and rebuilds, and the rebuilt
+// world walks into the next armed episode; four faults therefore cost
+// four recoveries regardless of how the episodes fall across steps.
+func chaosPlan() *mpi.FaultPlan {
+	return mpi.NewFaultPlan(
+		mpi.Fault{Rank: 1, Episode: 2, Kind: mpi.FaultTransient, Fires: 1},
+		mpi.Fault{Rank: 2, Episode: 30, Kind: mpi.FaultTransient, Fires: 1},
+		mpi.Fault{Rank: 3, Episode: 60, Kind: mpi.FaultTransient, Fires: 1},
+		mpi.Fault{Rank: 0, Episode: 90, Kind: mpi.FaultTransient, Fires: 1},
+		mpi.Fault{Rank: 1, Episode: 120, Kind: mpi.FaultDelay, Delay: time.Millisecond},
+	)
+}
+
+// runChaosCell runs one workload: a fault-free reference chain and a
+// chaos chain that starts from the same cold partition (transferred by
+// checkpoint onto a fault-injected world) and steps through
+// RepartitionWithRetry. Every step is compared bit-for-bit.
+func runChaosCell(w io.Writer, kind string, n, k int) ([]ChaosRow, ChaosCell, error) {
+	cell := ChaosCell{Graph: kind, K: k, P: chaosP, Steps: chaosSteps}
+	m, err := repartMesh(kind, n)
+	if err != nil {
+		return nil, cell, err
+	}
+	cell.N = m.N()
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	ps0 := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: perturbedWeights(m, 0)}
+
+	// Fault-free reference chain.
+	ref, err := repart.NewSession(mpi.NewWorld(chaosP), ps0.Clone(), k, cfg)
+	if err != nil {
+		return nil, cell, err
+	}
+	defer ref.Close()
+	if _, err := ref.Partition(); err != nil {
+		return nil, cell, err
+	}
+
+	// Chaos chain: identical cold start on a clean world, then the state
+	// moves by checkpoint onto a fault-injected world. The same factory
+	// serves the retry driver's rollbacks, so the schedule stays armed
+	// across world rebuilds and transient faults disarm exactly once.
+	seed, err := repart.NewSession(mpi.NewWorld(chaosP), ps0.Clone(), k, cfg)
+	if err != nil {
+		return nil, cell, err
+	}
+	if _, err := seed.Partition(); err != nil {
+		seed.Close()
+		return nil, cell, err
+	}
+	ckpt, err := seed.Checkpoint()
+	seed.Close()
+	if err != nil {
+		return nil, cell, err
+	}
+	plan := chaosPlan()
+	cell.FaultsScheduled = 4 // abort faults; the delay does not abort
+	factory := func(size int) *mpi.World {
+		fw := mpi.NewWorld(size)
+		fw.SetHooks(plan)
+		return fw
+	}
+	vic, err := repart.NewSessionFromCheckpoint(factory(chaosP), ckpt, cfg)
+	if err != nil {
+		return nil, cell, err
+	}
+	defer vic.Close()
+	vic.SetWorldFactory(factory)
+
+	policy := repart.RetryPolicy{MaxRetries: 8, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+	fmt.Fprintf(w, "\n%-10s n=%d k=%d p=%d: %d abort faults scheduled over %d warm steps\n",
+		kind, cell.N, k, chaosP, cell.FaultsScheduled, chaosSteps)
+	fmt.Fprintf(w, "%4s %8s %8s %11s %12s %10s %10s %6s\n",
+		"step", "retries", "fired", "pre_imbal", "migrated_w", "wall[s]", "ref[s]", "ident")
+
+	var rows []ChaosRow
+	cell.Identical = true
+	var lastAssign []int32
+	var lastWeights []float64
+	for t := 1; t <= chaosSteps; t++ {
+		wt := perturbedWeights(m, t)
+
+		t0 := time.Now()
+		if err := ref.UpdateWeights(wt); err != nil {
+			return nil, cell, err
+		}
+		refP, _, refActed, err := ref.RepartitionIfAbove(0)
+		if err != nil {
+			return nil, cell, fmt.Errorf("reference step %d: %w", t, err)
+		}
+		refSecs := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		if err := vic.UpdateWeights(wt); err != nil {
+			return nil, cell, err
+		}
+		chaosP2, st, acted, err := vic.RepartitionWithRetry(context.Background(), 0, policy)
+		if err != nil {
+			return nil, cell, fmt.Errorf("chaos step %d: %w", t, err)
+		}
+		chaosSecs := time.Since(t0).Seconds()
+		if acted != refActed {
+			return nil, cell, fmt.Errorf("chaos step %d: chains disagree on triggering (chaos %v, reference %v)", t, acted, refActed)
+		}
+		if !acted {
+			continue // neither chain stepped; nothing to compare
+		}
+
+		identical := true
+		for i := range refP.Assign {
+			if chaosP2.Assign[i] != refP.Assign[i] {
+				identical = false
+				cell.Identical = false
+				break
+			}
+		}
+		row := ChaosRow{
+			Graph: kind, Step: t, K: k, P: chaosP,
+			Retries: st.Retries, FiredTotal: plan.Fired(),
+			Identical:    identical,
+			PreImbalance: st.PreImbalance, MigratedWeight: st.MigratedWeight,
+			DistCalcs: st.DistCalcs,
+			Seconds:   chaosSecs, RefSeconds: refSecs,
+		}
+		rows = append(rows, row)
+		cell.Recoveries += st.Retries
+		cell.DistCalcs += st.DistCalcs
+		cell.WallSec += chaosSecs
+		cell.RefWallSec += refSecs
+		lastAssign, lastWeights = chaosP2.Assign, wt
+		id := "yes"
+		if !identical {
+			id = "NO"
+		}
+		fmt.Fprintf(w, "%4d %8d %8d %11.4f %12.1f %10.4f %10.4f %6s\n",
+			t, row.Retries, row.FiredTotal, row.PreImbalance, row.MigratedWeight, row.Seconds, row.RefSeconds, id)
+	}
+	cell.FaultsFired = plan.Fired()
+	cell.Delays = plan.Delayed()
+	cell.WastedSec = cell.WallSec - cell.RefWallSec
+
+	if lastAssign != nil {
+		ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: lastWeights}
+		rep, err := metrics.Evaluate(m.G, ps, lastAssign, k)
+		if err != nil {
+			return nil, cell, err
+		}
+		cell.Cut, cell.Imbalance = rep.EdgeCut, rep.Imbalance
+	}
+	fmt.Fprintf(w, "summary %s: %d/%d scheduled faults fired, %d recoveries, %d delay stalls; partitions bit-identical to fault-free chain: %v; wasted %.4fs of %.4fs total (fault-free chain: %.4fs)\n",
+		kind, cell.FaultsFired, int64(cell.FaultsScheduled), cell.Recoveries, cell.Delays,
+		cell.Identical, cell.WastedSec, cell.WallSec, cell.RefWallSec)
+	return rows, cell, nil
+}
+
+// Chaos runs the fault-injection experiment (DESIGN.md,
+// "Fault-tolerance invariants"): for each dynamic workload, a warm
+// repartitioning chain is driven through the checkpoint-rollback retry
+// driver while a deterministic fault schedule kills ranks
+// mid-collective, and every step's partition is compared bit-for-bit
+// against the identical fault-free chain. A healthy run recovers every
+// fired fault (Recoveries == FaultsFired), never hangs, and stays
+// bit-identical; the wasted wall time is the price of recovery.
+func Chaos(w io.Writer, sc Scale) ([]ChaosRow, ChaosReport, error) {
+	rep := ChaosReport{Schema: chaosSchema}
+	fmt.Fprintf(w, "Fault-injected warm repartitioning (retry driver, checkpoint rollback) vs fault-free chain, %d steps, p=%d\n",
+		chaosSteps, chaosP)
+	var rows []ChaosRow
+	for _, wl := range repartWorkloads(sc) {
+		r, cell, err := runChaosCell(w, wl.kind, wl.n, wl.k)
+		if err != nil {
+			return nil, rep, fmt.Errorf("chaos %s: %w", wl.kind, err)
+		}
+		rows = append(rows, r...)
+		rep.Cells = append(rep.Cells, cell)
+	}
+	return rows, rep, nil
+}
+
+// WriteChaosJSON writes the report as indented JSON (the
+// BENCH_chaos.json format).
+func WriteChaosJSON(w io.Writer, rep ChaosReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

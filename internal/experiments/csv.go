@@ -105,6 +105,28 @@ func WriteStreamRowsCSV(w io.Writer, rows []StreamRow) error {
 	return cw.Error()
 }
 
+// WriteChaosRowsCSV dumps the fault-injection timesteps (see
+// docs/cli.md for the column reference).
+func WriteChaosRowsCSV(w io.Writer, rows []ChaosRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"graph", "step", "k", "p",
+		"retries", "fired_total", "identical", "pre_imbalance", "migrated_w",
+		"dist_calcs", "wall_s", "ref_wall_s"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Graph, strconv.Itoa(r.Step), strconv.Itoa(r.K), strconv.Itoa(r.P),
+			strconv.Itoa(r.Retries), strconv.FormatInt(r.FiredTotal, 10),
+			strconv.FormatBool(r.Identical), fmtF(r.PreImbalance), fmtF(r.MigratedWeight),
+			strconv.FormatInt(r.DistCalcs, 10), fmtF(r.Seconds), fmtF(r.RefSeconds)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteScalePointsCSV dumps scaling series (Figures 3a/3b).
 func WriteScalePointsCSV(w io.Writer, pts []ScalePoint) error {
 	cw := csv.NewWriter(w)

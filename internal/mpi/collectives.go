@@ -97,6 +97,7 @@ func getScalar[T Number](arr []uint64, i int) T {
 // collectiveStats records one collective contributing `bytes` from this
 // rank.
 func (c *Comm) collectiveStats(bytes int64) {
+	c.w.hook(c.rank) // fault-injection / transport hook (nil check when unused)
 	st := &c.w.stats[c.rank]
 	st.Collectives++
 	st.CollectiveBytes += bytes

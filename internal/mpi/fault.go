@@ -1,0 +1,195 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks failures raised by a FaultPlan. An aborted run whose
+// root cause is an injected fault satisfies errors.Is(err, ErrInjected)
+// (through the *AbortError's cause chain), which is how retry drivers
+// distinguish scheduled chaos from genuine bugs in tests.
+var ErrInjected = errors.New("mpi: injected fault")
+
+// FaultKind selects what a scheduled Fault does when it fires.
+type FaultKind int
+
+const (
+	// FaultPanic makes the rank panic at the scheduled episode, every
+	// time the episode is reached (a hard, non-recoverable failure: a
+	// retried run on a fresh world hits it again).
+	FaultPanic FaultKind = iota
+	// FaultTransient fails the rank like FaultPanic but disarms after
+	// Fires firings (default 1): a retried run on a fresh world passes.
+	// This models the transient collective failures — a dropped
+	// connection, a timed-out peer — that recovery machinery exists for.
+	FaultTransient
+	// FaultDelay stalls the rank for Delay before it enters the
+	// collective (a straggler, not a failure): peers park in the barrier
+	// until the delayed deposit arrives. Useful for exercising
+	// cancellation while a collective is in flight.
+	FaultDelay
+)
+
+// String names the kind for logs and error messages.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPanic:
+		return "panic"
+	case FaultTransient:
+		return "transient"
+	case FaultDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scheduled failure: when rank Rank enters its Episode-th
+// collective (0-based per-rank entry count, bare barriers included), the
+// fault fires according to Kind.
+type Fault struct {
+	Rank    int
+	Episode int64
+	Kind    FaultKind
+	// Delay is the stall duration of a FaultDelay.
+	Delay time.Duration
+	// Fires bounds how many times a FaultTransient fires before it
+	// disarms; 0 means 1. Ignored for the other kinds.
+	Fires int
+}
+
+// FaultPlan is a deterministic fault schedule implementing Hooks: every
+// fault fires at a fixed (rank, episode) coordinate, so two runs of the
+// same program under the same plan fail identically — no wall-clock or
+// global randomness is consulted (the only randomness is the seed given
+// to RandomFaultPlan, and the only timing effect is the explicit Delay
+// of a FaultDelay).
+//
+// A plan may outlive a World: transient-fault firing counts live in the
+// plan, so a retry driver that rebuilds the world after an abort and
+// replays the same episodes gets the transient behavior it expects —
+// the fault fired, recovery ran, the replay passes. Per-rank episode
+// counters live in the World and start at zero with each fresh world.
+//
+// A FaultPlan is safe for concurrent use by all ranks.
+type FaultPlan struct {
+	mu     sync.Mutex
+	sched  map[faultKey]*armedFault
+	fired  int64
+	delays int64
+
+	// Sleep implements FaultDelay stalls; tests substitute a recorder to
+	// keep suites fast. Defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+type faultKey struct {
+	rank    int
+	episode int64
+}
+
+type armedFault struct {
+	f         Fault
+	remaining int // firings left (transient); -1 = unlimited
+}
+
+// NewFaultPlan builds a plan from an explicit schedule. Scheduling two
+// faults at the same (rank, episode) keeps the last one.
+func NewFaultPlan(faults ...Fault) *FaultPlan {
+	p := &FaultPlan{sched: make(map[faultKey]*armedFault), Sleep: time.Sleep}
+	for _, f := range faults {
+		p.Add(f)
+	}
+	return p
+}
+
+// RandomFaultPlan draws n faults of the given kinds (all three when none
+// are named) uniformly over ranks [0,p) and episodes [1,maxEpisode],
+// from its own seeded generator — deterministic for a fixed seed, and
+// independent of any global randomness. Delays are 1–5ms.
+func RandomFaultPlan(seed int64, p int, maxEpisode int64, n int, kinds ...FaultKind) *FaultPlan {
+	if len(kinds) == 0 {
+		kinds = []FaultKind{FaultPanic, FaultTransient, FaultDelay}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plan := NewFaultPlan()
+	for i := 0; i < n; i++ {
+		plan.Add(Fault{
+			Rank:    rng.Intn(p),
+			Episode: 1 + rng.Int63n(maxEpisode),
+			Kind:    kinds[rng.Intn(len(kinds))],
+			Delay:   time.Duration(1+rng.Intn(5)) * time.Millisecond,
+		})
+	}
+	return plan
+}
+
+// Add schedules one more fault (replacing any fault already at the same
+// rank/episode coordinate).
+func (p *FaultPlan) Add(f Fault) {
+	rem := -1
+	if f.Kind == FaultTransient {
+		rem = f.Fires
+		if rem <= 0 {
+			rem = 1
+		}
+	}
+	p.mu.Lock()
+	p.sched[faultKey{f.Rank, f.Episode}] = &armedFault{f: f, remaining: rem}
+	p.mu.Unlock()
+}
+
+// Fired returns how many faults have aborted a world so far (delays are
+// counted separately by Delayed).
+func (p *FaultPlan) Fired() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// Delayed returns how many FaultDelay stalls have been applied.
+func (p *FaultPlan) Delayed() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.delays
+}
+
+// BeforeCollective implements Hooks: it consults the schedule at this
+// rank/episode coordinate and fires the armed fault, if any.
+func (p *FaultPlan) BeforeCollective(rank int, episode int64) error {
+	p.mu.Lock()
+	af, ok := p.sched[faultKey{rank, episode}]
+	if !ok {
+		p.mu.Unlock()
+		return nil
+	}
+	var (
+		sleep func(time.Duration)
+		d     time.Duration
+	)
+	switch af.f.Kind {
+	case FaultDelay:
+		p.delays++
+		sleep, d = p.Sleep, af.f.Delay
+	case FaultTransient:
+		if af.remaining == 0 {
+			p.mu.Unlock()
+			return nil
+		}
+		af.remaining--
+		p.fired++
+	default: // FaultPanic
+		p.fired++
+	}
+	p.mu.Unlock()
+	if sleep != nil {
+		if d > 0 {
+			sleep(d)
+		}
+		return nil
+	}
+	return fmt.Errorf("%w: %s at rank %d episode %d", ErrInjected, af.f.Kind, rank, episode)
+}

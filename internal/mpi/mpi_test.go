@@ -1,6 +1,8 @@
 package mpi
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"strings"
 	"sync/atomic"
@@ -520,7 +522,9 @@ func BenchmarkAllreduce64(b *testing.B) {
 // waiting ranks get ErrBroken instead of returning with a stale result.
 // Every rank passes the same fn (as the collectives do); exactly one —
 // the last arriver — runs it and propagates its panic, and the rest are
-// released with ErrBroken. Both barrier implementations must agree.
+// released with ErrBroken. Both barrier implementations must agree, at
+// small p and at the p=64 / p=1024 scales where the tree barrier has
+// real leaf groups and a contended root.
 func TestBarrierRendezvousPanicBreaks(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -529,30 +533,84 @@ func TestBarrierRendezvousPanicBreaks(t *testing.T) {
 		{"tree", func(p int) barrier { return newTreeBarrier(p) }},
 		{"central", func(p int) barrier { return newCentralBarrier(p) }},
 	} {
-		t.Run(tc.name, func(t *testing.T) {
-			const p = 3
-			b := tc.mk(p)
-			res := make(chan any, p)
-			for r := 0; r < p; r++ {
-				go func(rank int) {
-					defer func() { res <- recover() }()
-					b.waitWith(rank, func() { panic("fold boom") })
-				}(r)
-			}
-			var booms, broken int
-			for i := 0; i < p; i++ {
-				switch v := <-res; v {
-				case "fold boom":
-					booms++
-				case ErrBroken:
-					broken++
-				default:
-					t.Fatalf("unexpected recover value %v", v)
+		for _, p := range []int{3, 64, 1024} {
+			t.Run(fmt.Sprintf("%s/p=%d", tc.name, p), func(t *testing.T) {
+				b := tc.mk(p)
+				res := make(chan any, p)
+				for r := 0; r < p; r++ {
+					go func(rank int) {
+						defer func() { res <- recover() }()
+						b.waitWith(rank, func() { panic("fold boom") })
+					}(r)
 				}
-			}
-			if booms != 1 || broken != p-1 {
-				t.Fatalf("booms=%d broken=%d, want 1 and %d", booms, broken, p-1)
-			}
-		})
+				var booms, broken int
+				for i := 0; i < p; i++ {
+					switch v := <-res; v {
+					case "fold boom":
+						booms++
+					case ErrBroken:
+						broken++
+					default:
+						t.Fatalf("unexpected recover value %v", v)
+					}
+				}
+				if booms != 1 || broken != p-1 {
+					t.Fatalf("booms=%d broken=%d, want 1 and %d", booms, broken, p-1)
+				}
+			})
+		}
+	}
+}
+
+// A rank that dies while its peers are inside AlltoallCols must release
+// them with the abort: the multi-column exchange parks every peer in a
+// single rendezvous crossing, and the poison has to reach both ranks
+// already waiting and ranks that arrive later. Covered over both barrier
+// implementations at p=64 and p=1024.
+func TestPanicDuringAlltoallColsBreaks(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int) barrier
+	}{
+		{"tree", func(p int) barrier { return newTreeBarrier(p) }},
+		{"central", func(p int) barrier { return newCentralBarrier(p) }},
+	} {
+		for _, p := range []int{64, 1024} {
+			t.Run(fmt.Sprintf("%s/p=%d", tc.name, p), func(t *testing.T) {
+				w := newWorldWithBarrier(p, tc.mk(p))
+				victim := p / 2
+				var released atomic.Int64
+				err := w.Run(func(c *Comm) {
+					defer func() {
+						if rec := recover(); rec != nil {
+							released.Add(1)
+							panic(rec)
+						}
+					}()
+					if c.Rank() == victim {
+						panic("alltoall victim")
+					}
+					counts := make([]int, p)
+					for dst := range counts {
+						counts[dst] = 1
+					}
+					AlltoallCols(c, make([]uint64, p), make([]int64, p),
+						[][]float64{make([]float64, p)}, counts)
+				})
+				var ae *AbortError
+				if !errors.As(err, &ae) {
+					t.Fatalf("Run returned %T (%v), want *AbortError", err, err)
+				}
+				if ae.Rank != victim {
+					t.Errorf("abort attributed to rank %d, want %d", ae.Rank, victim)
+				}
+				if !errors.Is(err, ErrBroken) {
+					t.Error("AbortError must match ErrBroken under errors.Is")
+				}
+				if got := released.Load(); got != int64(p) {
+					t.Errorf("%d ranks unwound with a panic, want all %d", got, p)
+				}
+			})
+		}
 	}
 }

@@ -31,8 +31,11 @@ import (
 	"unsafe"
 )
 
-// ErrBroken is returned by Run when a rank panicked; other ranks blocked
-// in collectives are released (and themselves panic with this error).
+// ErrBroken is the sentinel for a dead world: a rank panicked, a hook
+// failed, or the world was aborted. Blocked ranks are released with a
+// *AbortError, which matches ErrBroken under errors.Is; the bare
+// sentinel is only ever the panic value on interior paths that have no
+// cause to attach yet.
 var ErrBroken = errors.New("mpi: world broken by rank panic")
 
 // message is a point-to-point payload with its element count for stats.
@@ -97,9 +100,17 @@ type World struct {
 	mailMu sync.Mutex
 	mail   map[int64]chan message // lazily created: key dst*size+src
 
-	mu     sync.Mutex
-	broken bool
-	err    error
+	// Fault-tolerance state (abort.go/fault.go): optional runtime hooks
+	// with their per-rank collective-entry counters, and the abort
+	// broadcast channel that releases blocked Send/Recv calls.
+	hooks    Hooks
+	episodes []int64
+	done     chan struct{}
+
+	mu         sync.Mutex
+	broken     bool
+	err        error
+	errPrimary bool // err carries a root cause, not a release panic
 }
 
 // NewWorld creates a world with the given number of ranks (>= 1).
@@ -126,6 +137,7 @@ func newWorldWithBarrier(size int, bar barrier) *World {
 		mail:  make(map[int64]chan message),
 		stats: make([]Stats, size),
 		model: DefaultCostModel(),
+		done:  make(chan struct{}),
 	}
 	switch b := bar.(type) {
 	case *treeBarrier:
@@ -163,8 +175,13 @@ func (w *World) SetCostModel(m CostModel) { w.model = m }
 func (w *World) CostModel() CostModel { return w.model }
 
 // Run executes f once per rank, concurrently, and waits for all ranks to
-// finish. If any rank panics, the world is broken, remaining ranks are
-// released from collectives, and the first panic is returned as an error.
+// finish. If any rank panics (or a hook fails, or the world is aborted),
+// the world is broken: remaining ranks are released from collectives and
+// point-to-point calls with an *AbortError panic, no rank goroutine is
+// left behind, and the abort of the root-cause rank is returned. A
+// broken world stays broken — later Run calls fail immediately with the
+// same error; recovery means building a fresh World (typically from a
+// checkpoint, see internal/repart).
 func (w *World) Run(f func(c *Comm)) error {
 	var wg sync.WaitGroup
 	for r := 0; r < w.size; r++ {
@@ -172,8 +189,25 @@ func (w *World) Run(f func(c *Comm)) error {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
-				if rec := recover(); rec != nil {
-					w.breakWorld(fmt.Errorf("mpi: rank %d panicked: %v", rank, rec))
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				// A rank released from a poisoned barrier or mailbox
+				// re-panics the abort it was handed; that is a secondary
+				// effect, not a root cause — it must never displace the
+				// failing rank's own error.
+				switch e := rec.(type) {
+				case *AbortError:
+					w.breakWorld(e, false)
+				case error:
+					if errors.Is(e, ErrBroken) {
+						w.breakWorld(&AbortError{Rank: rank, Cause: e}, false)
+					} else {
+						w.breakWorld(&AbortError{Rank: rank, Cause: e}, true)
+					}
+				default:
+					w.breakWorld(&AbortError{Rank: rank, Cause: asError(rec)}, true)
 				}
 			}()
 			f(&Comm{w: w, rank: rank})
@@ -185,14 +219,25 @@ func (w *World) Run(f func(c *Comm)) error {
 	return w.err
 }
 
-func (w *World) breakWorld(err error) {
+// breakWorld poisons the world with err. primary marks a root cause
+// (rank panic, hook failure, external Abort) as opposed to the re-panic
+// of a released waiter; the first primary cause wins, and a secondary
+// error only ever fills an empty slot. All rank goroutines finish before
+// Run reads w.err, and root-cause recovers run before their goroutine
+// exits, so the returned error is always the primary cause when one
+// exists.
+func (w *World) breakWorld(err *AbortError, primary bool) {
 	w.mu.Lock()
 	if !w.broken {
 		w.broken = true
-		w.err = err
+		close(w.done) // releases blocked Send/Recv on every rank
 	}
+	if w.err == nil || (primary && !w.errPrimary) {
+		w.err, w.errPrimary = err, primary
+	}
+	cause := w.err
 	w.mu.Unlock()
-	w.barBrk()
+	w.barBrk(cause)
 }
 
 // Stats returns a copy of the per-rank statistics.
@@ -229,6 +274,7 @@ func (c *Comm) Stats() *Stats { return &c.w.stats[c.rank] }
 // happens-before edge between everything written before the barrier on
 // any rank and everything read after it on every rank.
 func (c *Comm) Barrier() {
+	c.w.hook(c.rank)
 	st := &c.w.stats[c.rank]
 	st.Barriers++
 	st.ModeledCommSec += c.w.model.CollectiveLatency(c.w.size)
@@ -254,11 +300,11 @@ func (w *World) barWaitWith(rank int, fn func()) {
 	}
 }
 
-func (w *World) barBrk() {
+func (w *World) barBrk(cause error) {
 	if w.tbar != nil {
-		w.tbar.brk()
+		w.tbar.brk(cause)
 	} else {
-		w.cbar.brk()
+		w.cbar.brk(cause)
 	}
 }
 
@@ -268,11 +314,13 @@ func (w *World) barBrk() {
 // writes visible to every rank on release — before anyone proceeds.
 // Collectives use it to fold contributions in a single barrier crossing
 // instead of a deposit barrier followed by a publish barrier. brk
-// releases all waiters with an ErrBroken panic.
+// poisons the barrier: all waiters (and all later arrivers) are released
+// with a panic carrying cause — the world's *AbortError — or the bare
+// ErrBroken sentinel when no cause was recorded yet.
 type barrier interface {
 	wait(rank int)
 	waitWith(rank int, fn func())
-	brk()
+	brk(cause error)
 }
 
 // ---------------------------------------------------------------------
@@ -299,8 +347,19 @@ type bnode struct {
 	count  int
 	gen    uint64
 	broken bool
+	cause  error // abort delivered to waiters; nil = bare ErrBroken
 	// Pad to a cache line so leaf nodes don't false-share.
 	_ [24]byte
+}
+
+// brokenPanic converts a node's recorded cause into the panic value a
+// released waiter unwinds with. Call with the cause read under the
+// node's lock.
+func brokenPanic(cause error) {
+	if cause == nil {
+		panic(ErrBroken)
+	}
+	panic(cause)
 }
 
 type treeBarrier struct {
@@ -340,8 +399,9 @@ func (b *treeBarrier) waitWith(rank int, fn func()) {
 	leaf := &b.leaves[rank>>b.shift]
 	leaf.mu.Lock()
 	if leaf.broken {
+		cause := leaf.cause
 		leaf.mu.Unlock()
-		panic(ErrBroken)
+		brokenPanic(cause)
 	}
 	gen := leaf.gen
 	leaf.count++
@@ -353,10 +413,10 @@ func (b *treeBarrier) waitWith(rank int, fn func()) {
 		for gen == leaf.gen && !leaf.broken {
 			leaf.cond.Wait()
 		}
-		broken := leaf.broken
+		broken, cause := leaf.broken, leaf.cause
 		leaf.mu.Unlock()
 		if broken {
-			panic(ErrBroken)
+			brokenPanic(cause)
 		}
 		return
 	}
@@ -367,8 +427,9 @@ func (b *treeBarrier) waitWith(rank int, fn func()) {
 	r := &b.root
 	r.mu.Lock()
 	if r.broken {
+		cause := r.cause
 		r.mu.Unlock()
-		panic(ErrBroken)
+		brokenPanic(cause)
 	}
 	rgen := r.gen
 	r.count++
@@ -376,7 +437,7 @@ func (b *treeBarrier) waitWith(rank int, fn func()) {
 		if fn != nil {
 			// A panicking fn must break the barrier, not complete it:
 			// waiters are released down their broken path (they panic
-			// ErrBroken instead of returning with a stale result), and
+			// the abort instead of returning with a stale result), and
 			// the original panic propagates to Run's recover, which
 			// records it as the world's root cause.
 			func() {
@@ -386,7 +447,7 @@ func (b *treeBarrier) waitWith(rank int, fn func()) {
 						r.count = 0
 						r.cond.Broadcast()
 						r.mu.Unlock()
-						b.brkLeaves()
+						b.brkLeaves(nil)
 						panic(rec)
 					}
 				}()
@@ -401,12 +462,12 @@ func (b *treeBarrier) waitWith(rank int, fn func()) {
 		for rgen == r.gen && !r.broken {
 			r.cond.Wait()
 		}
-		broken := r.broken
+		broken, cause := r.broken, r.cause
 		r.mu.Unlock()
 		if broken {
 			// This group's waiters are released by brk/brkLeaves, which
 			// marked every node.
-			panic(ErrBroken)
+			brokenPanic(cause)
 		}
 	}
 
@@ -418,19 +479,25 @@ func (b *treeBarrier) waitWith(rank int, fn func()) {
 	leaf.mu.Unlock()
 }
 
-func (b *treeBarrier) brk() {
+func (b *treeBarrier) brk(cause error) {
 	b.root.mu.Lock()
 	b.root.broken = true
+	if b.root.cause == nil {
+		b.root.cause = cause
+	}
 	b.root.cond.Broadcast()
 	b.root.mu.Unlock()
-	b.brkLeaves()
+	b.brkLeaves(cause)
 }
 
-func (b *treeBarrier) brkLeaves() {
+func (b *treeBarrier) brkLeaves(cause error) {
 	for i := range b.leaves {
 		l := &b.leaves[i]
 		l.mu.Lock()
 		l.broken = true
+		if l.cause == nil {
+			l.cause = cause
+		}
 		l.cond.Broadcast()
 		l.mu.Unlock()
 	}
@@ -448,6 +515,7 @@ type centralBarrier struct {
 	count  int
 	gen    uint64
 	broken bool
+	cause  error // abort delivered to waiters; nil = bare ErrBroken
 }
 
 func newCentralBarrier(size int) *centralBarrier {
@@ -461,8 +529,9 @@ func (b *centralBarrier) wait(rank int) { b.waitWith(rank, nil) }
 func (b *centralBarrier) waitWith(rank int, fn func()) {
 	b.mu.Lock()
 	if b.broken {
+		cause := b.cause
 		b.mu.Unlock()
-		panic(ErrBroken)
+		brokenPanic(cause)
 	}
 	gen := b.gen
 	b.count++
@@ -489,34 +558,59 @@ func (b *centralBarrier) waitWith(rank int, fn func()) {
 	for gen == b.gen && !b.broken {
 		b.cond.Wait()
 	}
-	broken := b.broken
+	broken, cause := b.broken, b.cause
 	b.mu.Unlock()
 	if broken {
-		panic(ErrBroken)
+		brokenPanic(cause)
 	}
 }
 
 // brk releases all waiting ranks with a panic.
-func (b *centralBarrier) brk() {
+func (b *centralBarrier) brk(cause error) {
 	b.mu.Lock()
 	b.broken = true
+	if b.cause == nil {
+		b.cause = cause
+	}
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
 
+// abortCause returns the error a released rank unwinds with: the world's
+// recorded *AbortError, or bare ErrBroken when the break raced ahead of
+// the error being recorded.
+func (w *World) abortCause() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	return ErrBroken
+}
+
 // Send delivers data to rank dst. elemBytes should approximate the wire
 // size of the payload; it only affects statistics, not semantics. Send
-// blocks when the destination mailbox (64 messages deep) is full.
+// blocks when the destination mailbox (64 messages deep) is full; a
+// blocked Send is released with an abort panic when the world breaks.
 func (c *Comm) Send(dst int, data any, bytes int64) {
 	st := &c.w.stats[c.rank]
 	st.MsgsSent++
 	st.BytesSent += bytes
 	st.ModeledCommSec += c.w.model.P2PTime(bytes)
-	c.w.mailbox(dst, c.rank) <- message{data: data, bytes: bytes}
+	select {
+	case c.w.mailbox(dst, c.rank) <- message{data: data, bytes: bytes}:
+	case <-c.w.done:
+		panic(c.w.abortCause())
+	}
 }
 
 // Recv receives the next message from rank src (program order per pair).
+// A blocked Recv is released with an abort panic when the world breaks.
 func (c *Comm) Recv(src int) any {
-	m := <-c.w.mailbox(c.rank, src)
-	return m.data
+	select {
+	case m := <-c.w.mailbox(c.rank, src):
+		return m.data
+	case <-c.w.done:
+		panic(c.w.abortCause())
+	}
 }

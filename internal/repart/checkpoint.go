@@ -1,0 +1,223 @@
+package repart
+
+// Session checkpoint/restore: a serialized session captures the global
+// point set (current coordinates and weights, including any deltas not
+// yet flushed to the residents), the installed partition, and every
+// rank's resident record — the carried incremental bounds included — so
+// a restored session's next warm step is bit-identical to the step an
+// uninterrupted session would have run (DESIGN.md, "Fault-tolerance
+// invariants"). The configuration is NOT embedded: the caller passes
+// the same core.Config to NewSessionFromCheckpoint, exactly as it did
+// to NewSession (configs hold policy, checkpoints hold state).
+
+import (
+	"fmt"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+)
+
+// SessionCheckpointVersion is the current session checkpoint format.
+const SessionCheckpointVersion = 1
+
+// sessionMagic guards the checkpoint header ("GEOS").
+const sessionMagic = 0x47454F53
+
+// CheckpointInfo summarizes a checkpoint header without decoding the
+// payload — enough for a caller to build a matching world (P ranks)
+// before calling NewSessionFromCheckpoint.
+type CheckpointInfo struct {
+	Version int
+	K       int // number of blocks
+	P       int // world size at checkpoint time
+	Dim     int // coordinate dimension
+	N       int // number of points
+}
+
+// ReadCheckpointInfo decodes just the header of a session checkpoint.
+func ReadCheckpointInfo(data []byte) (CheckpointInfo, error) {
+	d := core.NewSnapDecoder(data)
+	info, err := readHeader(d)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return info, nil
+}
+
+func readHeader(d *core.SnapDecoder) (CheckpointInfo, error) {
+	if m := d.U32(); d.Err() == nil && m != sessionMagic {
+		return CheckpointInfo{}, fmt.Errorf("%w: bad session magic %#x", core.ErrCheckpointCorrupt, m)
+	}
+	v := d.U32()
+	if d.Err() == nil && v != SessionCheckpointVersion {
+		return CheckpointInfo{}, fmt.Errorf("%w: session checkpoint v%d, want v%d", core.ErrCheckpointVersion, v, SessionCheckpointVersion)
+	}
+	info := CheckpointInfo{
+		Version: int(v),
+		K:       int(d.U32()),
+		P:       int(d.U32()),
+		Dim:     int(d.U32()),
+		N:       int(d.U64()),
+	}
+	if err := d.Err(); err != nil {
+		return CheckpointInfo{}, err
+	}
+	if info.K < 1 || info.P < 1 || info.Dim < 1 || info.Dim > 3 || info.N < 1 {
+		return CheckpointInfo{}, fmt.Errorf("%w: header k=%d p=%d dim=%d n=%d",
+			core.ErrCheckpointCorrupt, info.K, info.P, info.Dim, info.N)
+	}
+	return info, nil
+}
+
+// Checkpoint serializes the session's complete restorable state. Purely
+// local — no collectives, no mutation — so it can be taken between any
+// two verbs, including while weight/coordinate deltas are pending (the
+// pending flags travel with the data and the restored session flushes
+// them exactly as this one would have).
+func (s *Session) Checkpoint() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Session) checkpointLocked() ([]byte, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e := core.NewSnapEncoder()
+	e.U32(sessionMagic)
+	e.U32(SessionCheckpointVersion)
+	e.U32(uint32(s.k))
+	e.U32(uint32(s.w.Size()))
+	e.U32(uint32(s.ps.Dim))
+	e.U64(uint64(s.ps.Len()))
+	e.F64s(s.ps.Coords)
+	e.Bool(s.ps.Weight != nil)
+	if s.ps.Weight != nil {
+		e.F64s(s.ps.Weight)
+	}
+	e.Bool(s.prev != nil)
+	if s.prev != nil {
+		e.I32s(s.prev)
+	}
+	e.Bool(s.weightsDirty)
+	e.Bool(s.coordsDirty)
+	for _, r := range s.res {
+		r.Snapshot(e)
+	}
+	return e.Bytes(), nil
+}
+
+// decoded checkpoint payload, shared by NewSessionFromCheckpoint and
+// the retry driver's rollback.
+type ckptState struct {
+	info         CheckpointInfo
+	ps           *geom.PointSet
+	prev         []int32
+	weightsDirty bool
+	coordsDirty  bool
+	res          []*core.Resident
+}
+
+func decodeCheckpoint(data []byte) (*ckptState, error) {
+	d := core.NewSnapDecoder(data)
+	info, err := readHeader(d)
+	if err != nil {
+		return nil, err
+	}
+	st := &ckptState{info: info}
+	coords := d.F64s()
+	var weights []float64
+	if d.Bool() {
+		weights = d.F64s()
+	}
+	var prev []int32
+	if d.Bool() {
+		prev = d.I32s()
+	}
+	st.weightsDirty = d.Bool()
+	st.coordsDirty = d.Bool()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if len(coords) != info.N*info.Dim {
+		return nil, fmt.Errorf("%w: %d coordinates for n=%d dim=%d",
+			core.ErrCheckpointCorrupt, len(coords), info.N, info.Dim)
+	}
+	if weights != nil && len(weights) != info.N {
+		return nil, fmt.Errorf("%w: %d weights for %d points", core.ErrCheckpointCorrupt, len(weights), info.N)
+	}
+	if prev != nil {
+		if len(prev) != info.N {
+			return nil, fmt.Errorf("%w: partition of %d entries for %d points", core.ErrCheckpointCorrupt, len(prev), info.N)
+		}
+		for i, b := range prev {
+			if b < 0 || int(b) >= info.K {
+				return nil, fmt.Errorf("%w: block %d at point %d for k=%d", core.ErrCheckpointCorrupt, b, i, info.K)
+			}
+		}
+	}
+	st.ps = &geom.PointSet{Dim: info.Dim, Coords: coords, Weight: weights}
+	st.prev = prev
+
+	st.res = make([]*core.Resident, info.P)
+	total := 0
+	for r := range st.res {
+		st.res[r], err = core.RestoreResident(d)
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+		if st.res[r].Dim() != info.Dim {
+			return nil, fmt.Errorf("%w: rank %d resident dim %d, session dim %d",
+				core.ErrCheckpointCorrupt, r, st.res[r].Dim(), info.Dim)
+		}
+		total += st.res[r].Len()
+	}
+	if total != info.N {
+		return nil, fmt.Errorf("%w: residents hold %d points, header says %d", core.ErrCheckpointCorrupt, total, info.N)
+	}
+	if d.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", core.ErrCheckpointCorrupt, d.Len())
+	}
+	return st, nil
+}
+
+// install replaces the session's restorable state with the decoded
+// checkpoint. Caller holds s.mu; w must match the checkpoint's size.
+func (s *Session) installLocked(w *mpi.World, st *ckptState) {
+	s.w = w
+	s.ps = st.ps
+	s.k = st.info.K
+	s.prev = st.prev
+	s.weightsDirty = st.weightsDirty
+	s.coordsDirty = st.coordsDirty
+	s.res = st.res
+}
+
+// NewSessionFromCheckpoint rebuilds a session from Checkpoint bytes on
+// the world w, which must have the checkpoint's rank count (use
+// ReadCheckpointInfo to size it). cfg must be the configuration the
+// checkpointed session ran with; with the same cfg, the restored
+// session's next warm step is bit-identical to the step the original
+// session would have run — including taking the incremental
+// carried-bounds fast path, which travels in the per-rank records.
+func NewSessionFromCheckpoint(w *mpi.World, data []byte, cfg core.Config) (*Session, error) {
+	if len(cfg.WarmCenters) > 0 {
+		return nil, fmt.Errorf("repart: cfg.WarmCenters is managed by the session; leave it unset")
+	}
+	st, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("repart: restore: %w", err)
+	}
+	if err := cfg.Validate(st.info.K); err != nil {
+		return nil, err
+	}
+	if w.Size() != st.info.P {
+		return nil, fmt.Errorf("repart: restore onto %d ranks, checkpoint has %d (size the world from ReadCheckpointInfo)",
+			w.Size(), st.info.P)
+	}
+	s := &Session{cfg: cfg}
+	s.installLocked(w, st)
+	return s, nil
+}

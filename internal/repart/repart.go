@@ -66,6 +66,11 @@ type Stats struct {
 	// RepartitionIfAbove fills it (it is the quantity the eps threshold
 	// is tested against); plain Repartition leaves it 0.
 	PreImbalance float64
+
+	// Retries counts the rollback-and-retry cycles RepartitionWithRetry
+	// needed before this step succeeded (0 = first attempt worked; other
+	// drivers always leave it 0).
+	Retries int
 }
 
 // RecoverCenters computes the warm-start seed centers from a previous

@@ -1,8 +1,10 @@
 package repart
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"geographer/internal/core"
@@ -36,9 +38,15 @@ var ErrClosed = fmt.Errorf("repart: session is closed")
 // state was freshly ingested or resident (DESIGN.md, "Session
 // invariants"; pinned by TestSessionMatchesOneShotChain).
 //
-// A Session is not safe for concurrent use; like the simulated MPI
-// world it owns, it expects one driving goroutine.
+// A Session serializes its own calls: concurrent use from several
+// goroutines is memory-safe and each call observes a consistent state
+// (in particular, a call racing Close gets a deterministic ErrClosed,
+// never a partially-released resident). The simulated ranks inside one
+// call still run concurrently; serialization is only across Session
+// verbs.
 type Session struct {
+	mu sync.Mutex
+
 	w   *mpi.World
 	ps  *geom.PointSet
 	k   int
@@ -55,6 +63,14 @@ type Session struct {
 	// recompute.
 	weightsDirty bool
 	coordsDirty  bool
+
+	// runCtx, when set, makes every world execution of the current verb
+	// cancellable (RepartitionWithRetry installs it around each attempt).
+	runCtx context.Context
+	// worldFactory builds the replacement world of a retry rollback
+	// (nil = mpi.NewWorld). Fault-injection drivers substitute a factory
+	// that installs their FaultPlan on each fresh world.
+	worldFactory func(size int) *mpi.World
 
 	ingestSeconds float64
 	lastInfo      core.Info
@@ -101,8 +117,32 @@ func NewSession(w *mpi.World, ps *geom.PointSet, k int, cfg core.Config) (*Sessi
 	return s, nil
 }
 
+// run executes f on the session's world, under the current verb's
+// context when one is installed.
+func (s *Session) run(f func(c *mpi.Comm)) error {
+	if s.runCtx != nil {
+		return s.w.RunCtx(s.runCtx, f)
+	}
+	return s.w.Run(f)
+}
+
+// SetWorldFactory installs the constructor RepartitionWithRetry uses to
+// rebuild the simulated world after an abort (nil restores the default,
+// mpi.NewWorld). A fault-injection harness passes a factory that
+// attaches its mpi.FaultPlan to each fresh world, so scheduled faults
+// keep firing — and transient ones keep disarming — across retries.
+func (s *Session) SetWorldFactory(f func(size int) *mpi.World) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.worldFactory = f
+}
+
 // Len returns the number of points in the session's point set.
-func (s *Session) Len() int { return s.ps.Len() }
+func (s *Session) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ps.Len()
+}
 
 // K returns the number of blocks the session partitions into.
 func (s *Session) K() int { return s.k }
@@ -111,15 +151,25 @@ func (s *Session) K() int { return s.k }
 // building the resident columns — the one-time cost every warm step
 // amortizes (one-shot Repartition pays it on each call, reported there
 // as Stats.IngestSeconds).
-func (s *Session) IngestSeconds() float64 { return s.ingestSeconds }
+func (s *Session) IngestSeconds() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingestSeconds
+}
 
 // LastInfo returns the k-means diagnostics of the most recent
 // Partition or Repartition call.
-func (s *Session) LastInfo() core.Info { return s.lastInfo }
+func (s *Session) LastInfo() core.Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastInfo
+}
 
 // Blocks returns a copy of the most recent partition, or nil if no
 // partition has been computed or installed yet.
 func (s *Session) Blocks() []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.prev == nil {
 		return nil
 	}
@@ -131,6 +181,8 @@ func (s *Session) Blocks() []int32 {
 // bootstrap, bit-identical to a one-shot partition.Run with the same
 // configuration — and installs it as the session's current partition.
 func (s *Session) Partition() (partition.P, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return partition.P{}, ErrClosed
 	}
@@ -149,6 +201,12 @@ func (s *Session) Partition() (partition.P, error) {
 // partition computed elsewhere (a previous process, a checkpoint, a
 // different tool). The slice is copied.
 func (s *Session) SetPartition(prev []int32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setPartitionLocked(prev)
+}
+
+func (s *Session) setPartitionLocked(prev []int32) error {
 	if s.closed {
 		return ErrClosed
 	}
@@ -163,13 +221,15 @@ func (s *Session) SetPartition(prev []int32) error {
 // current partition and installs the result as the new current
 // partition. A partition must exist first (Partition or SetPartition).
 func (s *Session) Repartition() (partition.P, Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return partition.P{}, Stats{}, ErrClosed
 	}
 	if s.prev == nil {
 		return partition.P{}, Stats{}, fmt.Errorf("repart: no partition to warm-start from; call Partition or SetPartition first")
 	}
-	return s.RepartitionFrom(s.prev)
+	return s.repartitionFromLocked(s.prev)
 }
 
 // RepartitionFrom runs one warm repartitioning step seeded from an
@@ -178,10 +238,16 @@ func (s *Session) Repartition() (partition.P, Stats, error) {
 // primitive the one-shot Repartition driver and Session.Repartition
 // share.
 func (s *Session) RepartitionFrom(prev []int32) (partition.P, Stats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return partition.P{}, Stats{}, ErrClosed
 	}
-	if err := s.flush(); err != nil {
+	return s.repartitionFromLocked(prev)
+}
+
+func (s *Session) repartitionFromLocked(prev []int32) (partition.P, Stats, error) {
+	if err := s.flushLocked(); err != nil {
 		return partition.P{}, Stats{}, err
 	}
 	centers, err := RecoverCenters(s.ps, prev, s.k)
@@ -199,7 +265,7 @@ func (s *Session) RepartitionFrom(prev []int32) (partition.P, Stats, error) {
 	for i := range out.Assign {
 		out.Assign[i] = -1
 	}
-	runErr := s.w.Run(func(c *mpi.Comm) {
+	runErr := s.run(func(c *mpi.Comm) {
 		ids, blocks, err := bkm.PartitionResident(c, s.res[c.Rank()], s.k)
 		if err != nil {
 			panic(fmt.Sprintf("%s: %v", bkm.Name(), err))
@@ -241,6 +307,8 @@ func (s *Session) RepartitionFrom(prev []int32) (partition.P, Stats, error) {
 // into a single resident pass. The next Repartition balances against
 // the new weights.
 func (s *Session) UpdateWeights(weights []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -269,6 +337,8 @@ func (s *Session) UpdateWeights(weights []float64) error {
 // identity (and therefore the meaning of the current partition) is
 // preserved — this models points that moved, not a new point set.
 func (s *Session) UpdateCoords(coords []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
@@ -284,14 +354,15 @@ func (s *Session) UpdateCoords(coords []float64) error {
 	return nil
 }
 
-// flush applies the pending weight/coordinate deltas to the per-rank
-// resident state: one pass over the resident columns and — only when
-// coordinates changed — one collective bounding-box recompute (which
-// also drops the carried k-means bounds; moved points invalidate them).
-// Weight-only deltas are communication-free and keep the carried bounds.
-func (s *Session) flush() error {
+// flushLocked applies the pending weight/coordinate deltas to the
+// per-rank resident state: one pass over the resident columns and —
+// only when coordinates changed — one collective bounding-box recompute
+// (which also drops the carried k-means bounds; moved points invalidate
+// them). Weight-only deltas are communication-free and keep the carried
+// bounds.
+func (s *Session) flushLocked() error {
 	if s.coordsDirty {
-		err := s.w.Run(func(c *mpi.Comm) {
+		err := s.run(func(c *mpi.Comm) {
 			r := s.res[c.Rank()]
 			r.SetCoordsGlobal(s.ps.Coords)
 			if s.weightsDirty {
@@ -318,9 +389,15 @@ func (s *Session) flush() error {
 // coordinate delta (coordinates don't enter block weights). Errors when
 // no partition is installed.
 func (s *Session) Imbalance() (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return 0, ErrClosed
 	}
+	return s.imbalanceLocked()
+}
+
+func (s *Session) imbalanceLocked() (float64, error) {
 	if s.prev == nil {
 		return 0, fmt.Errorf("repart: no partition to measure; call Partition or SetPartition first")
 	}
@@ -354,23 +431,29 @@ func (s *Session) Imbalance() (float64, error) {
 // partition remains installed; the measured imbalance is returned in
 // Stats.PreImbalance either way.
 func (s *Session) RepartitionIfAbove(eps float64) (partition.P, Stats, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
 		return partition.P{}, Stats{}, false, ErrClosed
 	}
+	return s.repartitionIfAboveLocked(eps)
+}
+
+func (s *Session) repartitionIfAboveLocked(eps float64) (partition.P, Stats, bool, error) {
 	if s.prev == nil {
 		return partition.P{}, Stats{}, false, fmt.Errorf("repart: no partition to warm-start from; call Partition or SetPartition first")
 	}
 	if eps < 0 || math.IsNaN(eps) {
 		return partition.P{}, Stats{}, false, fmt.Errorf("repart: threshold eps=%g", eps)
 	}
-	imb, err := s.Imbalance()
+	imb, err := s.imbalanceLocked()
 	if err != nil {
 		return partition.P{}, Stats{}, false, err
 	}
 	if imb <= eps {
 		return partition.P{}, Stats{PreImbalance: imb}, false, nil
 	}
-	p, st, err := s.RepartitionFrom(s.prev)
+	p, st, err := s.repartitionFromLocked(s.prev)
 	st.PreImbalance = imb
 	return p, st, err == nil, err
 }
@@ -378,10 +461,14 @@ func (s *Session) RepartitionIfAbove(eps float64) (partition.P, Stats, bool, err
 // Close releases the resident state. Closing an already-closed session
 // is a no-op. After Close, every mutating method (Partition,
 // Repartition, RepartitionFrom, RepartitionIfAbove, SetPartition,
-// UpdateWeights, UpdateCoords) and Imbalance return ErrClosed; the
-// read-only accessors (Len, K, IngestSeconds, LastInfo, Blocks) keep
-// answering from what remains.
+// UpdateWeights, UpdateCoords, Checkpoint, RepartitionWithRetry) and
+// Imbalance return ErrClosed; the read-only accessors (Len, K,
+// IngestSeconds, LastInfo, Blocks) keep answering from what remains.
+// Close serializes against in-flight calls: it waits for the running
+// verb to finish rather than releasing state out from under it.
 func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.closed = true
 	s.res = nil
 	s.prev = nil

@@ -1,8 +1,12 @@
 package geographer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"geographer/internal/geom"
 	"geographer/internal/mpi"
@@ -32,15 +36,40 @@ import (
 // redundant work, never changes results. Only MethodGeographer
 // supports sessions (warm starts need the balanced k-means).
 //
-// A Session holds memory proportional to the point set until Close and
-// is not safe for concurrent use.
+// A Session holds memory proportional to the point set until Close. It
+// is safe for concurrent use: calls are serialized (each observes a
+// consistent state), and a call racing Close deterministically returns
+// the closed-session error rather than tearing down state mid-verb.
 type Session struct {
+	mu     sync.Mutex
 	inner  *repart.Session
 	closed bool
 }
 
 // errSessionClosed is what every Session method returns after Close.
 var errSessionClosed = fmt.Errorf("geographer: session is closed")
+
+// get snapshots the inner session under the facade lock; every verb
+// goes through it so a call racing Close sees either the live session
+// or errSessionClosed, never a torn state. The inner session serializes
+// its own verbs, so the facade lock is not held across them.
+func (s *Session) get() (*repart.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errSessionClosed
+	}
+	return s.inner, nil
+}
+
+// mapErr rewrites the inner closed-session sentinel (reachable when
+// Close lands between get and the inner call) into the facade's.
+func mapErr(err error) error {
+	if errors.Is(err, repart.ErrClosed) {
+		return errSessionClosed
+	}
+	return err
+}
 
 // NewSession ingests a point set for repeated repartitioning: the
 // coordinates (flat, len = n·dim, dim ∈ {2,3}) and weights (nil = unit
@@ -77,12 +106,13 @@ func NewSession(coords []float64, dim int, weights []float64, opts Options) (*Se
 // the same Options — and installs it as the session's current
 // partition, the seed of the next Repartition.
 func (s *Session) Partition() ([]int32, error) {
-	if s.closed {
-		return nil, errSessionClosed
-	}
-	p, err := s.inner.Partition()
+	inner, err := s.get()
 	if err != nil {
 		return nil, err
+	}
+	p, err := inner.Partition()
+	if err != nil {
+		return nil, mapErr(err)
 	}
 	return p.Assign, nil
 }
@@ -94,12 +124,13 @@ func (s *Session) Partition() ([]int32, error) {
 // are bit-identical to the one-shot Repartition given the same inputs;
 // only the per-step scatter/ingest work is gone.
 func (s *Session) Repartition() (RepartResult, error) {
-	if s.closed {
-		return RepartResult{}, errSessionClosed
-	}
-	p, stats, err := s.inner.Repartition()
+	inner, err := s.get()
 	if err != nil {
 		return RepartResult{}, err
+	}
+	p, stats, err := inner.Repartition()
+	if err != nil {
+		return RepartResult{}, mapErr(err)
 	}
 	return fromStats(p.Assign, stats), nil
 }
@@ -116,12 +147,13 @@ func (s *Session) Repartition() (RepartResult, error) {
 // both paths), no new assignment. eps must be non-negative; eps 0
 // repartitions on any measurable imbalance.
 func (s *Session) RepartitionIfAbove(eps float64) (RepartResult, bool, error) {
-	if s.closed {
-		return RepartResult{}, false, errSessionClosed
-	}
-	p, stats, acted, err := s.inner.RepartitionIfAbove(eps)
+	inner, err := s.get()
 	if err != nil {
 		return RepartResult{}, false, err
+	}
+	p, stats, acted, err := inner.RepartitionIfAbove(eps)
+	if err != nil {
+		return RepartResult{}, false, mapErr(err)
 	}
 	if !acted {
 		return RepartResult{PreImbalance: stats.PreImbalance}, false, nil
@@ -135,10 +167,12 @@ func (s *Session) RepartitionIfAbove(eps float64) (RepartResult, bool, error) {
 // quantity RepartitionIfAbove tests against its threshold. Errors when
 // no partition has been computed or installed yet.
 func (s *Session) Imbalance() (float64, error) {
-	if s.closed {
-		return 0, errSessionClosed
+	inner, err := s.get()
+	if err != nil {
+		return 0, err
 	}
-	return s.inner.Imbalance()
+	imb, err := inner.Imbalance()
+	return imb, mapErr(err)
 }
 
 // SetPartition installs blocks (one block id in [0, K) per point) as
@@ -146,10 +180,11 @@ func (s *Session) Imbalance() (float64, error) {
 // for warm-starting from an assignment computed elsewhere, e.g. a
 // checkpoint or another tool. The slice is copied.
 func (s *Session) SetPartition(blocks []int32) error {
-	if s.closed {
-		return errSessionClosed
+	inner, err := s.get()
+	if err != nil {
+		return err
 	}
-	return s.inner.SetPartition(blocks)
+	return mapErr(inner.SetPartition(blocks))
 }
 
 // UpdateWeights replaces the point weights (nil = unit weights; length
@@ -157,10 +192,11 @@ func (s *Session) SetPartition(blocks []int32) error {
 // touched — no coordinates move, nothing is re-scattered. The next
 // Repartition balances against the new weights.
 func (s *Session) UpdateWeights(weights []float64) error {
-	if s.closed {
-		return errSessionClosed
+	inner, err := s.get()
+	if err != nil {
+		return err
 	}
-	return s.inner.UpdateWeights(weights)
+	return mapErr(inner.UpdateWeights(weights))
 }
 
 // UpdateCoords replaces the point coordinates (flat, len = n·dim, same
@@ -168,19 +204,21 @@ func (s *Session) UpdateWeights(weights []float64) error {
 // models points that moved, not a new point set — so the current
 // partition remains a valid warm-start seed.
 func (s *Session) UpdateCoords(coords []float64) error {
-	if s.closed {
-		return errSessionClosed
+	inner, err := s.get()
+	if err != nil {
+		return err
 	}
-	return s.inner.UpdateCoords(coords)
+	return mapErr(inner.UpdateCoords(coords))
 }
 
 // Blocks returns a copy of the session's current partition, or nil if
 // none has been computed or installed yet.
 func (s *Session) Blocks() []int32 {
-	if s.closed {
+	inner, err := s.get()
+	if err != nil {
 		return nil
 	}
-	return s.inner.Blocks()
+	return inner.Blocks()
 }
 
 // IngestSeconds reports the one-time cost NewSession paid to scatter
@@ -188,10 +226,11 @@ func (s *Session) Blocks() []int32 {
 // one-shot Repartition call repeats and a session amortizes across
 // steps.
 func (s *Session) IngestSeconds() float64 {
-	if s.closed {
+	inner, err := s.get()
+	if err != nil {
 		return 0
 	}
-	return s.inner.IngestSeconds()
+	return inner.IngestSeconds()
 }
 
 // Close releases the resident per-rank state. Closing twice is a
@@ -199,9 +238,123 @@ func (s *Session) IngestSeconds() float64 {
 // SetPartition, UpdateWeights, UpdateCoords) errors; the read-only
 // accessors Blocks and IngestSeconds return their zero values.
 func (s *Session) Close() error {
+	s.mu.Lock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	return s.inner.Close()
+	inner := s.inner
+	s.mu.Unlock()
+	// inner.Close serializes against any verb that fetched the session
+	// before the flag flipped: it waits for the in-flight call to finish
+	// rather than releasing resident state out from under it.
+	return inner.Close()
+}
+
+// Checkpoint serializes the session's complete restorable state — the
+// current coordinates and weights (pending deltas included), the
+// installed partition, and every rank's resident state with its carried
+// incremental k-means bounds — into a self-describing, versioned binary
+// blob. The call is purely local (no simulated communication) and does
+// not disturb the session; NewSessionFromCheckpoint rebuilds an
+// equivalent session whose next warm step is bit-identical to the step
+// this session would run, including the incremental fast path.
+//
+// The Options are NOT embedded: pass the same Options to
+// NewSessionFromCheckpoint that this session was built with (options
+// hold policy, checkpoints hold state).
+func (s *Session) Checkpoint() ([]byte, error) {
+	inner, err := s.get()
+	if err != nil {
+		return nil, err
+	}
+	data, err := inner.Checkpoint()
+	return data, mapErr(err)
+}
+
+// NewSessionFromCheckpoint rebuilds a session from Checkpoint bytes.
+// opts must repeat the Options of the checkpointed session; as a
+// convenience, a zero opts.K and a zero opts.Processes are filled from
+// the checkpoint header (a non-zero value must match it — restoring
+// onto a different rank count or block count is an error, not a
+// resharding operation). Corrupted, truncated, or wrong-version data is
+// rejected with a descriptive error; it never panics.
+func NewSessionFromCheckpoint(data []byte, opts Options) (*Session, error) {
+	info, err := repart.ReadCheckpointInfo(data)
+	if err != nil {
+		return nil, fmt.Errorf("geographer: restore: %w", err)
+	}
+	if opts.K == 0 {
+		opts.K = info.K
+	}
+	if opts.Processes == 0 {
+		opts.Processes = info.P
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if strings.ToLower(opts.Method) != MethodGeographer {
+		return nil, fmt.Errorf("geographer: sessions require Method=%q, got %q", MethodGeographer, opts.Method)
+	}
+	if opts.K != info.K {
+		return nil, fmt.Errorf("geographer: restore with K=%d, checkpoint has %d blocks", opts.K, info.K)
+	}
+	if opts.Processes != info.P {
+		return nil, fmt.Errorf("geographer: restore with Processes=%d, checkpoint has %d ranks", opts.Processes, info.P)
+	}
+	inner, err := repart.NewSessionFromCheckpoint(mpi.NewWorld(info.P), data, opts.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Session{inner: inner}, nil
+}
+
+// RetryPolicy bounds the fault-recovery loop of
+// Session.RepartitionWithRetry. The zero value is usable: 3 retries,
+// 10ms base backoff doubling to a 1s cap, real sleeping.
+type RetryPolicy struct {
+	// MaxRetries is how many rollback-and-retry cycles may follow a
+	// failed first attempt (<=0 means 3).
+	MaxRetries int
+	// BaseBackoff is the pause before the first retry (<=0 means 10ms);
+	// it doubles per retry up to MaxBackoff (<=0 means 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Sleep implements the backoff pause; tests substitute a recorder.
+	// Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// RepartitionWithRetry is RepartitionIfAbove under fault tolerance: the
+// session checkpoints itself, runs the threshold-triggered warm step
+// cancellable through ctx, and — if the simulated runtime aborts (a
+// rank failure mid-collective) — rolls back to the checkpoint, rebuilds
+// the runtime, backs off, and retries, up to policy.MaxRetries times.
+// Warm steps are deterministic functions of the checkpointed state, so
+// the partition a successful retry produces is bit-identical to what a
+// fault-free step would have computed; RepartResult.Retries reports how
+// many rollbacks were needed. Cancellation through ctx is terminal:
+// the aborted attempt is not retried and the abort error (wrapping the
+// context's cause) is returned. Argument errors are returned
+// immediately without retrying.
+func (s *Session) RepartitionWithRetry(ctx context.Context, eps float64, policy RetryPolicy) (RepartResult, bool, error) {
+	inner, err := s.get()
+	if err != nil {
+		return RepartResult{}, false, err
+	}
+	p, stats, acted, err := inner.RepartitionWithRetry(ctx, eps, repart.RetryPolicy{
+		MaxRetries:  policy.MaxRetries,
+		BaseBackoff: policy.BaseBackoff,
+		MaxBackoff:  policy.MaxBackoff,
+		Sleep:       policy.Sleep,
+	})
+	if err != nil {
+		return RepartResult{}, false, mapErr(err)
+	}
+	if !acted {
+		return RepartResult{PreImbalance: stats.PreImbalance, Retries: stats.Retries}, false, nil
+	}
+	return fromStats(p.Assign, stats), true, nil
 }

@@ -1,17 +1,23 @@
-// Command benchdiff compares two soak reports (BENCH_soak.json) cell by
-// cell and fails on regressions.
+// Command benchdiff compares two benchmark reports cell by cell and
+// fails on regressions. It understands the soak report (BENCH_soak.json,
+// schema geographer-soak/v1) and the chaos report (BENCH_chaos.json,
+// schema geographer-chaos/v1), dispatching on the schema field.
 //
 //	benchdiff -old BENCH_soak.json -new /tmp/soak.json [-tol 0.10]
+//	benchdiff -old BENCH_chaos.json -new /tmp/chaos.json
 //
-// Cells are matched by (n, dim, k, p, steps). Deterministic metrics —
-// collective count and bytes, barrier count, distance evaluations,
-// modeled communication time, final imbalance — are exact functions of
-// the cell config, so any drift beyond the tolerance is a real
-// behavioral change and exits non-zero. Wall time, peak RSS, and
-// allocation counters depend on the machine and are reported warn-only.
-// Cells present in only one report are skipped with a note: the
-// committed snapshot is generated at default scale and CI diffs a
-// quick-scale run against it, so only the shared quick cells match.
+// Cells are matched by their configuration (soak: n/dim/k/p/steps;
+// chaos: graph/n/k/p/steps). Deterministic metrics — for the soak the
+// collective counts and bytes, barriers, distance evaluations, modeled
+// communication time, and final imbalance; for the chaos run the fired
+// fault count, recoveries, delay stalls, bit-identicality flag,
+// distance evaluations, cut, and imbalance — are exact functions of the
+// cell config, so any drift beyond the tolerance is a real behavioral
+// change and exits non-zero. Wall-clock fields depend on the machine
+// and are reported warn-only. Cells present in only one report are
+// skipped with a note: committed snapshots may be generated at a
+// different scale than the CI run diffing against them, so only the
+// shared cells match.
 package main
 
 import (
@@ -23,22 +29,67 @@ import (
 	"geographer/internal/experiments"
 )
 
-type key struct{ n, dim, k, p, steps int }
-
-func cellKey(c experiments.SoakCell) key {
-	return key{c.N, c.Dim, c.K, c.P, c.Steps}
+// metricVal is one named measurement of a cell; strict metrics fail the
+// diff on drift, the rest only warn.
+type metricVal struct {
+	name   string
+	strict bool
+	v      float64
 }
 
-func load(path string) (experiments.SoakReport, error) {
-	var rep experiments.SoakReport
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return rep, err
+// cellData is the schema-independent shape the compare engine consumes.
+type cellData struct {
+	key     string
+	metrics []metricVal
+}
+
+func soakCells(rep experiments.SoakReport) []cellData {
+	out := make([]cellData, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		out = append(out, cellData{
+			key: fmt.Sprintf("n=%d dim=%d k=%d p=%d steps=%d", c.N, c.Dim, c.K, c.P, c.Steps),
+			metrics: []metricVal{
+				{"collectives", true, float64(c.Collectives)},
+				{"collective_bytes", true, float64(c.CollectiveBytes)},
+				{"barriers", true, float64(c.Barriers)},
+				{"dist_calcs", true, float64(c.DistCalcs)},
+				{"modeled_comm_sec", true, c.ModeledCommSec},
+				{"imbalance", true, c.Imbalance},
+				{"wall_sec", false, c.WallSec},
+				{"step_sec_mean", false, c.StepSecMean},
+				{"peak_rss_mb", false, c.PeakRSSMB},
+				{"mallocs_per_step", false, c.MallocsPerStep},
+			},
+		})
 	}
-	if err := json.Unmarshal(data, &rep); err != nil {
-		return rep, fmt.Errorf("%s: %w", path, err)
+	return out
+}
+
+func chaosCells(rep experiments.ChaosReport) []cellData {
+	out := make([]cellData, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		identical := 0.0
+		if c.Identical {
+			identical = 1
+		}
+		out = append(out, cellData{
+			key: fmt.Sprintf("graph=%s n=%d k=%d p=%d steps=%d", c.Graph, c.N, c.K, c.P, c.Steps),
+			metrics: []metricVal{
+				{"faults_scheduled", true, float64(c.FaultsScheduled)},
+				{"faults_fired", true, float64(c.FaultsFired)},
+				{"recoveries", true, float64(c.Recoveries)},
+				{"delays", true, float64(c.Delays)},
+				{"identical", true, identical},
+				{"dist_calcs", true, float64(c.DistCalcs)},
+				{"cut", true, float64(c.Cut)},
+				{"imbalance", true, c.Imbalance},
+				{"wall_sec", false, c.WallSec},
+				{"ref_wall_sec", false, c.RefWallSec},
+				{"wasted_sec", false, c.WastedSec},
+			},
+		})
 	}
-	return rep, nil
+	return out
 }
 
 // relDelta returns |new-old| / |old|, treating old == 0 specially: any
@@ -58,6 +109,37 @@ func relDelta(oldV, newV float64) float64 {
 	return d
 }
 
+// loadCells reads a report, dispatches on its schema field, and returns
+// the schema string plus the flattened cells.
+func loadCells(path string) (string, []cellData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return "", nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch head.Schema {
+	case "geographer-soak/v1":
+		var rep experiments.SoakReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return "", nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, soakCells(rep), nil
+	case "geographer-chaos/v1":
+		var rep experiments.ChaosReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return "", nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, chaosCells(rep), nil
+	default:
+		return "", nil, fmt.Errorf("%s: unknown report schema %q", path, head.Schema)
+	}
+}
+
 func main() {
 	var (
 		oldPath = flag.String("old", "BENCH_soak.json", "committed baseline report")
@@ -69,62 +151,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
 		os.Exit(2)
 	}
-	oldRep, err := load(*oldPath)
+	oldSchema, oldCells, err := loadCells(*oldPath)
 	if err != nil {
 		fatal(err)
 	}
-	newRep, err := load(*newPath)
+	newSchema, newCells, err := loadCells(*newPath)
 	if err != nil {
 		fatal(err)
 	}
-	if oldRep.Schema != newRep.Schema {
-		fatal(fmt.Errorf("schema mismatch: %q vs %q", oldRep.Schema, newRep.Schema))
+	if oldSchema != newSchema {
+		fatal(fmt.Errorf("schema mismatch: %q vs %q", oldSchema, newSchema))
 	}
 
-	oldCells := map[key]experiments.SoakCell{}
-	for _, c := range oldRep.Cells {
-		oldCells[cellKey(c)] = c
-	}
-
-	type metric struct {
-		name   string
-		strict bool
-		get    func(experiments.SoakCell) float64
-	}
-	metrics := []metric{
-		{"collectives", true, func(c experiments.SoakCell) float64 { return float64(c.Collectives) }},
-		{"collective_bytes", true, func(c experiments.SoakCell) float64 { return float64(c.CollectiveBytes) }},
-		{"barriers", true, func(c experiments.SoakCell) float64 { return float64(c.Barriers) }},
-		{"dist_calcs", true, func(c experiments.SoakCell) float64 { return float64(c.DistCalcs) }},
-		{"modeled_comm_sec", true, func(c experiments.SoakCell) float64 { return c.ModeledCommSec }},
-		{"imbalance", true, func(c experiments.SoakCell) float64 { return c.Imbalance }},
-		{"wall_sec", false, func(c experiments.SoakCell) float64 { return c.WallSec }},
-		{"step_sec_mean", false, func(c experiments.SoakCell) float64 { return c.StepSecMean }},
-		{"peak_rss_mb", false, func(c experiments.SoakCell) float64 { return c.PeakRSSMB }},
-		{"mallocs_per_step", false, func(c experiments.SoakCell) float64 { return c.MallocsPerStep }},
+	baseline := map[string]cellData{}
+	for _, c := range oldCells {
+		baseline[c.key] = c
 	}
 
 	matched, failures := 0, 0
-	for _, nc := range newRep.Cells {
-		oc, ok := oldCells[cellKey(nc)]
+	for _, nc := range newCells {
+		oc, ok := baseline[nc.key]
 		if !ok {
-			fmt.Printf("cell n=%d k=%d p=%d: no baseline, skipped\n", nc.N, nc.K, nc.P)
+			fmt.Printf("cell %s: no baseline, skipped\n", nc.key)
 			continue
 		}
 		matched++
-		for _, m := range metrics {
-			oldV, newV := m.get(oc), m.get(nc)
-			d := relDelta(oldV, newV)
+		oldBy := map[string]metricVal{}
+		for _, m := range oc.metrics {
+			oldBy[m.name] = m
+		}
+		for _, m := range nc.metrics {
+			om, ok := oldBy[m.name]
+			if !ok {
+				continue
+			}
+			d := relDelta(om.v, m.v)
 			if d <= *tol {
 				continue
 			}
 			if m.strict {
 				failures++
-				fmt.Printf("FAIL cell n=%d k=%d p=%d: %s %.6g -> %.6g (%+.1f%%)\n",
-					nc.N, nc.K, nc.P, m.name, oldV, newV, 100*(newV-oldV)/oldV)
+				fmt.Printf("FAIL cell %s: %s %.6g -> %.6g (%+.1f%%)\n",
+					nc.key, m.name, om.v, m.v, 100*(m.v-om.v)/om.v)
 			} else {
-				fmt.Printf("warn cell n=%d k=%d p=%d: %s %.6g -> %.6g (machine-dependent)\n",
-					nc.N, nc.K, nc.P, m.name, oldV, newV)
+				fmt.Printf("warn cell %s: %s %.6g -> %.6g (machine-dependent)\n",
+					nc.key, m.name, om.v, m.v)
 			}
 		}
 	}
