@@ -1,0 +1,100 @@
+// Command geographerd serves the partitioner as a multi-tenant HTTP
+// service: named long-lived sessions (one per simulation/tenant) behind
+// the registry of internal/serve, sharing the host under one bounded
+// worker pool, with admission control against a resident-memory budget
+// and LRU eviction of idle tenants to checkpoint bytes.
+//
+//	geographerd -addr :8080 -max-resident-mb 1024 -max-tenants 64
+//
+// Endpoints (see docs/serving.md for schemas):
+//
+//	POST   /v1/tenants                     create a tenant (ingest point set)
+//	GET    /v1/tenants                     list tenants
+//	GET    /v1/stats                       registry accounting
+//	GET    /v1/tenants/{name}             tenant info
+//	DELETE /v1/tenants/{name}             delete tenant
+//	POST   /v1/tenants/{name}/partition    cold initial partition
+//	POST   /v1/tenants/{name}/repartition  warm step if imbalance > eps
+//	POST   /v1/tenants/{name}/weights      replace weights
+//	POST   /v1/tenants/{name}/coords       replace coordinates
+//	GET    /v1/tenants/{name}/imbalance    measure imbalance
+//	GET    /v1/tenants/{name}/assign       current partition
+//	GET    /v1/tenants/{name}/checkpoint   checkpoint bytes
+//	POST   /v1/tenants/{name}/evict        force-park tenant
+//
+// Shutdown is graceful: SIGINT/SIGTERM stops accepting connections,
+// lets in-flight requests finish (up to -drain-timeout), then drains
+// the registry — every in-flight session verb completes before state
+// is released.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"geographer/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		maxResidentMB = flag.Int64("max-resident-mb", 0, "resident-memory budget for live tenants, MiB (0 = unlimited)")
+		maxTenants    = flag.Int("max-tenants", 0, "max tenants, resident + parked (0 = unlimited)")
+		sweepEvery    = flag.Duration("sweep-every", time.Minute, "idle-eviction sweep period (0 disables)")
+		sweepIdle     = flag.Int64("sweep-idle", 1000, "verbs of registry traffic a tenant may sit out before a sweep parks it")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	reg := serve.NewRegistry(serve.Config{
+		MaxResidentBytes: *maxResidentMB << 20,
+		MaxTenants:       *maxTenants,
+	})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg)}
+
+	stop := make(chan struct{})
+	if *sweepEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*sweepEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					if n := reg.Sweep(*sweepIdle); n > 0 {
+						log.Printf("sweep: parked %d idle tenant(s)", n)
+					}
+				}
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("received %s, draining", sig)
+		close(stop)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("geographerd listening on %s (resident budget %d MiB, tenant cap %d)",
+		*addr, *maxResidentMB, *maxTenants)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	reg.Drain()
+	log.Printf("drained, bye")
+}

@@ -25,12 +25,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|chaos|all")
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|chaos|serve|all")
 		scale   = flag.String("scale", "default", "default|quick")
 		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
 		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
 		csvDir  = flag.String("csv", "", "also dump raw results as CSV files into this directory")
-		bench   = flag.String("bench", "", "write the soak/chaos report as JSON to this path (BENCH_soak.json / BENCH_chaos.json convention)")
+		bench   = flag.String("bench", "", "write the soak/chaos/serve report as JSON to this path (BENCH_soak.json / BENCH_chaos.json / BENCH_serve.json convention)")
 	)
 	flag.Parse()
 
@@ -232,6 +232,41 @@ func main() {
 				}
 				if c.Recoveries != int(c.FaultsFired) {
 					return fmt.Errorf("%s: %d faults fired but %d recoveries", c.Graph, c.FaultsFired, c.Recoveries)
+				}
+			}
+			return nil
+		})
+	}
+	// The serving run is opt-in like the soak and the chaos run: it
+	// stresses the multi-tenant registry (shared worker pool, forced
+	// eviction/restore, concurrent chains), not a paper artifact.
+	if *exp == "serve" {
+		any = true
+		run("serve", func() error {
+			_, rep, err := experiments.Serve(os.Stdout, sc)
+			if err != nil {
+				return err
+			}
+			if *bench != "" {
+				f, err := os.Create(*bench)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteServeJSON(f, rep); err != nil {
+					return err
+				}
+				fmt.Println("wrote", *bench)
+			}
+			// Bit-identical chains under shared scheduling is the headline
+			// claim; fail loudly here rather than in a diff later.
+			for _, c := range rep.Cells {
+				if c.IdenticalChains != c.Tenants {
+					return fmt.Errorf("%d of %d tenant chains diverged from their solo references",
+						c.Tenants-c.IdenticalChains, c.Tenants)
+				}
+				if c.Restores != c.Evictions || c.Evictions == 0 {
+					return fmt.Errorf("evictions=%d restores=%d: every forced park must restore", c.Evictions, c.Restores)
 				}
 			}
 			return nil

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sync"
 
 	"geographer/internal/geom"
 	"geographer/internal/mpi"
@@ -263,27 +262,14 @@ func (st *state) runAssignKernels(sample []int32) (distCalcs, skips, breaks int6
 		return sample[lo:hi]
 	}
 
-	nw := st.workers
-	if nw > nc {
-		nw = nc
-	}
-	if nw <= 1 {
-		for s := 0; s < nc; s++ {
-			st.runOneKernel(&st.shards[s], chunkSlice(s), hamerly, elkan)
-		}
-	} else {
-		var wg sync.WaitGroup
-		for g := 0; g < nw; g++ {
-			wg.Add(1)
-			go func(g int) {
-				defer wg.Done()
-				for s := g; s < nc; s += nw {
-					st.runOneKernel(&st.shards[s], chunkSlice(s), hamerly, elkan)
-				}
-			}(g)
-		}
-		wg.Wait()
-	}
+	// The fan-out itself goes through the leased worker budget
+	// (internal/sched): the rank goroutine always runs chunks inline,
+	// helpers join only while both the tenant's lease and the process
+	// pool have spare tokens. Token droughts shrink the worker set,
+	// never the chunk grid, so output is unaffected.
+	st.lease.ForEach(st.workers, nc, func(s int) {
+		st.runOneKernel(&st.shards[s], chunkSlice(s), hamerly, elkan)
+	})
 
 	// The pass visited every sampled point, so a pending influence
 	// rescale has been applied (Hamerly) or overwritten by fresh bounds

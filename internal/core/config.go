@@ -26,6 +26,7 @@ import (
 
 	"geographer/internal/geom"
 	"geographer/internal/partition"
+	"geographer/internal/sched"
 )
 
 // Config collects the tuning parameters of balanced k-means. The zero
@@ -89,8 +90,20 @@ type Config struct {
 	// each rank splits its sample across this many concurrent kernel
 	// shards (merged before the one collective per balance round, so the
 	// paper's communication structure is unchanged). 0 picks
-	// GOMAXPROCS/worldSize automatically; 1 forces the serial kernel.
+	// Lease.Budget()/worldSize automatically (floored at 1); 1 forces
+	// the serial kernel.
 	Workers int
+
+	// Lease is the worker budget the intra-rank fan-outs (assignment
+	// kernel shards, batch Hilbert keys) draw helper tokens from. Nil
+	// selects a full-capacity lease on the process-wide default pool
+	// (sched.Default, sized to GOMAXPROCS) — the single-tenant
+	// behavior. A multi-tenant host (internal/serve) gives every
+	// session its own lease so concurrent sessions cannot oversubscribe
+	// the machine; the lease is execution policy, not problem state —
+	// it never affects output (DESIGN.md, "Multi-tenancy invariants")
+	// and is not part of checkpoints.
+	Lease *sched.Lease
 
 	// Seed drives the sampled-initialization permutations and random
 	// center placement in non-SFC mode.
@@ -183,6 +196,7 @@ func (cfg Config) normalized() Config {
 	if cfg.Workers != 0 {
 		def.Workers = cfg.Workers
 	}
+	def.Lease = cfg.Lease
 	if cfg.Bounds != "" {
 		def.Bounds = cfg.Bounds
 	}

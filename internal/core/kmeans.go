@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sync"
 	"time"
 
@@ -13,6 +12,7 @@ import (
 	"geographer/internal/geom"
 	"geographer/internal/mpi"
 	"geographer/internal/partition"
+	"geographer/internal/sched"
 	"geographer/internal/sfc"
 )
 
@@ -91,10 +91,13 @@ type state struct {
 	pendScaled  bool
 
 	// Intra-rank sharding: the sample is split on a fixed chunk grid
-	// (kernelChunks, a function of the sample size only); `workers`
-	// goroutines process the chunks when spare cores exist beyond the
-	// simulated world size. One kernel value per chunk.
+	// (kernelChunks, a function of the sample size only); up to
+	// `workers` concurrent workers — the caller plus helpers leased
+	// from the shared pool (internal/sched) — process the chunks when
+	// spare cores exist beyond the simulated world size. One kernel
+	// value per chunk.
 	workers int
+	lease   *sched.Lease
 	shards  []geom.AssignKernel
 
 	diag float64 // global bounding-box diagonal
@@ -223,7 +226,7 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 		if cfg.SFCBootstrap {
 			curve := sfc.NewCurve(box, pts.Dim)
 			gv := cols.GeomView()
-			curve.KeysColsParallel(&gv, cols.Keys, resolveWorkers(cfg, c.Size()))
+			curve.KeysColsParallel(&gv, cols.Keys, resolveWorkers(cfg, c.Size()), cfg.Lease)
 			c.AddOps(int64(cols.Len()))
 		} else {
 			for i := range cols.Keys {
@@ -352,11 +355,16 @@ func reduceBox(c *mpi.Comm, dim int, buf []float64) geom.Box {
 // resolveWorkers decides how many intra-rank kernel shards to use: spare
 // hardware parallelism beyond the one-goroutine-per-rank of the simulated
 // world is handed to the assignment kernels. cfg.Workers > 0 forces a
-// count (1 = serial), 0 picks GOMAXPROCS/worldSize.
+// count (1 = serial), 0 divides the leased worker budget (the process
+// default pool when cfg.Lease is nil — GOMAXPROCS — or the tenant's
+// slice of it under internal/serve) evenly across the simulated ranks.
+// The division can round to 0 at high worldSize; the result is always
+// validated back to ≥ 1 — a rank is never left without its inline
+// worker.
 func resolveWorkers(cfg Config, worldSize int) int {
 	w := cfg.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0) / worldSize
+	if w <= 0 && worldSize > 0 {
+		w = cfg.Lease.Budget() / worldSize
 	}
 	if w < 1 {
 		w = 1
@@ -528,6 +536,7 @@ func (st *state) ensureScratch() {
 		}
 	}
 	st.workers = resolveWorkers(st.cfg, st.c.Size())
+	st.lease = st.cfg.Lease
 	if len(st.ctrBuf) != 6 {
 		st.ctrBuf = make([]int64, 6)
 	}

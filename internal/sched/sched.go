@@ -1,0 +1,220 @@
+// Package sched is the process-wide intra-rank worker budget: a single
+// Pool of helper tokens sized to the host, and per-tenant Leases drawn
+// against it. Every intra-rank fan-out in the repo (the assignment
+// kernels of internal/core, the batch Hilbert key kernel of
+// internal/sfc) runs through Lease.ForEach instead of spawning its own
+// goroutine group, so N concurrent sessions sharing one process degrade
+// to bounded concurrency instead of N×GOMAXPROCS oversubscription.
+//
+// Two properties are load-bearing:
+//
+//   - Progress without tokens. ForEach always runs work on the calling
+//     goroutine; helper goroutines are spawned only while a token is
+//     available on BOTH the lease and the pool, acquired non-blocking.
+//     A fully drained pool therefore degrades every fan-out to serial
+//     execution — it can never deadlock a rank, and the simulated MPI
+//     ranks (whose goroutines are not pool-managed) always advance.
+//
+//   - Determinism. Token availability decides only WHO executes a
+//     chunk, never WHAT the chunks are: the chunk grid is the
+//     machine-independent geom.ChunkGrid, chunks write disjoint
+//     outputs, and callers merge per-chunk accumulators in chunk order
+//     after ForEach returns. Output is bit-identical whether zero or
+//     all helpers showed up (DESIGN.md, "Multi-tenancy invariants";
+//     pinned by the kernel differential tests).
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a budget of helper-goroutine tokens shared by every lease
+// drawn from it. Capacity approximates the host's parallelism, not a
+// strict count of running goroutines: callers of ForEach run inline
+// without holding a token, so total running workers may exceed capacity
+// by the number of concurrent callers — the bounded-degradation
+// contract, not a hard semaphore over all execution.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool with the given helper-token capacity
+// (capacity < 0 is treated as 0: a pool that never grants helpers, so
+// every fan-out runs serially on its caller).
+func NewPool(capacity int) *Pool {
+	if capacity < 0 {
+		capacity = 0
+	}
+	p := &Pool{sem: make(chan struct{}, capacity)}
+	for i := 0; i < capacity; i++ {
+		p.sem <- struct{}{}
+	}
+	return p
+}
+
+var (
+	defaultPool *Pool
+	defaultOnce sync.Once
+)
+
+// Default returns the process pool, sized to runtime.GOMAXPROCS(0) on
+// first use. A nil Lease resolves against it, so single-tenant callers
+// (tests, the CLI tools) share one host-sized budget without ever
+// naming this package.
+func Default() *Pool {
+	defaultOnce.Do(func() {
+		defaultPool = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return defaultPool
+}
+
+// Capacity returns the pool's total helper-token capacity.
+func (p *Pool) Capacity() int { return cap(p.sem) }
+
+// tryAcquire takes one helper token if one is free, without blocking.
+func (p *Pool) tryAcquire() bool {
+	select {
+	case <-p.sem:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a helper token.
+func (p *Pool) release() { p.sem <- struct{}{} }
+
+// Lease is one tenant's worker budget carved out of a pool: fan-outs
+// through the lease reach at most Budget concurrent workers for the
+// tenant (the inline caller plus Budget-1 token-gated helpers), and
+// every helper additionally holds a pool token — a tenant can neither
+// exceed its own budget nor help exhaust the host beyond the pool's
+// capacity. Leases are cheap (one channel) and need no explicit close:
+// an idle lease holds no pool tokens.
+type Lease struct {
+	pool   *Pool
+	sem    chan struct{}
+	budget int
+}
+
+// Lease carves a tenant worker budget out of the pool. budget <= 0
+// selects the pool's full capacity (floored at 1 — the inline caller
+// always counts as one worker); budget == 1 grants no helper tokens,
+// forcing every fan-out through the lease to run serially.
+func (p *Pool) Lease(budget int) *Lease {
+	if budget <= 0 {
+		budget = p.Capacity()
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	l := &Lease{pool: p, sem: make(chan struct{}, budget-1), budget: budget}
+	for i := 1; i < budget; i++ {
+		l.sem <- struct{}{}
+	}
+	return l
+}
+
+// Budget returns the lease's worker budget — the per-tenant parallelism
+// the kernel shard default divides by the simulated world size
+// (core.resolveWorkers). Nil-safe: a nil lease reports the Default
+// pool's capacity, floored at 1.
+func (l *Lease) Budget() int {
+	if l == nil {
+		if c := Default().Capacity(); c > 1 {
+			return c
+		}
+		return 1
+	}
+	return l.budget
+}
+
+// tryAcquire takes one helper slot: a lease token and a pool token,
+// both non-blocking, all-or-nothing.
+func (l *Lease) tryAcquire() bool {
+	select {
+	case <-l.sem:
+	default:
+		return false
+	}
+	if !l.pool.tryAcquire() {
+		l.sem <- struct{}{}
+		return false
+	}
+	return true
+}
+
+// release returns a helper slot to both the lease and the pool.
+func (l *Lease) release() {
+	l.pool.release()
+	l.sem <- struct{}{}
+}
+
+// ForEach runs fn(i) for every i in [0, n), on the calling goroutine
+// plus up to max-1 helpers. Helpers are admitted non-blocking against
+// the lease and pool budgets, so the call never waits for tokens — at
+// worst the caller processes every index itself, serially. Indices are
+// handed out dynamically (an atomic counter), which load-balances
+// uneven chunks; fn must therefore be safe to run concurrently for
+// distinct indices and must not care which goroutine runs which index —
+// the disjoint-writes + ordered-merge contract every chunked kernel
+// here satisfies, which is what keeps output bit-identical across
+// worker counts and token droughts. A nil lease draws on the Default
+// pool at full budget.
+func (l *Lease) ForEach(max, n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if max > n {
+		max = n
+	}
+	if max <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if l == nil {
+		l = defaultLease()
+	}
+
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for h := 1; h < max && l.tryAcquire(); h++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer l.release()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
+}
+
+var (
+	defLease     *Lease
+	defLeaseOnce sync.Once
+)
+
+// defaultLease is the shared full-budget lease nil resolves to. Shared
+// (not per-call) so that concurrent nil-lease fan-outs still contend on
+// one budget instead of each minting fresh lease tokens.
+func defaultLease() *Lease {
+	defLeaseOnce.Do(func() {
+		defLease = Default().Lease(0)
+	})
+	return defLease
+}

@@ -1,0 +1,143 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices: every index runs exactly once, for every
+// combination of budget, max, and n — including n smaller than max and
+// a zero-capacity pool (serial degradation).
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, capacity := range []int{0, 1, 4, 16} {
+		p := NewPool(capacity)
+		for _, budget := range []int{1, 2, 8} {
+			l := p.Lease(budget)
+			for _, max := range []int{1, 2, 5, 16} {
+				for _, n := range []int{0, 1, 3, 17, 100} {
+					var hits sync.Map
+					var count atomic.Int64
+					l.ForEach(max, n, func(i int) {
+						if _, dup := hits.LoadOrStore(i, true); dup {
+							t.Fatalf("cap=%d budget=%d max=%d n=%d: index %d ran twice", capacity, budget, max, n, i)
+						}
+						count.Add(1)
+					})
+					if got := int(count.Load()); got != n {
+						t.Fatalf("cap=%d budget=%d max=%d n=%d: %d indices ran", capacity, budget, max, n, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachNilLease: a nil lease is usable and covers all indices.
+func TestForEachNilLease(t *testing.T) {
+	var l *Lease
+	var count atomic.Int64
+	l.ForEach(4, 50, func(i int) { count.Add(1) })
+	if count.Load() != 50 {
+		t.Fatalf("nil lease ran %d of 50 indices", count.Load())
+	}
+	if l.Budget() < 1 {
+		t.Fatalf("nil lease budget %d < 1", l.Budget())
+	}
+}
+
+// TestConcurrencyBounds: with all fn invocations blocking until
+// released, the observed peak concurrency stays within both the lease
+// budget and pool capacity + concurrent callers.
+func TestConcurrencyBounds(t *testing.T) {
+	const capacity, budget = 8, 3
+	p := NewPool(capacity)
+	l := p.Lease(budget)
+
+	var cur, peak atomic.Int64
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		l.ForEach(16, 32, func(i int) {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			<-release
+			cur.Add(-1)
+		})
+	}()
+	close(release)
+	<-done
+	// One inline caller + at most budget-1 helpers.
+	if peak.Load() > budget {
+		t.Fatalf("peak concurrency %d exceeds lease budget %d", peak.Load(), budget)
+	}
+}
+
+// TestPoolTokensReturned: after many fan-outs, the pool has all its
+// tokens back (no leaks), so a later lease can still spawn helpers.
+func TestPoolTokensReturned(t *testing.T) {
+	p := NewPool(4)
+	l := p.Lease(4)
+	for r := 0; r < 50; r++ {
+		l.ForEach(4, 20, func(i int) {})
+	}
+	got := 0
+	for p.tryAcquire() {
+		got++
+	}
+	if got != 4 {
+		t.Fatalf("pool holds %d of 4 tokens after fan-outs", got)
+	}
+}
+
+// TestTenantsShareThePool: two tenants with large budgets contend on a
+// small pool — everything still completes, and pool tokens come back.
+func TestTenantsShareThePool(t *testing.T) {
+	p := NewPool(2)
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	for tenant := 0; tenant < 8; tenant++ {
+		l := p.Lease(8)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 20; r++ {
+				l.ForEach(8, 33, func(i int) { count.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if want := int64(8 * 20 * 33); count.Load() != want {
+		t.Fatalf("ran %d of %d indices", count.Load(), want)
+	}
+	got := 0
+	for p.tryAcquire() {
+		got++
+	}
+	if got != 2 {
+		t.Fatalf("pool holds %d of 2 tokens after contention", got)
+	}
+}
+
+// TestBudgetSemantics pins the Budget values the worker default divides.
+func TestBudgetSemantics(t *testing.T) {
+	p := NewPool(6)
+	if got := p.Lease(0).Budget(); got != 6 {
+		t.Fatalf("full lease budget = %d, want pool capacity 6", got)
+	}
+	if got := p.Lease(1).Budget(); got != 1 {
+		t.Fatalf("serial lease budget = %d, want 1", got)
+	}
+	if got := p.Lease(3).Budget(); got != 3 {
+		t.Fatalf("lease budget = %d, want 3", got)
+	}
+	if got := NewPool(0).Lease(0).Budget(); got != 1 {
+		t.Fatalf("zero-capacity full lease budget = %d, want floor 1", got)
+	}
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"geographer/internal/repart"
+)
+
+// httpDo runs one request against the handler and decodes the JSON
+// response into out (skipped when out is nil).
+func httpDo(t *testing.T, h http.Handler, method, path string, body any, wantStatus int, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(method, path, &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("%s %s: status %d (body %s), want %d", method, path, rec.Code, rec.Body.String(), wantStatus)
+	}
+	if out != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decode response %q: %v", method, path, rec.Body.String(), err)
+		}
+	}
+}
+
+// TestHTTPLifecycle drives a full tenant lifecycle over the HTTP API
+// and pins the chain bit-identical to the solo session reference.
+func TestHTTPLifecycle(t *testing.T) {
+	const n, k, p, steps = 1200, 6, 2, 2
+	m := tenantMesh(t, n, 7)
+	ref, _ := soloChain(t, m, k, p, steps)
+
+	g := NewRegistry(Config{})
+	h := NewHandler(g)
+
+	create := createRequest{
+		Name: "sim", Dim: m.Points.Dim, Coords: m.Points.Coords,
+		Weights: phaseWeights(m, 0), K: k, Processes: p,
+	}
+	httpDo(t, h, "POST", "/v1/tenants", create, http.StatusCreated, nil)
+
+	var cold stepResponse
+	httpDo(t, h, "POST", "/v1/tenants/sim/partition", nil, http.StatusOK, &cold)
+	assertSameAssign(t, "http cold", cold.Assign, ref[0])
+
+	for step := 1; step <= steps; step++ {
+		httpDo(t, h, "POST", "/v1/tenants/sim/weights",
+			map[string]any{"weights": phaseWeights(m, step)}, http.StatusOK, nil)
+		var resp stepResponse
+		httpDo(t, h, "POST", "/v1/tenants/sim/repartition",
+			map[string]float64{"eps": 0}, http.StatusOK, &resp)
+		if !resp.Acted {
+			t.Fatalf("http step %d did not act", step)
+		}
+		assertSameAssign(t, fmt.Sprintf("http step %d", step), resp.Assign, ref[step])
+	}
+
+	// Skip branch: a huge threshold reports without stepping.
+	var skip stepResponse
+	httpDo(t, h, "POST", "/v1/tenants/sim/repartition",
+		map[string]float64{"eps": 1e9}, http.StatusOK, &skip)
+	if skip.Acted || skip.Assign != nil {
+		t.Fatalf("threshold skip acted: %+v", skip)
+	}
+
+	var imb map[string]float64
+	httpDo(t, h, "GET", "/v1/tenants/sim/imbalance", nil, http.StatusOK, &imb)
+	var assign map[string][]int32
+	httpDo(t, h, "GET", "/v1/tenants/sim/assign", nil, http.StatusOK, &assign)
+	assertSameAssign(t, "http assign", assign["assign"], ref[steps])
+
+	// Checkpoint round-trips through the public restore path.
+	req := httptest.NewRequest("GET", "/v1/tenants/sim/checkpoint", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || rec.Header().Get("Content-Type") != "application/octet-stream" {
+		t.Fatalf("checkpoint: status %d type %s", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	if info, err := repart.ReadCheckpointInfo(rec.Body.Bytes()); err != nil || info.N != m.Points.Len() {
+		t.Fatalf("checkpoint header: %+v err=%v", info, err)
+	}
+
+	httpDo(t, h, "POST", "/v1/tenants/sim/evict", nil, http.StatusOK, nil)
+	var infos []TenantInfo
+	httpDo(t, h, "GET", "/v1/tenants", nil, http.StatusOK, &infos)
+	if len(infos) != 1 || infos[0].Resident {
+		t.Fatalf("after evict: %+v", infos)
+	}
+	var ti TenantInfo
+	httpDo(t, h, "GET", "/v1/tenants/sim", nil, http.StatusOK, &ti)
+	if ti.Name != "sim" || ti.Evicted != 1 {
+		t.Fatalf("tenant info: %+v", ti)
+	}
+
+	// Restore-on-touch through HTTP: imbalance works on a parked tenant.
+	httpDo(t, h, "GET", "/v1/tenants/sim/imbalance", nil, http.StatusOK, &imb)
+	var st RegistryStats
+	httpDo(t, h, "GET", "/v1/stats", nil, http.StatusOK, &st)
+	if st.Restores != 1 || st.Resident != 1 {
+		t.Fatalf("stats after restore: %+v", st)
+	}
+
+	httpDo(t, h, "DELETE", "/v1/tenants/sim", nil, http.StatusOK, nil)
+	httpDo(t, h, "GET", "/v1/tenants/sim", nil, http.StatusNotFound, nil)
+}
+
+// TestHTTPErrorMapping pins each typed error to its status code.
+func TestHTTPErrorMapping(t *testing.T) {
+	const n, k, p = 600, 4, 2
+	m := tenantMesh(t, n, 8)
+
+	g := NewRegistry(Config{MaxTenants: 1})
+	h := NewHandler(g)
+
+	// 404: unknown tenant.
+	httpDo(t, h, "POST", "/v1/tenants/ghost/partition", nil, http.StatusNotFound, nil)
+	// 400: validation (k missing).
+	httpDo(t, h, "POST", "/v1/tenants",
+		createRequest{Name: "bad", Dim: m.Points.Dim, Coords: m.Points.Coords},
+		http.StatusBadRequest, nil)
+	// 400: malformed body.
+	req := httptest.NewRequest("POST", "/v1/tenants", bytes.NewBufferString("{"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: %d", rec.Code)
+	}
+
+	create := createRequest{Name: "sim", Dim: m.Points.Dim, Coords: m.Points.Coords, K: k, Processes: p}
+	httpDo(t, h, "POST", "/v1/tenants", create, http.StatusCreated, nil)
+	// 409: duplicate name.
+	httpDo(t, h, "POST", "/v1/tenants", create, http.StatusConflict, nil)
+	// 429: tenant cap.
+	other := create
+	other.Name = "sim2"
+	httpDo(t, h, "POST", "/v1/tenants", other, http.StatusTooManyRequests, nil)
+	// 400: warm step before any partition exists.
+	httpDo(t, h, "POST", "/v1/tenants/sim/repartition", map[string]float64{"eps": 0}, http.StatusBadRequest, nil)
+	// 400: wrong weight count.
+	httpDo(t, h, "POST", "/v1/tenants/sim/weights", map[string]any{"weights": []float64{1}}, http.StatusBadRequest, nil)
+
+	// 503: draining.
+	g.Drain()
+	httpDo(t, h, "POST", "/v1/tenants/sim/partition", nil, http.StatusServiceUnavailable, nil)
+	httpDo(t, h, "POST", "/v1/tenants", other, http.StatusServiceUnavailable, nil)
+}

@@ -1,0 +1,680 @@
+// Package serve is the multi-tenant session registry behind the
+// partitioning service (cmd/geographerd): named long-lived
+// repart.Sessions — one per tenant — sharing one process under a
+// bounded worker pool (internal/sched), a resident-memory budget with
+// admission control, and LRU eviction that parks cold tenants as
+// checkpoint bytes (repart.Session.Checkpoint) and restores them
+// bit-identically on next touch (DESIGN.md, "Multi-tenancy
+// invariants").
+//
+// Concurrency model. The registry mutex guards only the tenant map and
+// the shared accounting (resident bytes, the LRU clock, eviction
+// counters); each tenant has its own mutex serializing its session
+// verbs. Lock order is tenant → registry, and a tenant lock is only
+// ever taken non-blocking (TryLock) while the registry lock is held —
+// the eviction scan — so verbs on distinct tenants run concurrently
+// and the registry cannot deadlock: a busy tenant is simply not a
+// victim this round.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+	"geographer/internal/repart"
+	"geographer/internal/sched"
+)
+
+// Typed registry errors; the HTTP layer maps each to a distinct status
+// code.
+var (
+	// ErrNotFound: the named tenant does not exist (or was deleted).
+	ErrNotFound = fmt.Errorf("serve: no such tenant")
+	// ErrExists: Create on a name already in the registry.
+	ErrExists = fmt.Errorf("serve: tenant already exists")
+	// ErrAdmission: admitting the tenant would exceed the registry's
+	// resident-memory or tenant-count budget and no idle victim could
+	// be evicted to make room. The request may succeed later.
+	ErrAdmission = fmt.Errorf("serve: admission rejected: resident budget exhausted")
+	// ErrDraining: the registry is shutting down; no new verbs.
+	ErrDraining = fmt.Errorf("serve: registry is draining")
+)
+
+// Config sizes a Registry.
+type Config struct {
+	// Pool is the process worker pool tenants lease their kernel
+	// helper budgets from; nil uses sched.Default() (GOMAXPROCS).
+	Pool *sched.Pool
+
+	// MaxResidentBytes caps the estimated resident footprint of all
+	// non-parked tenants; 0 means unlimited. When a Create or a restore
+	// of a parked tenant would exceed it, least-recently-used idle
+	// tenants are evicted to checkpoint bytes until the newcomer fits —
+	// or ErrAdmission if nothing evictable remains.
+	MaxResidentBytes int64
+
+	// MaxTenants caps the total tenant count (resident + parked);
+	// 0 means unlimited. Unlike the byte budget this is not relieved
+	// by eviction — parked tenants still hold their checkpoint — so
+	// exceeding it fails Create with ErrAdmission.
+	MaxTenants int
+}
+
+// TenantOptions configures one tenant's session at Create time.
+type TenantOptions struct {
+	// K is the number of blocks (required, ≥ 1).
+	K int
+	// Processes is the simulated rank count (default 4).
+	Processes int
+	// Workers is the tenant's leased worker budget: the maximum
+	// intra-rank kernel parallelism this tenant may reach across all
+	// its ranks together. 0 leases the pool's full capacity (a solo
+	// tenant behaves exactly like a plain session); 1 forces serial
+	// kernels. The budget is execution policy only — it never changes
+	// partition output.
+	Workers int
+	// Epsilon is the balance constraint ε (default 0.03).
+	Epsilon float64
+	// Seed drives the sampled initialization (default 1).
+	Seed int64
+}
+
+// config builds the tenant's core configuration (without the lease,
+// which Create attaches after admission).
+func (o TenantOptions) config() (core.Config, int, error) {
+	cfg := core.DefaultConfig()
+	if o.Epsilon != 0 {
+		cfg.Epsilon = o.Epsilon
+	}
+	cfg.Seed = o.Seed
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	p := o.Processes
+	if p == 0 {
+		p = 4
+	}
+	if p < 1 {
+		return cfg, 0, fmt.Errorf("serve: processes=%d", p)
+	}
+	if o.Workers < 0 {
+		return cfg, 0, fmt.Errorf("serve: workers=%d", o.Workers)
+	}
+	if err := cfg.Validate(o.K); err != nil {
+		return cfg, 0, err
+	}
+	return cfg, p, nil
+}
+
+// tenant is one named session slot: either resident (sess != nil) or
+// parked as checkpoint bytes (parked != nil). Its mutex serializes the
+// tenant's verbs; restore-on-touch happens under it.
+type tenant struct {
+	mu sync.Mutex
+
+	name string
+	k, p int
+	cfg  core.Config
+
+	sess   *repart.Session
+	parked []byte
+
+	n, dim int
+	bytes  int64 // estimated resident footprint (residentBytesEstimate)
+
+	// Guarded by the registry mutex, not t.mu: the LRU stamp and the
+	// residency flag the eviction scan reads without taking t.mu
+	// (resident mirrors sess != nil; every transition holds both
+	// mutexes or happens before the tenant is published).
+	lastUsed int64
+	resident bool
+
+	steps, evictions, restores int64
+	deleted                    bool
+}
+
+// Registry is the tenant registry. All methods are safe for concurrent
+// use; verbs on distinct tenants run concurrently.
+type Registry struct {
+	mu  sync.Mutex
+	cfg Config
+
+	pool    *sched.Pool
+	tenants map[string]*tenant
+
+	clock         int64 // logical LRU clock, bumped per verb
+	residentBytes int64
+	evictions     int64
+	restores      int64
+	draining      bool
+}
+
+// NewRegistry returns an empty registry under cfg's budgets.
+func NewRegistry(cfg Config) *Registry {
+	pool := cfg.Pool
+	if pool == nil {
+		pool = sched.Default()
+	}
+	return &Registry{cfg: cfg, pool: pool, tenants: make(map[string]*tenant)}
+}
+
+// residentBytesEstimate approximates a tenant's resident footprint: the
+// session-held global point set and partition, the per-rank SoA columns
+// with their per-point kernel state (assignment, Hamerly bounds, raw
+// shadow, ids — distributed, so ~1× n in total), and the replicated
+// per-rank center tables. A deterministic function of the tenant shape,
+// so admission decisions reproduce run to run.
+func residentBytesEstimate(n, dim, k, p int) int64 {
+	global := int64(n) * int64(dim*8+8+4)
+	resident := int64(n) * int64(dim*8+8+8+4+3*8)
+	tables := int64(p) * int64(k) * int64((dim+1)*32+64)
+	return global + resident + tables
+}
+
+// Create admits a new tenant and ingests its point set into a resident
+// session. The point set is cloned; the caller may reuse its slices.
+func (g *Registry) Create(name string, ps *geom.PointSet, opts TenantOptions) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty tenant name")
+	}
+	if err := ps.Validate(); err != nil {
+		return err
+	}
+	cfg, p, err := opts.config()
+	if err != nil {
+		return err
+	}
+
+	t := &tenant{
+		name: name, k: opts.K, p: p, cfg: cfg,
+		n: ps.Len(), dim: ps.Dim,
+		bytes: residentBytesEstimate(ps.Len(), ps.Dim, opts.K, p),
+	}
+	// Reserve the name before the (slow) ingest so concurrent Creates
+	// of the same name see ErrExists, and hold t.mu across the ingest
+	// so concurrent verbs on the half-built tenant queue behind it.
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		return ErrDraining
+	}
+	if _, ok := g.tenants[name]; ok {
+		g.mu.Unlock()
+		return ErrExists
+	}
+	if g.cfg.MaxTenants > 0 && len(g.tenants) >= g.cfg.MaxTenants {
+		g.mu.Unlock()
+		return fmt.Errorf("%w (%d tenants, cap %d)", ErrAdmission, len(g.tenants), g.cfg.MaxTenants)
+	}
+	g.clock++
+	t.lastUsed = g.clock
+	g.tenants[name] = t
+	g.mu.Unlock()
+
+	abort := func(err error) error {
+		g.mu.Lock()
+		delete(g.tenants, name)
+		g.mu.Unlock()
+		t.deleted = true
+		return err
+	}
+	if err := g.admit(t); err != nil {
+		return abort(err)
+	}
+	cfg.Lease = g.pool.Lease(opts.Workers)
+	t.cfg = cfg
+	sess, err := repart.NewSession(mpi.NewWorld(p), ps.Clone(), opts.K, cfg)
+	if err != nil {
+		g.unadmit(t)
+		return abort(err)
+	}
+	t.sess = sess
+	g.mu.Lock()
+	t.resident = true
+	g.mu.Unlock()
+	return nil
+}
+
+// admit charges t.bytes against the resident budget, evicting
+// least-recently-used idle tenants as needed. Caller holds t.mu (or is
+// initializing t); never blocks on another tenant's mutex.
+func (g *Registry) admit(t *tenant) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.cfg.MaxResidentBytes > 0 && g.residentBytes+t.bytes > g.cfg.MaxResidentBytes {
+		v := g.victimLocked(t)
+		if v == nil {
+			return fmt.Errorf("%w (%d resident + %d new > cap %d, no evictable tenant)",
+				ErrAdmission, g.residentBytes, t.bytes, g.cfg.MaxResidentBytes)
+		}
+		err := g.evictLocked(v)
+		v.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	g.residentBytes += t.bytes
+	return nil
+}
+
+// unadmit returns t's charge after a failed build/restore.
+func (g *Registry) unadmit(t *tenant) {
+	g.mu.Lock()
+	g.residentBytes -= t.bytes
+	g.mu.Unlock()
+}
+
+// victimLocked picks the least-recently-used resident tenant whose
+// mutex can be taken without blocking, excluding t. Caller holds g.mu;
+// on success the victim's mutex is held.
+func (g *Registry) victimLocked(t *tenant) *tenant {
+	var best *tenant
+	for _, c := range g.tenants {
+		if c == t || !c.resident {
+			continue
+		}
+		if best == nil || c.lastUsed < best.lastUsed {
+			best = c
+		}
+	}
+	for best != nil {
+		if best.mu.TryLock() {
+			if best.sess != nil && !best.deleted {
+				return best
+			}
+			best.mu.Unlock()
+		}
+		// Busy (or raced away): try the next-oldest resident tenant.
+		next := (*tenant)(nil)
+		for _, c := range g.tenants {
+			if c == t || !c.resident || c.lastUsed <= best.lastUsed {
+				continue
+			}
+			if next == nil || c.lastUsed < next.lastUsed {
+				next = c
+			}
+		}
+		best = next
+	}
+	return nil
+}
+
+// evictLocked parks a resident tenant as checkpoint bytes and releases
+// its session. Caller holds g.mu and v.mu.
+func (g *Registry) evictLocked(v *tenant) error {
+	data, err := v.sess.Checkpoint()
+	if err != nil {
+		return fmt.Errorf("serve: evict %s: %w", v.name, err)
+	}
+	v.sess.Close()
+	v.sess = nil
+	v.resident = false
+	v.parked = data
+	v.evictions++
+	g.evictions++
+	g.residentBytes -= v.bytes
+	return nil
+}
+
+// lookup finds a tenant and stamps its LRU clock.
+func (g *Registry) lookup(name string, touch bool) (*tenant, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return nil, ErrDraining
+	}
+	t, ok := g.tenants[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if touch {
+		g.clock++
+		t.lastUsed = g.clock
+	}
+	return t, nil
+}
+
+// ensureResident restores a parked tenant (admission included). Caller
+// holds t.mu.
+func (g *Registry) ensureResident(t *tenant) error {
+	if t.deleted {
+		return ErrNotFound
+	}
+	if t.sess != nil {
+		return nil
+	}
+	if err := g.admit(t); err != nil {
+		return err
+	}
+	sess, err := repart.NewSessionFromCheckpoint(mpi.NewWorld(t.p), t.parked, t.cfg)
+	if err != nil {
+		g.unadmit(t)
+		return fmt.Errorf("serve: restore %s: %w", t.name, err)
+	}
+	t.sess = sess
+	t.parked = nil
+	t.restores++
+	g.mu.Lock()
+	t.resident = true
+	g.restores++
+	g.mu.Unlock()
+	return nil
+}
+
+// withTenant runs fn on the (restored-if-parked) tenant's session,
+// under the tenant mutex.
+func (g *Registry) withTenant(name string, fn func(t *tenant) error) error {
+	t, err := g.lookup(name, true)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := g.ensureResident(t); err != nil {
+		return err
+	}
+	return fn(t)
+}
+
+// Partition computes the tenant's cold initial partition and returns
+// the assignment.
+func (g *Registry) Partition(name string) (partition.P, error) {
+	var p partition.P
+	err := g.withTenant(name, func(t *tenant) error {
+		var err error
+		p, err = t.sess.Partition()
+		if err == nil {
+			t.steps++
+		}
+		return err
+	})
+	return p, err
+}
+
+// Repartition runs one warm repartitioning step.
+func (g *Registry) Repartition(name string) (partition.P, repart.Stats, error) {
+	var p partition.P
+	var st repart.Stats
+	err := g.withTenant(name, func(t *tenant) error {
+		var err error
+		p, st, err = t.sess.Repartition()
+		if err == nil {
+			t.steps++
+		}
+		return err
+	})
+	return p, st, err
+}
+
+// RepartitionIfAbove runs a warm step only when the current imbalance
+// exceeds eps, reporting whether it acted.
+func (g *Registry) RepartitionIfAbove(name string, eps float64) (partition.P, repart.Stats, bool, error) {
+	var p partition.P
+	var st repart.Stats
+	var acted bool
+	err := g.withTenant(name, func(t *tenant) error {
+		var err error
+		p, st, acted, err = t.sess.RepartitionIfAbove(eps)
+		if err == nil && acted {
+			t.steps++
+		}
+		return err
+	})
+	return p, st, acted, err
+}
+
+// UpdateWeights replaces the tenant's point weights (nil = unit).
+func (g *Registry) UpdateWeights(name string, weights []float64) error {
+	return g.withTenant(name, func(t *tenant) error {
+		return t.sess.UpdateWeights(weights)
+	})
+}
+
+// UpdateCoords replaces the tenant's point coordinates (flat, n·dim).
+func (g *Registry) UpdateCoords(name string, coords []float64) error {
+	return g.withTenant(name, func(t *tenant) error {
+		return t.sess.UpdateCoords(coords)
+	})
+}
+
+// Imbalance measures the tenant's current imbalance.
+func (g *Registry) Imbalance(name string) (float64, error) {
+	var imb float64
+	err := g.withTenant(name, func(t *tenant) error {
+		var err error
+		imb, err = t.sess.Imbalance()
+		return err
+	})
+	return imb, err
+}
+
+// Blocks returns the tenant's current partition (nil if none yet).
+func (g *Registry) Blocks(name string) ([]int32, error) {
+	var b []int32
+	err := g.withTenant(name, func(t *tenant) error {
+		b = t.sess.Blocks()
+		return nil
+	})
+	return b, err
+}
+
+// Checkpoint serializes the tenant's session. A parked tenant answers
+// from its stored bytes without being restored.
+func (g *Registry) Checkpoint(name string) ([]byte, error) {
+	t, err := g.lookup(name, true)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deleted {
+		return nil, ErrNotFound
+	}
+	if t.sess == nil {
+		return append([]byte(nil), t.parked...), nil
+	}
+	return t.sess.Checkpoint()
+}
+
+// Evict force-parks a tenant as checkpoint bytes, releasing its
+// resident state. Evicting a parked tenant is a no-op. Eviction does
+// not refresh the tenant's LRU stamp.
+func (g *Registry) Evict(name string) error {
+	t, err := g.lookup(name, false)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deleted {
+		return ErrNotFound
+	}
+	if t.sess == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.evictLocked(t)
+}
+
+// Sweep parks every resident tenant whose last touch is at least
+// maxIdle verbs old on the registry's logical clock — the idle-eviction
+// policy a server loop runs periodically. Returns how many tenants it
+// parked. Busy tenants are skipped, never blocked on.
+func (g *Registry) Sweep(maxIdle int64) int {
+	if maxIdle < 1 {
+		maxIdle = 1
+	}
+	g.mu.Lock()
+	var idle []*tenant
+	for _, t := range g.tenants {
+		if t.resident && g.clock-t.lastUsed >= maxIdle {
+			idle = append(idle, t)
+		}
+	}
+	g.mu.Unlock()
+
+	parked := 0
+	for _, t := range idle {
+		if !t.mu.TryLock() {
+			continue // busy = not idle after all
+		}
+		g.mu.Lock()
+		if t.sess != nil && !t.deleted && g.clock-t.lastUsed >= maxIdle {
+			if err := g.evictLocked(t); err == nil {
+				parked++
+			}
+		}
+		g.mu.Unlock()
+		t.mu.Unlock()
+	}
+	return parked
+}
+
+// Delete removes a tenant and releases its state (resident or parked).
+// Blocks until the tenant's in-flight verb (if any) completes.
+func (g *Registry) Delete(name string) error {
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		return ErrDraining
+	}
+	t, ok := g.tenants[name]
+	if !ok {
+		g.mu.Unlock()
+		return ErrNotFound
+	}
+	delete(g.tenants, name)
+	g.mu.Unlock()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.deleted = true
+	t.parked = nil
+	if t.sess != nil {
+		t.sess.Close()
+		t.sess = nil
+		g.mu.Lock()
+		t.resident = false
+		g.residentBytes -= t.bytes
+		g.mu.Unlock()
+	}
+	return nil
+}
+
+// TenantInfo is one row of List.
+type TenantInfo struct {
+	Name     string `json:"name"`
+	K        int    `json:"k"`
+	P        int    `json:"p"`
+	N        int    `json:"n"`
+	Dim      int    `json:"dim"`
+	Workers  int    `json:"workers"`
+	Resident bool   `json:"resident"`
+	Bytes    int64  `json:"bytes"`
+	Steps    int64  `json:"steps"`
+	Evicted  int64  `json:"evictions"`
+	Restored int64  `json:"restores"`
+}
+
+// List returns all tenants, sorted by name. Purely observational: no
+// LRU touch, no restore; counters of a busy tenant are read as of its
+// last completed verb.
+func (g *Registry) List() []TenantInfo {
+	g.mu.Lock()
+	ts := make([]*tenant, 0, len(g.tenants))
+	for _, t := range g.tenants {
+		ts = append(ts, t)
+	}
+	g.mu.Unlock()
+	sort.Slice(ts, func(i, j int) bool { return ts[i].name < ts[j].name })
+	out := make([]TenantInfo, 0, len(ts))
+	for _, t := range ts {
+		t.mu.Lock()
+		out = append(out, TenantInfo{
+			Name: t.name, K: t.k, P: t.p, N: t.n, Dim: t.dim,
+			Workers:  t.cfg.Lease.Budget(),
+			Resident: t.sess != nil, Bytes: t.bytes, Steps: t.steps,
+			Evicted: t.evictions, Restored: t.restores,
+		})
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// RegistryStats is the shared-accounting snapshot of Stats.
+type RegistryStats struct {
+	Tenants       int   `json:"tenants"`
+	Resident      int   `json:"resident"`
+	Parked        int   `json:"parked"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Evictions     int64 `json:"evictions"`
+	Restores      int64 `json:"restores"`
+	WorkerBudget  int   `json:"worker_budget"`
+	Draining      bool  `json:"draining"`
+}
+
+// Stats snapshots the registry's shared accounting.
+func (g *Registry) Stats() RegistryStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := RegistryStats{
+		Tenants:       len(g.tenants),
+		ResidentBytes: g.residentBytes,
+		Evictions:     g.evictions,
+		Restores:      g.restores,
+		WorkerBudget:  g.pool.Capacity(),
+		Draining:      g.draining,
+	}
+	for _, t := range g.tenants {
+		if t.resident {
+			st.Resident++
+		} else {
+			st.Parked++
+		}
+	}
+	return st
+}
+
+// Drain rejects all further verbs (ErrDraining), waits for every
+// in-flight verb to complete, and releases all tenant state — the
+// graceful-shutdown half the HTTP server calls after it stops
+// accepting connections. Idempotent.
+func (g *Registry) Drain() {
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		return
+	}
+	g.draining = true
+	ts := make([]*tenant, 0, len(g.tenants))
+	for _, t := range g.tenants {
+		ts = append(ts, t)
+	}
+	g.mu.Unlock()
+
+	for _, t := range ts {
+		t.mu.Lock() // waits out the in-flight verb
+		t.deleted = true
+		t.parked = nil
+		if t.sess != nil {
+			t.sess.Close()
+			t.sess = nil
+			g.mu.Lock()
+			t.resident = false
+			g.residentBytes -= t.bytes
+			g.mu.Unlock()
+		}
+		t.mu.Unlock()
+	}
+	g.mu.Lock()
+	clear(g.tenants)
+	g.mu.Unlock()
+}

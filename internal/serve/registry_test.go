@@ -1,0 +1,469 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/mesh"
+	"geographer/internal/mpi"
+	"geographer/internal/partition"
+	"geographer/internal/repart"
+	"geographer/internal/sched"
+)
+
+// tenantMesh builds a distinct small workload per tenant id.
+func tenantMesh(t *testing.T, n int, id int64) *mesh.Mesh {
+	t.Helper()
+	m, err := mesh.GenRefinedTri(n, 40+id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// phaseWeights is the stream experiments' spatially correlated load wave
+// at phase step.
+func phaseWeights(m *mesh.Mesh, step int) []float64 {
+	ps := m.Points
+	out := make([]float64, ps.Len())
+	for i := range out {
+		x := ps.Coords[i*ps.Dim]
+		y := ps.Coords[i*ps.Dim+1]
+		out[i] = ps.W(i) * (1 + 0.4*math.Sin(0.08*x+0.05*y+0.9*float64(step)))
+	}
+	return out
+}
+
+// soloChain runs the reference chain outside the registry: cold
+// partition, then steps warm repartitions under the phase weights.
+// Returns each step's assignment (index 0 = cold) and the per-step
+// stats (index 0 zero-valued).
+func soloChain(t *testing.T, m *mesh.Mesh, k, p, steps int) ([][]int32, []repart.Stats) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
+	s, err := repart.NewSession(mpi.NewWorld(p), ps.Clone(), k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	chain := make([][]int32, 0, steps+1)
+	stats := make([]repart.Stats, 1, steps+1)
+	p0, err := s.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain = append(chain, append([]int32(nil), p0.Assign...))
+	for step := 1; step <= steps; step++ {
+		if err := s.UpdateWeights(phaseWeights(m, step)); err != nil {
+			t.Fatal(err)
+		}
+		pt, st, _, err := s.RepartitionIfAbove(0)
+		if err != nil {
+			t.Fatalf("solo step %d: %v", step, err)
+		}
+		chain = append(chain, append([]int32(nil), pt.Assign...))
+		stats = append(stats, st)
+	}
+	return chain, stats
+}
+
+func assertSameAssign(t *testing.T, label string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d assignments, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: assignment differs at point %d (%d vs %d)", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRegistryChainMatchesSolo: a tenant's chain through the registry —
+// under a constrained worker budget — is bit-identical to the plain
+// session chain, and the worker budget (1 vs full) changes nothing.
+func TestRegistryChainMatchesSolo(t *testing.T) {
+	const n, k, p, steps = 1500, 8, 2, 3
+	m := tenantMesh(t, n, 0)
+	ref, refStats := soloChain(t, m, k, p, steps)
+
+	for _, workers := range []int{0, 1, 3} {
+		g := NewRegistry(Config{})
+		ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
+		if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p, Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		p0, err := g.Partition("sim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameAssign(t, fmt.Sprintf("workers=%d cold", workers), p0.Assign, ref[0])
+		for step := 1; step <= steps; step++ {
+			if err := g.UpdateWeights("sim", phaseWeights(m, step)); err != nil {
+				t.Fatal(err)
+			}
+			pt, st, acted, err := g.RepartitionIfAbove("sim", 0)
+			if err != nil {
+				t.Fatalf("workers=%d step %d: %v", workers, step, err)
+			}
+			if !acted {
+				t.Fatalf("workers=%d step %d: did not act", workers, step)
+			}
+			assertSameAssign(t, fmt.Sprintf("workers=%d step %d", workers, step), pt.Assign, ref[step])
+			if st.DistCalcs != refStats[step].DistCalcs {
+				t.Fatalf("workers=%d step %d: %d distance calcs, solo %d",
+					workers, step, st.DistCalcs, refStats[step].DistCalcs)
+			}
+		}
+		g.Drain()
+	}
+}
+
+// TestEvictionRoundTrip force-evicts mid-chain — with carried
+// incremental bounds resident and a weight delta pending — restores on
+// the next touch, and pins the next warm step bit-identical to the
+// never-evicted chain, still on the incremental fast path.
+func TestEvictionRoundTrip(t *testing.T) {
+	const n, k, p, steps = 1500, 8, 2, 3
+	m := tenantMesh(t, n, 1)
+	ref, refStats := soloChain(t, m, k, p, steps)
+	if !refStats[steps].Incremental {
+		t.Fatalf("reference chain's final step did not carry bounds; test needs the incremental path")
+	}
+
+	g := NewRegistry(Config{})
+	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
+	if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Partition("sim"); err != nil {
+		t.Fatal(err)
+	}
+	// Two warm steps so the carried Hamerly bounds are resident.
+	for step := 1; step < steps; step++ {
+		if err := g.UpdateWeights("sim", phaseWeights(m, step)); err != nil {
+			t.Fatal(err)
+		}
+		if _, st, _, err := g.RepartitionIfAbove("sim", 0); err != nil {
+			t.Fatal(err)
+		} else if step > 1 && !st.Incremental {
+			t.Fatalf("step %d not incremental before eviction", step)
+		}
+	}
+
+	// Queue a weight delta, then park the tenant: the pending flag and
+	// the carried bounds must travel through the checkpoint.
+	if err := g.UpdateWeights("sim", phaseWeights(m, steps)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Evict("sim"); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.Parked != 1 || st.Evictions != 1 || st.Resident != 0 {
+		t.Fatalf("after evict: %+v", st)
+	}
+	if err := g.Evict("sim"); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	// Next touch restores and must reproduce the never-evicted step —
+	// same bits, same distance-evaluation count, still incremental.
+	pt, st, acted, err := g.RepartitionIfAbove("sim", 0)
+	if err != nil || !acted {
+		t.Fatalf("post-restore step: acted=%v err=%v", acted, err)
+	}
+	assertSameAssign(t, "post-restore step", pt.Assign, ref[steps])
+	if !st.Incremental {
+		t.Fatal("post-restore step fell off the incremental fast path")
+	}
+	if st.DistCalcs != refStats[steps].DistCalcs {
+		t.Fatalf("post-restore step: %d distance calcs, never-evicted chain %d", st.DistCalcs, refStats[steps].DistCalcs)
+	}
+	if rs := g.Stats(); rs.Restores != 1 || rs.Resident != 1 {
+		t.Fatalf("after restore: %+v", rs)
+	}
+}
+
+// retryAdmission retries fn while it reports ErrAdmission — the
+// registry's "try again later" signal, raised when every resident
+// tenant is mid-verb and none can be evicted right now. Real clients
+// see it as HTTP 429.
+func retryAdmission(t *testing.T, label string, fn func() error) error {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if !errors.Is(err, ErrAdmission) {
+			return err
+		}
+		if attempt > 100000 {
+			return fmt.Errorf("%s: still rejected after %d attempts: %w", label, attempt, err)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestRegistryRace drives 8 tenants concurrently through
+// Create/Partition/UpdateWeights/RepartitionIfAbove/Checkpoint/Delete
+// while a chaos goroutine force-evicts, sweeps, and lists — under a
+// resident budget that holds only about half the tenants, so
+// admission-pressure eviction and restore-on-touch fire constantly.
+// Every tenant's chain must stay bit-identical to its solo reference.
+func TestRegistryRace(t *testing.T) {
+	const tenants, n, k, p, steps = 8, 900, 6, 2, 3
+
+	meshes := make([]*mesh.Mesh, tenants)
+	refs := make([][][]int32, tenants)
+	for id := range meshes {
+		meshes[id] = tenantMesh(t, n, int64(id))
+		refs[id], _ = soloChain(t, meshes[id], k, p, steps)
+	}
+
+	budget := 4 * residentBytesEstimate(n, 2, k, p)
+	g := NewRegistry(Config{
+		Pool:             sched.NewPool(4),
+		MaxResidentBytes: budget,
+	})
+
+	done := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		i := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = g.Evict(fmt.Sprintf("tenant-%d", i%tenants))
+			g.Sweep(50)
+			g.List()
+			g.Stats()
+			i++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	for id := 0; id < tenants; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tenant-%d", id)
+			m := meshes[id]
+			ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
+			if err := retryAdmission(t, name, func() error {
+				return g.Create(name, ps, TenantOptions{K: k, Processes: p, Workers: 2})
+			}); err != nil {
+				errs <- fmt.Errorf("%s create: %w", name, err)
+				return
+			}
+			var p0 partition.P
+			if err := retryAdmission(t, name, func() error {
+				var err error
+				p0, err = g.Partition(name)
+				return err
+			}); err != nil {
+				errs <- fmt.Errorf("%s cold: %w", name, err)
+				return
+			}
+			for i := range p0.Assign {
+				if p0.Assign[i] != refs[id][0][i] {
+					errs <- fmt.Errorf("%s cold: differs at %d", name, i)
+					return
+				}
+			}
+			for step := 1; step <= steps; step++ {
+				if err := retryAdmission(t, name, func() error {
+					return g.UpdateWeights(name, phaseWeights(m, step))
+				}); err != nil {
+					errs <- fmt.Errorf("%s step %d weights: %w", name, step, err)
+					return
+				}
+				var pt partition.P
+				var acted bool
+				if err := retryAdmission(t, name, func() error {
+					var err error
+					pt, _, acted, err = g.RepartitionIfAbove(name, 0)
+					return err
+				}); err != nil || !acted {
+					errs <- fmt.Errorf("%s step %d: acted=%v err=%w", name, step, acted, err)
+					return
+				}
+				for i := range pt.Assign {
+					if pt.Assign[i] != refs[id][step][i] {
+						errs <- fmt.Errorf("%s step %d: differs at %d", name, step, i)
+						return
+					}
+				}
+			}
+			if err := retryAdmission(t, name, func() error {
+				_, err := g.Checkpoint(name)
+				return err
+			}); err != nil {
+				errs <- fmt.Errorf("%s checkpoint: %w", name, err)
+				return
+			}
+			if err := g.Delete(name); err != nil {
+				errs <- fmt.Errorf("%s delete: %w", name, err)
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(done)
+	chaos.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := g.Stats(); st.Tenants != 0 {
+		t.Fatalf("tenants left after deletes: %+v", st)
+	}
+}
+
+// TestAdmissionControl: a budget holding one tenant evicts LRU on the
+// second Create; touching the parked tenant restores it (evicting the
+// other); a budget too small for anyone rejects with ErrAdmission, as
+// does the tenant-count cap.
+func TestAdmissionControl(t *testing.T) {
+	const n, k, p = 900, 6, 2
+	mA, mB := tenantMesh(t, n, 2), tenantMesh(t, n, 3)
+	one := residentBytesEstimate(mA.Points.Len(), 2, k, p)
+
+	g := NewRegistry(Config{MaxResidentBytes: one + one/2})
+	psA := &geom.PointSet{Dim: mA.Points.Dim, Coords: mA.Points.Coords, Weight: phaseWeights(mA, 0)}
+	psB := &geom.PointSet{Dim: mB.Points.Dim, Coords: mB.Points.Coords, Weight: phaseWeights(mB, 0)}
+	if err := g.Create("a", psA, TenantOptions{K: k, Processes: p}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Partition("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Create("b", psB, TenantOptions{K: k, Processes: p}); err != nil {
+		t.Fatalf("second create should evict, got %v", err)
+	}
+	st := g.Stats()
+	if st.Evictions != 1 || st.Resident != 1 || st.Parked != 1 {
+		t.Fatalf("after pressure create: %+v", st)
+	}
+
+	// Touching a restores it (and must not lose its partition).
+	imb, err := g.Imbalance("a")
+	if err != nil {
+		t.Fatalf("imbalance of restored tenant: %v", err)
+	}
+	if math.IsNaN(imb) || imb < 0 {
+		t.Fatalf("imbalance %g", imb)
+	}
+	if st := g.Stats(); st.Restores != 1 || st.Evictions != 2 {
+		t.Fatalf("after restore-on-touch: %+v", st)
+	}
+
+	// A budget below a single tenant admits nobody.
+	tiny := NewRegistry(Config{MaxResidentBytes: one / 2})
+	if err := tiny.Create("x", psA, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("tiny budget: %v", err)
+	}
+	if st := tiny.Stats(); st.Tenants != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("tiny registry leaked accounting: %+v", st)
+	}
+
+	// Tenant-count cap.
+	capped := NewRegistry(Config{MaxTenants: 1})
+	if err := capped.Create("a", psA, TenantOptions{K: k, Processes: p}); err != nil {
+		t.Fatal(err)
+	}
+	if err := capped.Create("b", psB, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrAdmission) {
+		t.Fatalf("count cap: %v", err)
+	}
+}
+
+// TestRegistryErrors pins the typed error surface.
+func TestRegistryErrors(t *testing.T) {
+	const n, k, p = 600, 4, 2
+	m := tenantMesh(t, n, 4)
+	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
+
+	g := NewRegistry(Config{})
+	if _, err := g.Partition("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing tenant: %v", err)
+	}
+	if err := g.Evict("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evict missing: %v", err)
+	}
+	if err := g.Delete("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+	if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := g.Create("", ps, TenantOptions{K: k, Processes: p}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := g.Create("bad", ps, TenantOptions{K: 0, Processes: p}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := g.Create("bad", ps, TenantOptions{K: k, Workers: -1}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, _, err := g.Repartition("sim"); err == nil {
+		t.Fatal("warm step without a partition accepted")
+	}
+
+	g.Drain()
+	if _, err := g.Partition("sim"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain verb: %v", err)
+	}
+	if err := g.Create("late", ps, TenantOptions{K: k}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain create: %v", err)
+	}
+	g.Drain() // idempotent
+	if st := g.Stats(); st.Tenants != 0 || st.ResidentBytes != 0 || !st.Draining {
+		t.Fatalf("post-drain stats: %+v", st)
+	}
+}
+
+// TestSweepParksIdleTenants: a tenant untouched for maxIdle verbs is
+// parked by Sweep; an active one stays resident.
+func TestSweepParksIdleTenants(t *testing.T) {
+	const n, k, p = 600, 4, 2
+	m := tenantMesh(t, n, 5)
+	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
+	g := NewRegistry(Config{})
+	if err := g.Create("idle", ps, TenantOptions{K: k, Processes: p}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Create("busy", ps, TenantOptions{K: k, Processes: p}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Partition("idle"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := g.Partition("busy"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if parked := g.Sweep(5); parked != 1 {
+		t.Fatalf("sweep parked %d tenants, want 1 (the idle one)", parked)
+	}
+	infos := g.List()
+	for _, ti := range infos {
+		wantResident := ti.Name == "busy"
+		if ti.Resident != wantResident {
+			t.Fatalf("tenant %s resident=%v after sweep", ti.Name, ti.Resident)
+		}
+	}
+}

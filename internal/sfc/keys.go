@@ -20,9 +20,8 @@
 package sfc
 
 import (
-	"sync"
-
 	"geographer/internal/geom"
+	"geographer/internal/sched"
 )
 
 // spread2 spaces the low 32 bits of v apart: bit j moves to bit 2j.
@@ -202,34 +201,25 @@ func (c *Curve) keysRange(cols *geom.Cols, out []uint64, lo, hi int) {
 
 // KeysColsParallel is KeysCols with the shared machine-independent
 // chunk grid (geom.ChunkGrid, the same grid the intra-rank assignment
-// kernels split on) processed by up to `workers` concurrent goroutines
-// (≤ 1 runs serially). Keys are pure per-point functions written to
-// disjoint indices, so output is bit-identical for every worker count.
-func (c *Curve) KeysColsParallel(cols *geom.Cols, out []uint64, workers int) {
+// kernels split on) processed by up to `workers` concurrent workers —
+// the caller plus helpers admitted against the given sched.Lease (nil
+// draws on the process-default pool; ≤ 1 worker runs serially). Keys
+// are pure per-point functions written to disjoint indices, so output
+// is bit-identical for every worker count and token availability.
+func (c *Curve) KeysColsParallel(cols *geom.Cols, out []uint64, workers int, lease *sched.Lease) {
 	n := len(out)
 	nc := geom.ChunkGrid(n)
-	if workers > nc {
-		workers = nc
-	}
-	if workers <= 1 || nc == 1 {
+	if nc == 1 {
 		c.keysRange(cols, out, 0, n)
 		return
 	}
 	chunk := (n + nc - 1) / nc
-	var wg sync.WaitGroup
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			for s := g; s < nc; s += workers {
-				lo := s * chunk
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				c.keysRange(cols, out, lo, hi)
-			}
-		}(g)
-	}
-	wg.Wait()
+	lease.ForEach(workers, nc, func(s int) {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		c.keysRange(cols, out, lo, hi)
+	})
 }

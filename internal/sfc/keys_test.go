@@ -84,7 +84,7 @@ func TestKeysColsMatchesKey(t *testing.T) {
 				// Every worker count must produce the identical array.
 				for _, workers := range []int{2, 3, 16} {
 					par := make([]uint64, len(pts))
-					c.KeysColsParallel(&cols, par, workers)
+					c.KeysColsParallel(&cols, par, workers, nil)
 					for i := range par {
 						if par[i] != got[i] {
 							t.Fatalf("dim=%d bits=%d workers=%d: key %d differs", dim, c.Bits(), workers, i)
@@ -122,7 +122,7 @@ func TestKeysColsLargeParallel(t *testing.T) {
 	c.KeysCols(&cols, want)
 	for _, workers := range []int{1, 2, 4, 7, 16, 64} {
 		got := make([]uint64, len(pts))
-		c.KeysColsParallel(&cols, got, workers)
+		c.KeysColsParallel(&cols, got, workers, nil)
 		for i := range got {
 			if got[i] != want[i] {
 				t.Fatalf("workers=%d: key %d differs", workers, i)
@@ -185,7 +185,7 @@ func benchmarkKeys(b *testing.B, dim int) {
 	b.Run("batch-parallel", func(b *testing.B) {
 		b.SetBytes(int64(n) * 8 * int64(dim))
 		for i := 0; i < b.N; i++ {
-			c.KeysColsParallel(&cols, out, 4)
+			c.KeysColsParallel(&cols, out, 4, nil)
 		}
 	})
 }

@@ -1,23 +1,27 @@
 // Command benchdiff compares two benchmark reports cell by cell and
 // fails on regressions. It understands the soak report (BENCH_soak.json,
-// schema geographer-soak/v1) and the chaos report (BENCH_chaos.json,
-// schema geographer-chaos/v1), dispatching on the schema field.
+// schema geographer-soak/v1), the chaos report (BENCH_chaos.json,
+// schema geographer-chaos/v1), and the serving report (BENCH_serve.json,
+// schema geographer-serve/v1), dispatching on the schema field.
 //
 //	benchdiff -old BENCH_soak.json -new /tmp/soak.json [-tol 0.10]
 //	benchdiff -old BENCH_chaos.json -new /tmp/chaos.json
+//	benchdiff -old BENCH_serve.json -new /tmp/serve.json
 //
 // Cells are matched by their configuration (soak: n/dim/k/p/steps;
-// chaos: graph/n/k/p/steps). Deterministic metrics — for the soak the
-// collective counts and bytes, barriers, distance evaluations, modeled
-// communication time, and final imbalance; for the chaos run the fired
-// fault count, recoveries, delay stalls, bit-identicality flag,
-// distance evaluations, cut, and imbalance — are exact functions of the
-// cell config, so any drift beyond the tolerance is a real behavioral
-// change and exits non-zero. Wall-clock fields depend on the machine
-// and are reported warn-only. Cells present in only one report are
-// skipped with a note: committed snapshots may be generated at a
-// different scale than the CI run diffing against them, so only the
-// shared cells match.
+// chaos: graph/n/k/p/steps; serve: tenants/n/k/p/steps/pool/budget).
+// Deterministic metrics — for the soak the collective counts and bytes,
+// barriers, distance evaluations, modeled communication time, and final
+// imbalance; for the chaos run the fired fault count, recoveries, delay
+// stalls, bit-identicality flag, distance evaluations, cut, and
+// imbalance; for the serving run the bit-identical chain count,
+// eviction/restore counts, distance evaluations, and verb count — are
+// exact functions of the cell config, so any drift beyond the tolerance
+// is a real behavioral change and exits non-zero. Wall-clock,
+// throughput, and latency fields depend on the machine and are reported
+// warn-only. Cells present in only one report are skipped with a note:
+// committed snapshots may be generated at a different scale than the CI
+// run diffing against them, so only the shared cells match.
 package main
 
 import (
@@ -59,6 +63,29 @@ func soakCells(rep experiments.SoakReport) []cellData {
 				{"step_sec_mean", false, c.StepSecMean},
 				{"peak_rss_mb", false, c.PeakRSSMB},
 				{"mallocs_per_step", false, c.MallocsPerStep},
+			},
+		})
+	}
+	return out
+}
+
+func serveCells(rep experiments.ServeReport) []cellData {
+	out := make([]cellData, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		out = append(out, cellData{
+			key: fmt.Sprintf("tenants=%d n=%d k=%d p=%d steps=%d pool=%d budget=%d",
+				c.Tenants, c.N, c.K, c.P, c.Steps, c.Pool, c.Budget),
+			metrics: []metricVal{
+				{"identical_chains", true, float64(c.IdenticalChains)},
+				{"evictions", true, float64(c.Evictions)},
+				{"restores", true, float64(c.Restores)},
+				{"dist_calcs", true, float64(c.DistCalcs)},
+				{"verbs", true, float64(c.Verbs)},
+				{"wall_sec", false, c.WallSec},
+				{"verbs_per_sec", false, c.VerbsPerSec},
+				{"p50_ms", false, c.P50Ms},
+				{"p95_ms", false, c.P95Ms},
+				{"p99_ms", false, c.P99Ms},
 			},
 		})
 	}
@@ -135,6 +162,12 @@ func loadCells(path string) (string, []cellData, error) {
 			return "", nil, fmt.Errorf("%s: %w", path, err)
 		}
 		return head.Schema, chaosCells(rep), nil
+	case "geographer-serve/v1":
+		var rep experiments.ServeReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return "", nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, serveCells(rep), nil
 	default:
 		return "", nil, fmt.Errorf("%s: unknown report schema %q", path, head.Schema)
 	}
