@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|chaos|serve|all")
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|chaos|serve|highdim|all")
 		scale   = flag.String("scale", "default", "default|quick")
 		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
 		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
@@ -269,6 +269,28 @@ func main() {
 					return fmt.Errorf("evictions=%d restores=%d: every forced park must restore", c.Evictions, c.Restores)
 				}
 			}
+			return nil
+		})
+	}
+	// The highdim grid is opt-in like the soak: feature-space clustering
+	// at d ∈ {8, 16, 64} through the generic-dimension kernels — an
+	// extension beyond the paper's 2D/3D meshes, not a paper artifact.
+	if *exp == "highdim" {
+		any = true
+		run("highdim", func() error {
+			rep, err := experiments.Highdim(os.Stdout, sc)
+			if err != nil || *bench == "" {
+				return err
+			}
+			f, err := os.Create(*bench)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := experiments.WriteHighdimJSON(f, rep); err != nil {
+				return err
+			}
+			fmt.Println("wrote", *bench)
 			return nil
 		})
 	}

@@ -90,6 +90,12 @@ type Options struct {
 	// its assignment work across this many concurrent shards. 0 = auto
 	// (GOMAXPROCS/Processes), 1 = serial.
 	Workers int
+	// Deterministic makes MethodGeographer's cold partitions bit-identical
+	// across every Processes and Workers setting (warm repartitioning
+	// already is): sampled initialization is disabled and all global float
+	// reductions run through order-independent exact accumulators. Costs
+	// some cold-start speed; other methods ignore it.
+	Deterministic bool
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +146,7 @@ func (o Options) coreConfig() core.Config {
 	cfg.Strict = o.Strict
 	cfg.TargetFractions = o.TargetFractions
 	cfg.Workers = o.Workers
+	cfg.Deterministic = o.Deterministic
 	return cfg
 }
 
@@ -160,8 +167,12 @@ func (o Options) tool() (partition.Distributed, error) {
 	}
 }
 
-// Partition assigns each point to a block in [0, K). Coordinates are flat
-// (len = n·dim, dim ∈ {2,3}); weights may be nil for unit weights.
+// Partition assigns each point to a block in [0, K). Coordinates are
+// flat (len = n·dim); weights may be nil for unit weights.
+// MethodGeographer accepts any dim ≥ 1 — beyond 3 the space-filling-
+// curve bootstrap is replaced by seeded sampling and the clustering runs
+// through the generic-dimension kernels (balanced clustering in feature
+// space). The geometric baseline methods remain spatial (dim ∈ {1,2,3}).
 func Partition(coords []float64, dim int, weights []float64, opts Options) ([]int32, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -170,6 +181,10 @@ func Partition(coords []float64, dim int, weights []float64, opts Options) ([]in
 	ps := &geom.PointSet{Dim: dim, Coords: coords, Weight: weights}
 	if err := ps.Validate(); err != nil {
 		return nil, err
+	}
+	if dim > geom.MaxDim && strings.ToLower(opts.Method) != MethodGeographer {
+		return nil, fmt.Errorf("geographer: method %q is spatial-only (dim ≤ %d); use Method=%q for %d-dimensional inputs",
+			opts.Method, geom.MaxDim, MethodGeographer, dim)
 	}
 	tool, err := opts.tool()
 	if err != nil {
@@ -255,7 +270,7 @@ func fromStats(blocks []int32, st repart.Stats) RepartResult {
 // partition close to the old one: far less weight migrates than under a
 // fresh Partition call at comparable cut and imbalance.
 //
-// Inputs follow Partition: coords is flat (len = n·dim, dim ∈ {2,3}),
+// Inputs follow Partition: coords is flat (len = n·dim, any dim ≥ 1),
 // weights may be nil for unit weights, and prevAssign must hold one
 // block id in [0, K) per point — typically a previous Partition or
 // Repartition result, but any valid assignment seeds the warm start.

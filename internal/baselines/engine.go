@@ -155,7 +155,7 @@ func (e *engine) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]int64, [
 
 	local := make([]dpoint, pts.Len())
 	for i := range local {
-		local[i] = dpoint{ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i], Sub: 0}
+		local[i] = dpoint{ID: pts.IDs[i], W: pts.Weight(i), X: pts.At(i), Sub: 0}
 	}
 	subs := []sub{{blockLo: 0, blockHi: int32(k), rankLo: 0, rankHi: p}}
 

@@ -36,7 +36,8 @@ func (HSFC) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]int64, []int3
 		mins[d] = math.Inf(1)
 		maxs[d] = math.Inf(-1)
 	}
-	for _, x := range pts.X {
+	for i := 0; i < pts.Len(); i++ {
+		x := pts.At(i)
 		for d := 0; d < dim; d++ {
 			mins[d] = math.Min(mins[d], x[d])
 			maxs[d] = math.Max(maxs[d], x[d])
@@ -53,8 +54,8 @@ func (HSFC) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]int64, []int3
 
 	// SoA ingest: flat columns, batch key kernel, radix sample sort.
 	cols := dsort.NewCols(dim, pts.Len())
-	for i, x := range pts.X {
-		cols.SetPoint(i, x)
+	for i := 0; i < pts.Len(); i++ {
+		cols.SetPoint(i, pts.At(i))
 		cols.IDs[i] = pts.IDs[i]
 		cols.W[i] = pts.Weight(i)
 	}

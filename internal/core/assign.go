@@ -24,8 +24,18 @@ func (st *state) assignAndBalance() bool {
 	// current centers; remember them for cross-run carrying (warm.go).
 	copy(st.boundCenters, st.centers)
 
-	// Line 1: bounding box around the local (sampled) points.
-	bb, localSampleW := geom.SampleBoxW(st.dim, st.X.X, st.X.Y, st.X.Z, st.W, sample)
+	// Line 1: bounding box around the local (sampled) points, held flat
+	// so any dimension fits (identical arithmetic at d ≤ geom.MaxDim).
+	var localSampleW float64
+	if st.dim <= geom.MaxDim {
+		var bb geom.Box
+		bb, localSampleW = geom.SampleBoxW(st.dim, st.X.X, st.X.Y, st.X.Z, st.W, sample)
+		copy(st.bbMin, bb.Min[:st.dim])
+		copy(st.bbMax, bb.Max[:st.dim])
+	} else {
+		localSampleW = geom.SampleBoxWND(st.X.Col, st.W, sample, st.bbMin, st.bbMax)
+	}
+	bbEmpty := geom.FlatBoxEmpty(st.bbMin, st.bbMax)
 
 	// The global sample weight (to scale the block targets) and the
 	// "anyone still sampling?" flag ride along in the per-round weight
@@ -63,12 +73,13 @@ func (st *state) assignAndBalance() bool {
 			if st.influence[b] > maxInf {
 				maxInf = st.influence[b]
 			}
-			st.centerCols.Set(b, st.centers[b])
+			row := st.centerRow(b)
+			st.centerCols.SetVec(b, row)
 			st.orderedCenters[b] = int32(b)
-			if bb.Empty() {
+			if bbEmpty {
 				st.distToBB2[b] = 0
 			} else {
-				st.distToBB2[b] = bb.MinDist2(st.centers[b]) * st.invInf2[b]
+				st.distToBB2[b] = geom.FlatBoxMinDist2(st.bbMin, st.bbMax, row) * st.invInf2[b]
 			}
 			st.localW[b] = 0
 		}
@@ -108,7 +119,10 @@ func (st *state) assignAndBalance() bool {
 		// sample is always the full set, whose exact weight was fixed at
 		// init.
 		var globalW []float64
-		if st.warm {
+		if st.warm || st.cfg.Deterministic {
+			// The deterministic cold path shares the warm reductions: the
+			// sample is always the full set there too (SampledInit is
+			// forced off), so its exact weight was fixed at init.
 			globalW = st.exactBlockWeights()
 			if totalTarget > 0 {
 				scale = st.totalW / totalTarget
@@ -230,6 +244,7 @@ func (st *state) runAssignKernels(sample []int32) (distCalcs, skips, breaks int6
 	template := geom.AssignKernel{
 		PX: st.X.X, PY: st.X.Y, PZ: st.X.Z, W: st.W,
 		CX: st.centerCols.X, CY: st.centerCols.Y, CZ: st.centerCols.Z,
+		PC: st.X.Col, CC: st.centerCols.Col,
 		InvInf2: st.invInf2,
 		Order:   st.orderedCenters, DistBB2: st.distToBB2, Prune: st.cfg.BBoxPruning,
 		K: st.k,
@@ -290,7 +305,24 @@ func (st *state) runAssignKernels(sample []int32) (distCalcs, skips, breaks int6
 	return distCalcs, skips, breaks
 }
 
+// forceGenericKernels routes every kernel dispatch through the
+// generic-dimension bodies regardless of st.dim. Test-only: the
+// differential kernel tests flip it to pin the generic bodies
+// bit-identical to the specialized 2D/3D ones on the same scenarios.
+var forceGenericKernels = false
+
 func (st *state) runOneKernel(kr *geom.AssignKernel, idx []int32, hamerly, elkan bool) {
+	if forceGenericKernels {
+		switch {
+		case elkan:
+			kr.RunElkanGeneric(idx)
+		case hamerly && kr.RawLb != nil:
+			kr.RunBoundedRawGeneric(idx)
+		default:
+			kr.RunBoundedGeneric(idx, hamerly)
+		}
+		return
+	}
 	switch {
 	case elkan:
 		kr.RunElkan(st.dim, idx)

@@ -24,7 +24,6 @@ package core
 import (
 	"fmt"
 
-	"geographer/internal/geom"
 	"geographer/internal/partition"
 	"geographer/internal/sched"
 )
@@ -139,8 +138,19 @@ type Config struct {
 	// weight/center reductions run through the order-independent exact
 	// accumulator of internal/exact, making the output bit-identical
 	// across rank and worker counts (see DESIGN.md, "Repartitioning
-	// invariants"). Length must equal k.
-	WarmCenters []geom.Point
+	// invariants"). Stored flat (stride = the input's dimension);
+	// length must be k·dim.
+	WarmCenters []float64
+
+	// Deterministic makes the cold (non-warm) path's output independent
+	// of the rank and worker layout: sampled initialization is forced
+	// off (its shuffle is rank-seeded) and every global float reduction
+	// — total weight, per-block weights, center sums — runs through the
+	// order-independent exact accumulators of internal/exact, exactly as
+	// the warm path always does. Costs the sampled bootstrap's speedup
+	// on bad initial centers plus the accumulator passes; output is
+	// bit-identical across Processes × Workers.
+	Deterministic bool
 }
 
 // BoundsKind selects the distance-bound strategy of the assignment loop.
@@ -171,8 +181,8 @@ func (cfg Config) Validate(k int) error {
 			return err
 		}
 	}
-	if cfg.WarmCenters != nil && len(cfg.WarmCenters) != k {
-		return fmt.Errorf("core: %d warm centers for k=%d", len(cfg.WarmCenters), k)
+	if cfg.WarmCenters != nil && (len(cfg.WarmCenters)%k != 0 || len(cfg.WarmCenters) == 0) {
+		return fmt.Errorf("core: %d warm center coordinates not divisible by k=%d", len(cfg.WarmCenters), k)
 	}
 	return nil
 }
@@ -187,6 +197,9 @@ func (cfg Config) Validate(k int) error {
 // ablate them must set MaxIter explicitly.
 func (cfg Config) normalized() Config {
 	if cfg.MaxIter != 0 {
+		if cfg.Deterministic {
+			cfg.SampledInit = false
+		}
 		return cfg
 	}
 	def := DefaultConfig()
@@ -204,6 +217,10 @@ func (cfg Config) normalized() Config {
 	def.Strict = cfg.Strict
 	def.TargetFractions = cfg.TargetFractions
 	def.WarmCenters = cfg.WarmCenters
+	def.Deterministic = cfg.Deterministic
+	if def.Deterministic {
+		def.SampledInit = false
+	}
 	return def
 }
 

@@ -158,21 +158,21 @@ func TestOptimizationsPreserveResult(t *testing.T) {
 // warmCentersFrom recovers warm-start seed centers (weighted block
 // means) from an assignment — the test-local equivalent of
 // repart.RecoverCenters for non-degenerate partitions.
-func warmCentersFrom(ps *geom.PointSet, assign []int32, k int) []geom.Point {
-	sum := make([]geom.Point, k)
+func warmCentersFrom(ps *geom.PointSet, assign []int32, k int) []float64 {
+	sum := make([]float64, k*ps.Dim)
 	wsum := make([]float64, k)
 	for i := 0; i < ps.Len(); i++ {
-		b := assign[i]
-		x := ps.At(i)
+		b := int(assign[i])
+		x := ps.Coords[i*ps.Dim : (i+1)*ps.Dim]
 		w := ps.W(i)
 		for d := 0; d < ps.Dim; d++ {
-			sum[b][d] += w * x[d]
+			sum[b*ps.Dim+d] += w * x[d]
 		}
 		wsum[b] += w
 	}
-	for b := range sum {
+	for b := 0; b < k; b++ {
 		for d := 0; d < ps.Dim; d++ {
-			sum[b][d] /= wsum[b]
+			sum[b*ps.Dim+d] /= wsum[b]
 		}
 	}
 	return sum
@@ -372,13 +372,13 @@ func TestInfoPhases(t *testing.T) {
 }
 
 func TestMeanNearestCenterDistance(t *testing.T) {
-	centers := []geom.Point{{0, 0}, {1, 0}, {5, 0}}
+	centers := []float64{0, 0, 1, 0, 5, 0}
 	got := meanNearestCenterDistance(centers, 3, 2)
 	want := (1.0 + 1.0 + 4.0) / 3
 	if math.Abs(got-want) > 1e-12 {
 		t.Errorf("β = %g, want %g", got, want)
 	}
-	if meanNearestCenterDistance(centers[:1], 1, 2) != 0 {
+	if meanNearestCenterDistance(centers[:2], 1, 2) != 0 {
 		t.Error("single center should give 0")
 	}
 }

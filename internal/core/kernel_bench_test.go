@@ -33,6 +33,11 @@ func benchAssignKernel(b *testing.B, dim int) {
 func BenchmarkAssignKernel2D(b *testing.B) { benchAssignKernel(b, 2) }
 func BenchmarkAssignKernel3D(b *testing.B) { benchAssignKernel(b, 3) }
 
+// The generic (strided-column) kernels beyond geom.MaxDim — the
+// feature-space hot loop of the highdim experiment.
+func BenchmarkAssignKernel8D(b *testing.B)  { benchAssignKernel(b, 8) }
+func BenchmarkAssignKernel16D(b *testing.B) { benchAssignKernel(b, 16) }
+
 // BenchmarkAssignBoundsModes runs the full partition pipeline per bounds
 // mode, so bound-maintenance overhead and skip savings are both visible.
 func BenchmarkAssignBoundsModes(b *testing.B) {

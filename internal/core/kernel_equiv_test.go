@@ -24,16 +24,16 @@ func kernelScenario(t testing.TB, dim, n, k int, bounds BoundsKind, prune bool, 
 
 	st.X = geom.MakeCols(dim, n)
 	st.W = make([]float64, n)
+	vec := make([]float64, dim)
 	for i := 0; i < n; i++ {
-		var p geom.Point
-		for d := 0; d < dim; d++ {
-			p[d] = rng.Float64()
+		for d := range vec {
+			vec[d] = rng.Float64()
 		}
-		st.X.Set(i, p)
+		st.X.SetVec(i, vec)
 		st.W[i] = 0.2 + 2*rng.Float64()
 	}
 
-	st.centers = make([]geom.Point, k)
+	st.centers = make([]float64, k*dim)
 	st.influence = make([]float64, k)
 	st.centerCols = geom.MakeCols(dim, k)
 	st.invInf2 = make([]float64, k)
@@ -41,12 +41,11 @@ func kernelScenario(t testing.TB, dim, n, k int, bounds BoundsKind, prune bool, 
 	st.distToBB2 = make([]float64, k)
 	st.localW = make([]float64, k)
 	for b := 0; b < k; b++ {
-		var p geom.Point
-		for d := 0; d < dim; d++ {
-			p[d] = rng.Float64()
+		row := st.centers[b*dim : (b+1)*dim]
+		for d := range row {
+			row[d] = rng.Float64()
 		}
-		st.centers[b] = p
-		st.centerCols.Set(b, p)
+		st.centerCols.SetVec(b, row)
 		st.influence[b] = 0.5 + 1.5*rng.Float64()
 		inv := 1 / st.influence[b]
 		st.invInf2[b] = inv * inv
@@ -59,9 +58,17 @@ func kernelScenario(t testing.TB, dim, n, k int, bounds BoundsKind, prune bool, 
 	}
 	rng.Shuffle(n, func(i, j int) { sample[i], sample[j] = sample[j], sample[i] })
 
-	bb, _ := geom.SampleBoxW(dim, st.X.X, st.X.Y, st.X.Z, st.W, sample)
+	bmin := make([]float64, dim)
+	bmax := make([]float64, dim)
+	if dim <= geom.MaxDim {
+		bb, _ := geom.SampleBoxW(dim, st.X.X, st.X.Y, st.X.Z, st.W, sample)
+		copy(bmin, bb.Min[:dim])
+		copy(bmax, bb.Max[:dim])
+	} else {
+		geom.SampleBoxWND(st.X.Col, st.W, sample, bmin, bmax)
+	}
 	for b := 0; b < k; b++ {
-		st.distToBB2[b] = bb.MinDist2(st.centers[b]) * st.invInf2[b]
+		st.distToBB2[b] = geom.FlatBoxMinDist2(bmin, bmax, st.centers[b*dim:(b+1)*dim]) * st.invInf2[b]
 	}
 	if prune {
 		for i := 1; i < k; i++ { // insertion sort by (distToBB2, id)
@@ -160,6 +167,7 @@ func TestKernelMatchesReference(t *testing.T) {
 						ref := geom.AssignKernel{
 							PX: st.X.X, PY: st.X.Y, PZ: st.X.Z, W: st.W,
 							CX: st.centerCols.X, CY: st.centerCols.Y, CZ: st.centerCols.Z,
+							PC: st.X.Col, CC: st.centerCols.Col,
 							InvInf2: st.invInf2,
 							Order:   st.orderedCenters, DistBB2: st.distToBB2, Prune: prune,
 							K: st.k,
@@ -290,6 +298,7 @@ func TestRawKernelMatchesReference(t *testing.T) {
 				ref := geom.AssignKernel{
 					PX: st.X.X, PY: st.X.Y, PZ: st.X.Z, W: st.W,
 					CX: st.centerCols.X, CY: st.centerCols.Y, CZ: st.centerCols.Z,
+					PC: st.X.Col, CC: st.centerCols.Col,
 					InvInf2: st.invInf2,
 					Order:   st.orderedCenters,
 					K:       st.k,

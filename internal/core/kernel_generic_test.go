@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"geographer/internal/geom"
+)
+
+// rawScenario extends a kernelScenario with the warm incremental state the
+// raw-shadow Hamerly pass needs: raw lower bounds, the raw skip floor, and
+// the k×k center-to-center anchored-scan tables.
+func rawScenario(t testing.TB, dim, n, k int, seed int64) (*state, []int32) {
+	st, sample := kernelScenario(t, dim, n, k, BoundsHamerly, false, seed)
+	rng := rand.New(rand.NewSource(seed + 1000))
+	st.trackRaw = true
+	st.rlb = make([]float64, st.X.Len())
+	for i := range st.rlb {
+		st.rlb[i] = rng.Float64() * 0.5
+	}
+	maxInf := 0.0
+	for _, f := range st.influence {
+		if f > maxInf {
+			maxInf = f
+		}
+	}
+	st.rawLbInv = (1 / maxInf) * (1 - boundSlack)
+	st.perCenter = make([]float64, st.k)
+	st.ccDist = make([]float64, st.k*st.k)
+	st.ccOrder = make([]int32, st.k*st.k)
+	st.buildCCTables()
+	return st, sample
+}
+
+type kernelRun struct {
+	a          []int32
+	ub, lb     []float64
+	lbk, rlb   []float64
+	localW     []float64
+	dc, sk, br int64
+}
+
+func captureRun(st *state, dc, sk, br int64) kernelRun {
+	r := kernelRun{dc: dc, sk: sk, br: br}
+	r.a, r.ub, r.lb, r.lbk, r.localW = cloneSlices(st)
+	r.rlb = append([]float64(nil), st.rlb...)
+	return r
+}
+
+func compareRuns(t *testing.T, label string, got, want kernelRun) {
+	t.Helper()
+	for i := range got.a {
+		if got.a[i] != want.a[i] {
+			t.Fatalf("%s: A[%d] = %d, want %d", label, i, got.a[i], want.a[i])
+		}
+	}
+	for _, s := range []struct {
+		name     string
+		got, ref []float64
+	}{
+		{"ub", got.ub, want.ub}, {"lb", got.lb, want.lb},
+		{"lbk", got.lbk, want.lbk}, {"rlb", got.rlb, want.rlb},
+		{"localW", got.localW, want.localW},
+	} {
+		if i := bitsEqual(s.got, s.ref); i >= 0 {
+			t.Fatalf("%s: %s[%d] = %x, want %x", label, s.name, i, s.got[i], s.ref[i])
+		}
+	}
+	if got.dc != want.dc || got.sk != want.sk || got.br != want.br {
+		t.Fatalf("%s: counters (%d,%d,%d), want (%d,%d,%d)",
+			label, got.dc, got.sk, got.br, want.dc, want.sk, want.br)
+	}
+}
+
+// runKernels resets the state to the captured starting slices, configures
+// the shard array, and runs one assignment pass with the given worker
+// count, optionally forcing the generic (any-dimension) kernel bodies.
+func runKernels(st *state, sample []int32, start kernelRun, pend bool, workers int, generic bool) kernelRun {
+	restoreSlices(st, start.a, start.ub, start.lb, start.lbk, start.localW)
+	if st.rlb != nil {
+		copy(st.rlb, start.rlb)
+	}
+	st.pendScaled = pend
+	st.workers = workers
+	nc := kernelChunks(len(sample))
+	st.shards = make([]geom.AssignKernel, nc)
+	for s := range st.shards {
+		st.shards[s].LocalW = make([]float64, st.k)
+	}
+	if generic {
+		forceGenericKernels = true
+		defer func() { forceGenericKernels = false }()
+	}
+	dc, sk, br := st.runAssignKernels(sample)
+	return captureRun(st, dc, sk, br)
+}
+
+// referenceRun drives the scalar reference path chunk by chunk on the same
+// fixed grid as production, merging weight partials in chunk order.
+func referenceRun(st *state, sample []int32, pend bool, bounds BoundsKind, raw bool) kernelRun {
+	ref := geom.AssignKernel{
+		PX: st.X.X, PY: st.X.Y, PZ: st.X.Z, W: st.W,
+		CX: st.centerCols.X, CY: st.centerCols.Y, CZ: st.centerCols.Z,
+		PC: st.X.Col, CC: st.centerCols.Col,
+		InvInf2: st.invInf2,
+		Order:   st.orderedCenters, DistBB2: st.distToBB2, Prune: st.cfg.BBoxPruning,
+		K: st.k,
+		A: st.A, Ub: st.ub, Lb: st.lb, Lbk: st.lbk,
+		LocalW: make([]float64, st.k),
+	}
+	if raw {
+		ref.RawLb = st.rlb
+		ref.RawLbInv = st.rawLbInv
+		ref.CCOrder = st.ccOrder
+		ref.CCDist = st.ccDist
+		ref.DistBB2 = nil
+		ref.Prune = false
+	}
+	if pend {
+		ref.UbScale = st.pendUbRatio
+		ref.LbScale = st.pendLbRatio
+	}
+	refLW := make([]float64, st.k)
+	nc := kernelChunks(len(sample))
+	chunk := (len(sample) + nc - 1) / nc
+	for s := 0; s < nc; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > len(sample) {
+			hi = len(sample)
+		}
+		clear(ref.LocalW)
+		if raw {
+			referenceAssignRaw(st.dim, &ref, sample[lo:hi])
+		} else {
+			referenceAssign(st.dim, &ref, sample[lo:hi], bounds == BoundsHamerly, bounds == BoundsElkan)
+		}
+		for b := 0; b < st.k; b++ {
+			refLW[b] += ref.LocalW[b]
+		}
+	}
+	r := captureRun(st, ref.DistCalcs, ref.Skips, ref.Breaks)
+	copy(r.localW, refLW)
+	return r
+}
+
+// TestGenericKernelMatchesSpecialized pins the generic (strided-column)
+// kernel bodies bit-identical to the specialized 2D/3D kernels at the
+// dimensions where both paths exist: same assignments, same bounds, same
+// local weights, same counters — the generic path is the same algorithm,
+// only the distance expression is a loop.
+func TestGenericKernelMatchesSpecialized(t *testing.T) {
+	for _, dim := range []int{2, 3} {
+		for _, bounds := range []BoundsKind{BoundsHamerly, BoundsElkan, BoundsNone} {
+			for _, prune := range []bool{true, false} {
+				name := fmt.Sprintf("dim=%d/%s/prune=%v", dim, bounds, prune)
+				t.Run(name, func(t *testing.T) {
+					for seed := int64(0); seed < 4; seed++ {
+						st, sample := kernelScenario(t, dim, 1500, 11, bounds, prune, 400+seed)
+						pend := st.pendScaled
+						start := captureRun(st, 0, 0, 0)
+						spec := runKernels(st, sample, start, pend, 1, false)
+						gen := runKernels(st, sample, start, pend, 1, true)
+						compareRuns(t, "serial", gen, spec)
+						gen3 := runKernels(st, sample, start, pend, 3, true)
+						compareRuns(t, "sharded", gen3, spec)
+					}
+				})
+			}
+		}
+	}
+	t.Run("raw", func(t *testing.T) {
+		for _, dim := range []int{2, 3} {
+			for seed := int64(0); seed < 4; seed++ {
+				st, sample := rawScenario(t, dim, 1500, 11, 500+seed)
+				pend := st.pendScaled
+				start := captureRun(st, 0, 0, 0)
+				spec := runKernels(st, sample, start, pend, 1, false)
+				gen := runKernels(st, sample, start, pend, 1, true)
+				compareRuns(t, fmt.Sprintf("dim=%d", dim), gen, spec)
+			}
+		}
+	})
+}
+
+// TestGenericKernelMatchesReference is the high-dimension differential
+// lattice: at d > geom.MaxDim (where only the generic kernels exist) the
+// batch kernels must stay bit-identical to the scalar reference path
+// across bounds modes, pruning, and worker counts.
+func TestGenericKernelMatchesReference(t *testing.T) {
+	dims := []int{4, 8, 16, 64}
+	for _, dim := range dims {
+		n := 1200
+		if dim >= 16 {
+			n = 400 // keep the O(n·k·d) reference pass cheap
+		}
+		for _, bounds := range []BoundsKind{BoundsHamerly, BoundsElkan, BoundsNone} {
+			for _, prune := range []bool{true, false} {
+				name := fmt.Sprintf("dim=%d/%s/prune=%v", dim, bounds, prune)
+				t.Run(name, func(t *testing.T) {
+					for seed := int64(0); seed < 2; seed++ {
+						st, sample := kernelScenario(t, dim, n, 9, bounds, prune, 600+seed)
+						pend := st.pendScaled
+						start := captureRun(st, 0, 0, 0)
+						ref := referenceRun(st, sample, pend, bounds, false)
+						serial := runKernels(st, sample, start, pend, 1, false)
+						compareRuns(t, "serial", serial, ref)
+						sharded := runKernels(st, sample, start, pend, 3, false)
+						compareRuns(t, "sharded", sharded, ref)
+					}
+				})
+			}
+		}
+	}
+	t.Run("raw", func(t *testing.T) {
+		for _, dim := range dims {
+			n := 1200
+			if dim >= 16 {
+				n = 400
+			}
+			for seed := int64(0); seed < 2; seed++ {
+				st, sample := rawScenario(t, dim, n, 9, 700+seed)
+				pend := st.pendScaled
+				start := captureRun(st, 0, 0, 0)
+				ref := referenceRun(st, sample, pend, BoundsHamerly, true)
+				for _, workers := range []int{1, 3} {
+					got := runKernels(st, sample, start, pend, workers, false)
+					compareRuns(t, fmt.Sprintf("dim=%d/workers=%d", dim, workers), got, ref)
+				}
+			}
+		}
+	})
+}
+
+// TestGenericDist2MatchesSpecialized pins the elementwise accumulation
+// order of the generic distance loop to the specialized expressions: the
+// bit-level foundation the kernel equivalences above rest on.
+func TestGenericDist2MatchesSpecialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		dim := 2 + trial%2
+		var p, q geom.Point
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			v, w := rng.NormFloat64()*1e3, rng.NormFloat64()*1e3
+			p[d], q[d] = v, w
+			a[d], b[d] = v, w
+		}
+		want := geom.Dist2(p, q, dim)
+		got := geom.Dist2Vec(a, b)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("dim=%d: Dist2Vec %x, Dist2 %x", dim, got, want)
+		}
+	}
+}

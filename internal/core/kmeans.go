@@ -61,7 +61,7 @@ type state struct {
 	ub, lb []float64
 	lbk    []float64 // Elkan mode: raw-distance lower bounds, len n·k
 
-	centers   []geom.Point
+	centers   []float64 // k flat center rows, stride dim
 	influence []float64
 	targets   []float64 // per-block global target weights
 
@@ -74,7 +74,7 @@ type state struct {
 
 	// Hoisted outer-loop scratch, allocated once per Partition call.
 	oldInfluence []float64
-	newCenters   []geom.Point
+	newCenters   []float64 // k flat rows, stride dim
 	deltas       []float64
 	centVec      []float64 // computeCenters reduction buffer, k·(dim+1)
 	perCenter    []float64 // per-center shift scratch, len k
@@ -125,9 +125,12 @@ type state struct {
 
 	// Small reusable collective buffers of the steady-state path: the
 	// diagnostics counter reduction of finish and the fused bounding-box
-	// fold (mins and negated maxs in one vector, see reduceBox).
+	// fold (mins and negated maxs in one vector, see reduceBounds).
 	ctrBuf []int64
 	boxBuf []float64
+
+	// Flat per-round sample bounding box (any dimension), len dim each.
+	bbMin, bbMax []float64
 
 	// Cross-run bound carrying (cfg.Incremental, warm resident path; see
 	// warm.go and DESIGN.md, "Incremental bound invariants"). The stored
@@ -135,12 +138,12 @@ type state struct {
 	// boundCenters (the centers of the run's most recent kernel pass)
 	// and the final influence values; the next warm run corrects them by
 	// the per-center drift instead of resetting to "unknown".
-	boundCenters []geom.Point // centers the stored bounds are valid against
-	carryValid   bool         // a previous warm run left reusable bounds
-	carryBounds  BoundsKind   // bounds mode that produced them
-	carryK       int          // k that produced them
-	worklist     []int32      // boundary points of an incremental first pass
-	useWorklist  bool         // consume worklist on the next kernel pass
+	boundCenters []float64  // flat k·dim centers the stored bounds are valid against
+	carryValid   bool       // a previous warm run left reusable bounds
+	carryBounds  BoundsKind // bounds mode that produced them
+	carryK       int        // k that produced them
+	worklist     []int32    // boundary points of an incremental first pass
+	useWorklist  bool       // consume worklist on the next kernel pass
 
 	// Raw-space shadow of the Hamerly lower bound (trackRaw runs): the
 	// influence-free min distance to any non-assigned center. Influence
@@ -187,6 +190,12 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 		}
 		return ids, blocks, err
 	}
+	if pts.Dim > geom.MaxDim {
+		// The Hilbert curve exists only for spatial dimensions; feature-
+		// space inputs always ingest by id order (the warm path skips the
+		// bootstrap entirely anyway) and stay on the SoA pipeline.
+		cfg.SFCBootstrap = false
+	}
 	st := &state{c: c, cfg: cfg, dim: pts.Dim, k: k}
 
 	// ---- Phase 1: space-filling curve keys (§4.1). -----------------------
@@ -196,35 +205,40 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 	// selected by the test-only ingestReference hook so the differential
 	// test can pin both pipelines bit-identical end-to-end.
 	tStart := time.Now()
-	box := globalBounds(c, pts)
-	st.diag = box.Diagonal()
+	bmin, bmax := globalBounds(c, pts)
+	st.diag = geom.FlatBoxDiagonal(bmin, bmax)
 	if st.diag == 0 {
 		st.diag = 1
 	}
 	var cols *dsort.Cols
 	var items []dsort.Item
-	if ingestReference {
+	if ingestReference && pts.Dim <= geom.MaxDim {
 		items = make([]dsort.Item, pts.Len())
 		if cfg.SFCBootstrap {
-			curve := sfc.NewCurve(box, pts.Dim)
+			curve := sfc.NewCurve(boxFromFlat(bmin, bmax, pts.Dim), pts.Dim)
 			for i := range items {
-				items[i] = dsort.Item{Key: curve.Key(pts.X[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i]}
+				items[i] = dsort.Item{Key: curve.Key(pts.At(i)), ID: pts.IDs[i], W: pts.Weight(i), X: pts.At(i)}
 			}
 			c.AddOps(int64(len(items)))
 		} else {
 			for i := range items {
-				items[i] = dsort.Item{Key: uint64(pts.IDs[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.X[i]}
+				items[i] = dsort.Item{Key: uint64(pts.IDs[i]), ID: pts.IDs[i], W: pts.Weight(i), X: pts.At(i)}
 			}
 		}
 	} else {
 		cols = dsort.NewCols(st.dim, pts.Len())
-		for i, x := range pts.X {
-			cols.SetPoint(i, x)
+		for d := 0; d < st.dim; d++ {
+			col := cols.C[d]
+			for i := range col {
+				col[i] = pts.Coords[i*st.dim+d]
+			}
+		}
+		for i := range cols.IDs {
 			cols.IDs[i] = pts.IDs[i]
 			cols.W[i] = pts.Weight(i)
 		}
 		if cfg.SFCBootstrap {
-			curve := sfc.NewCurve(box, pts.Dim)
+			curve := sfc.NewCurve(boxFromFlat(bmin, bmax, pts.Dim), pts.Dim)
 			gv := cols.GeomView()
 			curve.KeysColsParallel(&gv, cols.Keys, resolveWorkers(cfg, c.Size()), cfg.Lease)
 			c.AddOps(int64(cols.Len()))
@@ -238,7 +252,7 @@ func (b *BalancedKMeans) Partition(c *mpi.Comm, pts *partition.Local, k int) ([]
 
 	// ---- Phase 2: global sort + redistribution (Algorithm 2, l. 4–6). ----
 	tSort := time.Now()
-	if ingestReference {
+	if items != nil {
 		if cfg.SFCBootstrap {
 			items = dsort.SampleSort(c, items)
 			items = dsort.Rebalance(c, items)
@@ -304,13 +318,27 @@ func (b *BalancedKMeans) finish(st *state) ([]int64, []int32, error) {
 	return st.IDs, st.A, nil
 }
 
-// globalBounds computes the bounding box of the distributed point set.
-func globalBounds(c *mpi.Comm, pts *partition.Local) geom.Box {
+// globalBounds computes the flat bounding box of the distributed point
+// set (any dimension).
+func globalBounds(c *mpi.Comm, pts *partition.Local) (bmin, bmax []float64) {
 	buf := localBoundsInit(nil, pts.Dim)
-	for _, x := range pts.X {
-		foldBounds(buf, x, pts.Dim)
+	n := pts.Len()
+	for i := 0; i < n; i++ {
+		foldBounds(buf, pts.Coord(i), pts.Dim)
 	}
-	return reduceBox(c, pts.Dim, buf)
+	bmin = make([]float64, pts.Dim)
+	bmax = make([]float64, pts.Dim)
+	reduceBounds(c, pts.Dim, buf, bmin, bmax)
+	return bmin, bmax
+}
+
+// boxFromFlat packs a flat spatial bounding box into a geom.Box (the
+// space-filling-curve bootstrap needs one; dim ≤ geom.MaxDim only).
+func boxFromFlat(bmin, bmax []float64, dim int) geom.Box {
+	box := geom.Box{Dim: dim}
+	copy(box.Min[:dim], bmin)
+	copy(box.Max[:dim], bmax)
+	return box
 }
 
 // localBoundsInit prepares the fold buffer of a bounds pass: dim mins
@@ -329,27 +357,27 @@ func localBoundsInit(buf []float64, dim int) []float64 {
 	return buf
 }
 
-// foldBounds folds one point into a localBoundsInit buffer.
-func foldBounds(buf []float64, x geom.Point, dim int) {
+// foldBounds folds one flat coordinate vector into a localBoundsInit
+// buffer.
+func foldBounds(buf []float64, x []float64, dim int) {
 	for d := 0; d < dim; d++ {
 		buf[d] = math.Min(buf[d], x[d])
 		buf[dim+d] = math.Min(buf[dim+d], -x[d])
 	}
 }
 
-// reduceBox is the collective half of a global bounding-box
+// reduceBounds is the collective half of a global bounding-box
 // computation, shared by globalBounds and Resident.RecomputeBounds so
 // the two can never drift apart (bit-identical boxes are part of the
 // session invariants): one element-wise min Allreduce over the packed
-// mins/negated-maxs buffer (in place), unpacked into a Box.
-func reduceBox(c *mpi.Comm, dim int, buf []float64) geom.Box {
+// mins/negated-maxs buffer (in place), unpacked into the caller's flat
+// min/max slices (len dim each).
+func reduceBounds(c *mpi.Comm, dim int, buf, bmin, bmax []float64) {
 	mpi.AllreduceMinInto(c, buf, buf)
-	box := geom.Box{Dim: dim}
 	for d := 0; d < dim; d++ {
-		box.Min[d] = buf[d]
-		box.Max[d] = -buf[dim+d]
+		bmin[d] = buf[d]
+		bmax[d] = -buf[dim+d]
 	}
-	return box
 }
 
 // resolveWorkers decides how many intra-rank kernel shards to use: spare
@@ -398,18 +426,34 @@ func (st *state) initCentersAndTargets() error {
 	var totalW float64
 	if st.warm {
 		st.centers = append(st.centers[:0], st.cfg.WarmCenters...)
-		// Exact global weight: the reduction is over integer limbs, so
-		// the value (and everything derived from it — targets, the
-		// balance scale) is independent of the rank layout.
-		st.exactTot.Reset()
-		for _, w := range st.W {
-			st.exactTot.Add(0, w)
+		totalW = st.exactTotalW()
+	} else if st.dim > geom.MaxDim {
+		// Feature-space seeding: the same shared-seed random global
+		// indices as the spatial ablation path, gathered through a flat
+		// k·dim vector instead of the Point-typed seed structs. Every
+		// vector entry is written by exactly one rank (or stays zero),
+		// so the sum reduction is exact (0 + x == x) and the seeds are
+		// independent of the rank layout.
+		start := mpi.ExscanSum(st.c, int64(st.X.Len()))
+		seedVec := st.centVec[:st.k*st.dim]
+		clear(seedVec)
+		rng := rand.New(rand.NewSource(st.cfg.Seed + 1))
+		for i := 0; i < st.k; i++ {
+			gi := int64(rng.Uint64() % uint64(n))
+			if gi >= start && gi < start+int64(st.X.Len()) {
+				st.X.AtVec(int(gi-start), seedVec[i*st.dim:(i+1)*st.dim])
+			}
 		}
-		off, seg := st.exactTot.Wire()
-		lo, ln := mpi.AllreduceSumSparse(st.c, exact.WireLen, off, seg, st.exactTot.Backing())
-		st.exactTot.SetWindow(lo, ln)
-		totalW = st.exactTot.Float64(0)
-		st.totalW = totalW
+		copy(st.centers, mpi.AllreduceSum(st.c, seedVec))
+		if st.cfg.Deterministic {
+			totalW = st.exactTotalW()
+		} else {
+			localW := 0.0
+			for _, w := range st.W {
+				localW += w
+			}
+			totalW = mpi.ReduceScalarSum(st.c, localW)
+		}
 	} else {
 		start := mpi.ExscanSum(st.c, int64(st.X.Len()))
 
@@ -440,16 +484,18 @@ func (st *state) initCentersAndTargets() error {
 		if len(all) != st.k {
 			return fmt.Errorf("core: gathered %d centers, want %d", len(all), st.k)
 		}
-		st.centers = make([]geom.Point, st.k)
 		for _, s := range all {
-			st.centers[s.Idx] = s.X
+			copy(st.centers[int(s.Idx)*st.dim:], s.X[:st.dim])
 		}
-
-		localW := 0.0
-		for _, w := range st.W {
-			localW += w
+		if st.cfg.Deterministic {
+			totalW = st.exactTotalW()
+		} else {
+			localW := 0.0
+			for _, w := range st.W {
+				localW += w
+			}
+			totalW = mpi.ReduceScalarSum(st.c, localW)
 		}
-		totalW = mpi.ReduceScalarSum(st.c, localW)
 	}
 
 	targets, err := partition.Targets(totalW, st.k, st.cfg.TargetFractions)
@@ -509,8 +555,11 @@ func (st *state) ensureScratch() {
 	if len(st.influence) != st.k {
 		st.influence = make([]float64, st.k)
 	}
-	if len(st.boundCenters) != st.k {
-		st.boundCenters = make([]geom.Point, st.k)
+	if len(st.boundCenters) != st.k*st.dim {
+		st.boundCenters = make([]float64, st.k*st.dim)
+	}
+	if len(st.centers) != st.k*st.dim {
+		st.centers = make([]float64, st.k*st.dim)
 	}
 	if len(st.orderedCenters) != st.k {
 		st.orderedCenters = make([]int32, st.k)
@@ -518,13 +567,19 @@ func (st *state) ensureScratch() {
 		st.invInf2 = make([]float64, st.k)
 		st.centerCols = geom.MakeCols(st.dim, st.k)
 		st.oldInfluence = make([]float64, st.k)
-		st.newCenters = make([]geom.Point, st.k)
 		st.deltas = make([]float64, st.k)
 		st.perCenter = make([]float64, st.k)
 		st.pendUbRatio = make([]float64, st.k)
 	}
 	if len(st.localW) != st.k+2 {
 		st.localW = make([]float64, st.k+2) // +2: sample weight and sampling flag ride along
+	}
+	if len(st.newCenters) != st.k*st.dim {
+		st.newCenters = make([]float64, st.k*st.dim)
+	}
+	if len(st.bbMin) != st.dim {
+		st.bbMin = make([]float64, st.dim)
+		st.bbMax = make([]float64, st.dim)
 	}
 	if len(st.centVec) != st.k*(st.dim+1) {
 		st.centVec = make([]float64, st.k*(st.dim+1))
@@ -543,7 +598,7 @@ func (st *state) ensureScratch() {
 	if len(st.boxBuf) != 2*st.dim {
 		st.boxBuf = make([]float64, 2*st.dim)
 	}
-	if st.warm {
+	if st.warm || st.cfg.Deterministic {
 		if st.exactW == nil || st.exactW.Len() != st.k {
 			st.exactW = exact.NewRowSums(st.k)
 		}
@@ -618,7 +673,7 @@ func (st *state) run() {
 
 		maxDelta := 0.0
 		for b := 0; b < st.k; b++ {
-			st.deltas[b] = geom.Dist(st.centers[b], st.newCenters[b], st.dim)
+			st.deltas[b] = geom.DistVec(st.centerRow(b), st.newCenters[b*st.dim:(b+1)*st.dim])
 			if st.deltas[b] > maxDelta {
 				maxDelta = st.deltas[b]
 			}
@@ -703,6 +758,7 @@ func (st *state) run() {
 		if st.cfg.Erosion && moved {
 			copy(st.oldInfluence, st.influence)
 			beta := meanNearestCenterDistance(st.centers, st.k, st.dim)
+
 			if beta > 0 {
 				for b := 0; b < st.k; b++ {
 					alpha := 2/(1+math.Exp(-st.deltas[b]/beta)) - 1
@@ -769,11 +825,10 @@ func boolTo64(b bool) int64 {
 // local point i. Squared effective distances decide the argmin — x² is
 // monotone — so no square root is taken.
 func (st *state) nearestCenter(i int) int32 {
-	x := st.X.At(i)
 	best, bestV := int32(0), math.Inf(1)
 	for b := 0; b < st.k; b++ {
 		inf := st.influence[b]
-		v := geom.Dist2(x, st.centers[b], st.dim) / (inf * inf)
+		v := st.pointCenterDist2(i, b) / (inf * inf)
 		if v < bestV {
 			best, bestV = int32(b), v
 		}
@@ -782,11 +837,34 @@ func (st *state) nearestCenter(i int) int32 {
 	return best
 }
 
+// centerRow returns center b of the flat centers buffer.
+func (st *state) centerRow(b int) []float64 {
+	return st.centers[b*st.dim : (b+1)*st.dim]
+}
+
+// pointCenterDist2 returns the squared raw distance between local point
+// i and center b, bit-identical to the kernels' arithmetic at any
+// dimension (Dist2 switch at d ≤ geom.MaxDim, colsDist2 order above).
+func (st *state) pointCenterDist2(i, b int) float64 {
+	if st.dim <= geom.MaxDim {
+		var c geom.Point
+		copy(c[:st.dim], st.centerRow(b))
+		return geom.Dist2(st.X.At(i), c, st.dim)
+	}
+	s := 0.0
+	row := st.centerRow(b)
+	for d, col := range st.X.Col {
+		t := col[i] - row[d]
+		s += t * t
+	}
+	return s
+}
+
 // computeCenters sets out[b] to the weighted mean of the points assigned
 // to b (keeping the old center for empty clusters) and reports whether any
 // center is based on at least one point.
-func (st *state) computeCenters(out []geom.Point) bool {
-	if st.warm {
+func (st *state) computeCenters(out []float64) bool {
+	if st.warm || st.cfg.Deterministic {
 		return st.computeCentersExact(out)
 	}
 	vec := st.centVec
@@ -845,6 +923,7 @@ func (st *state) computeCenters(out []geom.Point) bool {
 			vec[base+3] += w
 		}
 	default:
+		cols := st.X.Col
 		for _, i := range st.sampleIdx() {
 			a := st.A[i]
 			if a < 0 {
@@ -852,9 +931,8 @@ func (st *state) computeCenters(out []geom.Point) bool {
 			}
 			base := int(a) * (st.dim + 1)
 			w := st.W[i]
-			x := st.X.At(int(i))
-			for d := 0; d < st.dim; d++ {
-				vec[base+d] += w * x[d]
+			for d, col := range cols {
+				vec[base+d] += w * col[i]
 			}
 			vec[base+st.dim] += w
 		}
@@ -864,35 +942,35 @@ func (st *state) computeCenters(out []geom.Point) bool {
 	any := false
 	for b := 0; b < st.k; b++ {
 		base := b * (st.dim + 1)
+		obase := b * st.dim
 		w := vec[base+st.dim]
 		if w <= 0 {
-			out[b] = st.centers[b]
+			copy(out[obase:obase+st.dim], st.centerRow(b))
 			continue
 		}
 		any = true
-		var p geom.Point
 		for d := 0; d < st.dim; d++ {
-			p[d] = vec[base+d] / w
+			out[obase+d] = vec[base+d] / w
 		}
-		out[b] = p
 	}
 	return any
 }
 
 // meanNearestCenterDistance approximates the paper's β(C) ("average
 // cluster diameter") by the mean nearest-neighbor distance among centers.
-func meanNearestCenterDistance(centers []geom.Point, k, dim int) float64 {
+func meanNearestCenterDistance(centers []float64, k, dim int) float64 {
 	if k < 2 {
 		return 0
 	}
 	sum := 0.0
 	for i := 0; i < k; i++ {
 		best := math.Inf(1)
+		ri := centers[i*dim : (i+1)*dim]
 		for j := 0; j < k; j++ {
 			if i == j {
 				continue
 			}
-			if d := geom.Dist2(centers[i], centers[j], dim); d < best {
+			if d := geom.Dist2Vec(ri, centers[j*dim:(j+1)*dim]); d < best {
 				best = d
 			}
 		}

@@ -14,6 +14,24 @@ import (
 // it to demand bit-identical final partitions from both pipelines.
 var ingestReference = false
 
+// refDist2 is the reference pipelines' point-center distance: Point
+// construction plus geom.Dist2 at spatial dimensions (the arithmetic the
+// kernels' specialized bodies mirror), a left-to-right column walk —
+// the same association order — beyond geom.MaxDim.
+func refDist2(kr *geom.AssignKernel, dim int, i, bc int32) float64 {
+	if dim <= geom.MaxDim {
+		x := geom.Point{kr.PX[i], kr.PY[i], kr.PZ[i]}
+		c := geom.Point{kr.CX[bc], kr.CY[bc], kr.CZ[bc]}
+		return geom.Dist2(x, c, dim)
+	}
+	s := 0.0
+	for d, col := range kr.CC {
+		t := kr.PC[d][i] - col[bc]
+		s += t * t
+	}
+	return s
+}
+
 // referenceAssign is the retained scalar reference of the batch
 // assignment kernels: a straight-line, per-point transcription of
 // Algorithm 1's inner loop in squared effective-distance space. It is
@@ -48,7 +66,6 @@ func referenceAssign(dim int, kr *geom.AssignKernel, idx []int32, hamerly, elkan
 				continue
 			}
 		}
-		x := geom.Point{kr.PX[i], kr.PY[i], kr.PZ[i]}
 		best2, second2 := math.Inf(1), math.Inf(1)
 		bestC := int32(0)
 		for _, bc := range kr.Order {
@@ -56,8 +73,7 @@ func referenceAssign(dim int, kr *geom.AssignKernel, idx []int32, hamerly, elkan
 				kr.Breaks++
 				break
 			}
-			c := geom.Point{kr.CX[bc], kr.CY[bc], kr.CZ[bc]}
-			d2 := geom.Dist2(x, c, dim) * kr.InvInf2[bc]
+			d2 := refDist2(kr, dim, i, bc) * kr.InvInf2[bc]
 			kr.DistCalcs++
 			if d2 < best2 {
 				second2 = best2
@@ -101,15 +117,13 @@ func referenceAssignRaw(dim int, kr *geom.AssignKernel, idx []int32) {
 				continue
 			}
 		}
-		x := geom.Point{kr.PX[i], kr.PY[i], kr.PZ[i]}
 		best2, second2 := math.Inf(1), math.Inf(1)
 		r1, r2 := math.Inf(1), math.Inf(1)
 		r1id := int32(-1)
 		bestC := int32(0)
 		rawFloor2 := math.Inf(1)
 		track := func(bc int32) {
-			c := geom.Point{kr.CX[bc], kr.CY[bc], kr.CZ[bc]}
-			raw2 := geom.Dist2(x, c, dim)
+			raw2 := refDist2(kr, dim, i, bc)
 			d2 := raw2 * kr.InvInf2[bc]
 			kr.DistCalcs++
 			if raw2 < r1 {
@@ -129,8 +143,7 @@ func referenceAssignRaw(dim int, kr *geom.AssignKernel, idx []int32) {
 		}
 		if cur >= 0 {
 			row := int(cur) * kr.K
-			cc := geom.Point{kr.CX[cur], kr.CY[cur], kr.CZ[cur]}
-			rawA2 := geom.Dist2(x, cc, dim)
+			rawA2 := refDist2(kr, dim, i, cur)
 			kr.DistCalcs++
 			rub := math.Sqrt(rawA2)
 			r1, r1id = rawA2, cur
@@ -167,13 +180,11 @@ func referenceAssignRaw(dim int, kr *geom.AssignKernel, idx []int32) {
 
 func referenceElkan(dim int, kr *geom.AssignKernel, idx []int32) {
 	for _, i := range idx {
-		x := geom.Point{kr.PX[i], kr.PY[i], kr.PZ[i]}
 		best2 := math.Inf(1)
 		bestC := int32(0)
 		row := int(i) * kr.K
 		if a := kr.A[i]; a >= 0 {
-			c := geom.Point{kr.CX[a], kr.CY[a], kr.CZ[a]}
-			raw2 := geom.Dist2(x, c, dim)
+			raw2 := refDist2(kr, dim, i, a)
 			kr.DistCalcs++
 			kr.Lbk[row+int(a)] = math.Sqrt(raw2)
 			best2 = raw2 * kr.InvInf2[a]
@@ -191,8 +202,7 @@ func referenceElkan(dim int, kr *geom.AssignKernel, idx []int32) {
 				kr.Skips++
 				continue
 			}
-			c := geom.Point{kr.CX[bc], kr.CY[bc], kr.CZ[bc]}
-			raw2 := geom.Dist2(x, c, dim)
+			raw2 := refDist2(kr, dim, i, bc)
 			kr.DistCalcs++
 			kr.Lbk[row+int(bc)] = math.Sqrt(raw2)
 			if d2 := raw2 * kr.InvInf2[bc]; d2 < best2 {

@@ -23,8 +23,8 @@ import (
 // shared between ranks. Reusing it across consecutive World.Run calls
 // is safe: Run establishes the necessary happens-before edges.
 type Resident struct {
-	dim int
-	box geom.Box
+	dim        int
+	bmin, bmax []float64 // flat global bounding box, len dim each
 
 	// st owns the resident columns (X, W, IDs) and every reusable
 	// k-means buffer. PartitionResident re-binds the per-call fields
@@ -42,13 +42,15 @@ type Resident struct {
 // session; every subsequent warm partition reuses the columns.
 func Ingest(c *mpi.Comm, pts *partition.Local) *Resident {
 	t0 := time.Now()
-	r := &Resident{dim: pts.Dim, box: globalBounds(c, pts)}
+	bmin, bmax := globalBounds(c, pts)
+	r := &Resident{dim: pts.Dim, bmin: bmin, bmax: bmax}
 	st := &r.st
 	st.X = geom.MakeCols(pts.Dim, pts.Len())
 	st.W = make([]float64, pts.Len())
 	st.IDs = make([]int64, pts.Len())
-	for i, x := range pts.X {
-		st.X.Set(i, x)
+	n := pts.Len()
+	for i := 0; i < n; i++ {
+		st.X.SetVec(i, pts.Coord(i))
 		st.W[i] = pts.Weight(i)
 		st.IDs[i] = pts.IDs[i]
 	}
@@ -98,12 +100,7 @@ func (r *Resident) SetCoordsGlobal(coords []float64) {
 	st := &r.st
 	st.carryValid = false
 	for i, id := range st.IDs {
-		var p geom.Point
-		base := int(id) * r.dim
-		for d := 0; d < r.dim; d++ {
-			p[d] = coords[base+d]
-		}
-		st.X.Set(i, p)
+		st.X.SetVec(i, coords[int(id)*r.dim:(int(id)+1)*r.dim])
 	}
 }
 
@@ -117,10 +114,16 @@ func (r *Resident) RecomputeBounds(c *mpi.Comm) {
 	// has sized it (before the first call it is grown here, once).
 	st.boxBuf = localBoundsInit(st.boxBuf, r.dim)
 	n := st.X.Len()
-	for i := 0; i < n; i++ {
-		foldBounds(st.boxBuf, st.X.At(i), r.dim)
+	if len(r.bmin) != r.dim {
+		r.bmin = make([]float64, r.dim)
+		r.bmax = make([]float64, r.dim)
 	}
-	r.box = reduceBox(c, r.dim, st.boxBuf)
+	vec := make([]float64, r.dim)
+	for i := 0; i < n; i++ {
+		st.X.AtVec(i, vec)
+		foldBounds(st.boxBuf, vec, r.dim)
+	}
+	reduceBounds(c, r.dim, st.boxBuf, r.bmin, r.bmax)
 }
 
 // PartitionResident is Partition for resident state: the warm-start
@@ -139,8 +142,8 @@ func (b *BalancedKMeans) PartitionResident(c *mpi.Comm, r *Resident, k int) ([]i
 	if err := cfg.Validate(k); err != nil {
 		return nil, nil, err
 	}
-	if len(cfg.WarmCenters) != k {
-		return nil, nil, fmt.Errorf("core: resident partitioning is warm-start only: %d warm centers for k=%d", len(cfg.WarmCenters), k)
+	if len(cfg.WarmCenters) != k*r.dim {
+		return nil, nil, fmt.Errorf("core: resident partitioning is warm-start only: %d warm center coordinates for k=%d, dim=%d", len(cfg.WarmCenters), k, r.dim)
 	}
 	return b.runResident(c, r, k, cfg)
 }
@@ -153,7 +156,7 @@ func (b *BalancedKMeans) runResident(c *mpi.Comm, r *Resident, k int, cfg Config
 	st.c, st.cfg, st.k, st.dim = c, cfg, k, r.dim
 	st.warm = true
 	st.info = Info{}
-	st.diag = r.box.Diagonal()
+	st.diag = geom.FlatBoxDiagonal(r.bmin, r.bmax)
 	if st.diag == 0 {
 		st.diag = 1
 	}

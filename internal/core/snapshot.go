@@ -30,8 +30,17 @@ var ErrCheckpointCorrupt = errors.New("core: corrupt checkpoint")
 // version this build does not speak.
 var ErrCheckpointVersion = errors.New("core: unsupported checkpoint version")
 
-// ResidentSnapshotVersion is the current resident record format.
-const ResidentSnapshotVersion = 1
+// ResidentSnapshotVersion is the current resident record format. v2
+// generalized the record to arbitrary dimensions: the bounding box and
+// the carried bound centers are dim-strided, and the coordinate columns
+// are written as dim length-prefixed slices instead of a fixed X/Y/Z
+// triple.
+const ResidentSnapshotVersion = 2
+
+// maxSnapshotDim bounds the dimension field of a resident record: far
+// above any real feature space, low enough that a corrupted header
+// cannot drive huge allocations.
+const maxSnapshotDim = 4096
 
 // residentMagic guards each resident record ("GEOR").
 const residentMagic = 0x47454F52
@@ -240,16 +249,16 @@ func (r *Resident) Snapshot(e *SnapEncoder) {
 	e.U32(residentMagic)
 	e.U32(ResidentSnapshotVersion)
 	e.U32(uint32(r.dim))
-	e.F64s(r.box.Min[:])
-	e.F64s(r.box.Max[:])
+	e.F64s(r.bmin)
+	e.F64s(r.bmax)
 	e.U64(uint64(n))
-	e.F64s(st.X.X)
-	e.F64s(st.X.Y)
-	e.F64s(st.X.Z)
+	for d := 0; d < r.dim; d++ {
+		e.F64s(st.X.Col[d])
+	}
 	e.F64s(st.W)
 	e.I64s(st.IDs)
 
-	carry := st.carryValid && len(st.A) == n && len(st.boundCenters) == st.carryK
+	carry := st.carryValid && len(st.A) == n && len(st.boundCenters) == st.carryK*r.dim
 	e.Bool(carry)
 	if !carry {
 		return
@@ -268,11 +277,7 @@ func (r *Resident) Snapshot(e *SnapEncoder) {
 		e.F64s(st.lbk)
 	}
 	e.F64s(st.influence)
-	ctr := make([]float64, 0, st.carryK*3)
-	for _, p := range st.boundCenters {
-		ctr = append(ctr, p[0], p[1], p[2])
-	}
-	e.F64s(ctr)
+	e.F64s(st.boundCenters)
 }
 
 // RestoreResident decodes one resident record. The returned Resident is
@@ -288,7 +293,7 @@ func RestoreResident(d *SnapDecoder) (*Resident, error) {
 		return nil, fmt.Errorf("%w: resident record v%d, want v%d", ErrCheckpointVersion, v, ResidentSnapshotVersion)
 	}
 	dim := int(d.U32())
-	if d.Err() == nil && (dim < 1 || dim > 3) {
+	if d.Err() == nil && (dim < 1 || dim > maxSnapshotDim) {
 		return nil, fmt.Errorf("%w: dim %d", ErrCheckpointCorrupt, dim)
 	}
 	boxMin := d.F64s()
@@ -297,37 +302,37 @@ func RestoreResident(d *SnapDecoder) (*Resident, error) {
 	if d.Err() != nil {
 		return nil, d.Err()
 	}
-	if len(boxMin) != len(geom.Point{}) || len(boxMax) != len(geom.Point{}) {
-		return nil, fmt.Errorf("%w: box of %d/%d coordinates", ErrCheckpointCorrupt, len(boxMin), len(boxMax))
+	if len(boxMin) != dim || len(boxMax) != dim {
+		return nil, fmt.Errorf("%w: box of %d/%d coordinates for dim %d", ErrCheckpointCorrupt, len(boxMin), len(boxMax), dim)
 	}
 	if n64 > uint64(d.Len()/8) {
 		return nil, fmt.Errorf("%w: point count %d exceeds record size", ErrCheckpointCorrupt, n64)
 	}
 	n := int(n64)
 
-	r := &Resident{dim: dim}
-	r.box.Dim = dim
-	copy(r.box.Min[:], boxMin)
-	copy(r.box.Max[:], boxMax)
+	r := &Resident{dim: dim, bmin: boxMin, bmax: boxMax}
 	st := &r.st
 
-	cx, cy, cz := d.F64s(), d.F64s(), d.F64s()
+	// Rebuild the columns through MakeCols so the single-backing-array
+	// layout (and its cache behavior) matches a fresh ingest.
+	st.X = geom.MakeCols(dim, n)
+	for di := 0; di < dim; di++ {
+		col := d.F64s()
+		if d.Err() == nil && len(col) != n {
+			return nil, fmt.Errorf("%w: column %d holds %d values for %d points", ErrCheckpointCorrupt, di, len(col), n)
+		}
+		copy(st.X.Col[di], col)
+	}
 	st.W = d.F64s()
 	st.IDs = d.I64s()
 	carry := d.Bool()
 	if d.Err() != nil {
 		return nil, d.Err()
 	}
-	if len(cx) != n || len(cy) != n || len(cz) != n || len(st.W) != n || len(st.IDs) != n {
-		return nil, fmt.Errorf("%w: column lengths %d/%d/%d/%d/%d for %d points",
-			ErrCheckpointCorrupt, len(cx), len(cy), len(cz), len(st.W), len(st.IDs), n)
+	if len(st.W) != n || len(st.IDs) != n {
+		return nil, fmt.Errorf("%w: weight/id lengths %d/%d for %d points",
+			ErrCheckpointCorrupt, len(st.W), len(st.IDs), n)
 	}
-	// Rebuild the columns through MakeCols so the single-backing-array
-	// layout (and its cache behavior) matches a fresh ingest.
-	st.X = geom.MakeCols(dim, n)
-	copy(st.X.X, cx)
-	copy(st.X.Y, cy)
-	copy(st.X.Z, cz)
 
 	if !carry {
 		return r, nil
@@ -367,19 +372,16 @@ func RestoreResident(d *SnapDecoder) (*Resident, error) {
 	if st.lbk != nil && len(st.lbk) != n*k {
 		return nil, fmt.Errorf("%w: %d Elkan bounds for n=%d k=%d", ErrCheckpointCorrupt, len(st.lbk), n, k)
 	}
-	if len(st.influence) != k || len(ctr) != k*3 {
-		return nil, fmt.Errorf("%w: %d influences / %d center coordinates for k=%d",
-			ErrCheckpointCorrupt, len(st.influence), len(ctr), k)
+	if len(st.influence) != k || len(ctr) != k*dim {
+		return nil, fmt.Errorf("%w: %d influences / %d center coordinates for k=%d, dim=%d",
+			ErrCheckpointCorrupt, len(st.influence), len(ctr), k, dim)
 	}
 	for i, a := range st.A {
 		if a < -1 || int(a) >= k {
 			return nil, fmt.Errorf("%w: assignment %d at point %d for k=%d", ErrCheckpointCorrupt, a, i, k)
 		}
 	}
-	st.boundCenters = make([]geom.Point, k)
-	for b := range st.boundCenters {
-		st.boundCenters[b] = geom.Point{ctr[b*3], ctr[b*3+1], ctr[b*3+2]}
-	}
+	st.boundCenters = ctr
 	st.carryValid = true
 	return r, nil
 }

@@ -3,19 +3,31 @@ package core
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 
+	"geographer/internal/geom"
 	"geographer/internal/mpi"
 	"geographer/internal/partition"
 )
 
+// snapPoints picks the snapshot tests' workload for a dimension: the
+// mesh-like uniform generator in the spatial regime, the flat generator
+// beyond geom.MaxDim.
+func snapPoints(n, dim int) *geom.PointSet {
+	if dim <= geom.MaxDim {
+		return uniformPoints(n, dim, 101)
+	}
+	return flatRandomPoints(n, dim, 101)
+}
+
 // buildWarmResidents builds p residents with live carried bounds: cold
 // partition, ingest, then `steps` warm incremental steps with a weight
 // perturbation per step so the carry machinery has real work.
-func buildWarmResidents(t testing.TB, n, k, p, steps int, cfg Config) ([]*Resident, []int32, *BalancedKMeans) {
+func buildWarmResidents(t testing.TB, n, dim, k, p, steps int, cfg Config) ([]*Resident, []int32, *BalancedKMeans) {
 	t.Helper()
-	ps := uniformPoints(n, 2, 101)
+	ps := snapPoints(n, dim)
 	bkm0 := New(cfg)
 	w0 := mpi.NewWorld(p)
 	prev, err := partition.Run(w0, ps, k, bkm0)
@@ -61,10 +73,10 @@ func buildWarmResidents(t testing.TB, n, k, p, steps int, cfg Config) ([]*Reside
 
 // warmStepOn runs one more warm step on the given residents and returns
 // the global assignment.
-func warmStepOn(t *testing.T, res []*Resident, assign []int32, n, k int, cfg Config) []int32 {
+func warmStepOn(t *testing.T, res []*Resident, assign []int32, n, dim, k int, cfg Config) []int32 {
 	t.Helper()
 	p := len(res)
-	ps := uniformPoints(n, 2, 101)
+	ps := snapPoints(n, dim)
 	wt := make([]float64, n)
 	for i := range wt {
 		wt[i] = 1 + 0.3*math.Sin(float64(i)*0.37+99)
@@ -101,39 +113,41 @@ func warmStepOn(t *testing.T, res []*Resident, assign []int32, n, k int, cfg Con
 // carried-bounds fast path, not a silent reset.
 func TestSnapshotRoundTripBitIdentical(t *testing.T) {
 	const n, k, p = 3000, 8, 4
-	for _, bounds := range []BoundsKind{BoundsHamerly, BoundsElkan} {
-		t.Run(string(bounds), func(t *testing.T) {
-			cfg := DefaultConfig()
-			cfg.Seed = 1
-			cfg.Bounds = bounds
-			res, assign, _ := buildWarmResidents(t, n, k, p, 2, cfg)
+	for _, dim := range []int{2, 8} {
+		for _, bounds := range []BoundsKind{BoundsHamerly, BoundsElkan} {
+			t.Run(fmt.Sprintf("dim=%d/%s", dim, bounds), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Seed = 1
+				cfg.Bounds = bounds
+				res, assign, _ := buildWarmResidents(t, n, dim, k, p, 2, cfg)
 
-			// Encode every rank, restore into fresh residents.
-			restored := make([]*Resident, p)
-			for r := range res {
-				enc := NewSnapEncoder()
-				res[r].Snapshot(enc)
-				blob := append([]byte(nil), enc.Bytes()...)
-				got, err := RestoreResident(NewSnapDecoder(blob))
-				if err != nil {
-					t.Fatalf("rank %d: restore: %v", r, err)
+				// Encode every rank, restore into fresh residents.
+				restored := make([]*Resident, p)
+				for r := range res {
+					enc := NewSnapEncoder()
+					res[r].Snapshot(enc)
+					blob := append([]byte(nil), enc.Bytes()...)
+					got, err := RestoreResident(NewSnapDecoder(blob))
+					if err != nil {
+						t.Fatalf("rank %d: restore: %v", r, err)
+					}
+					re := NewSnapEncoder()
+					got.Snapshot(re)
+					if !bytes.Equal(blob, re.Bytes()) {
+						t.Fatalf("rank %d: re-encode differs from original encode", r)
+					}
+					restored[r] = got
 				}
-				re := NewSnapEncoder()
-				got.Snapshot(re)
-				if !bytes.Equal(blob, re.Bytes()) {
-					t.Fatalf("rank %d: re-encode differs from original encode", r)
-				}
-				restored[r] = got
-			}
 
-			want := warmStepOn(t, res, assign, n, k, cfg)
-			got := warmStepOn(t, restored, assign, n, k, cfg)
-			for i := range want {
-				if want[i] != got[i] {
-					t.Fatalf("restored chain diverged at point %d: %d vs %d", i, got[i], want[i])
+				want := warmStepOn(t, res, assign, n, dim, k, cfg)
+				got := warmStepOn(t, restored, assign, n, dim, k, cfg)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("restored chain diverged at point %d: %d vs %d", i, got[i], want[i])
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -186,7 +200,7 @@ func TestSnapshotWithoutCarryRestores(t *testing.T) {
 func TestSnapshotDecodeErrors(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 1
-	res, _, _ := buildWarmResidents(t, 600, 4, 2, 2, cfg)
+	res, _, _ := buildWarmResidents(t, 600, 2, 4, 2, 2, cfg)
 	enc := NewSnapEncoder()
 	res[0].Snapshot(enc)
 	valid := enc.Bytes()
@@ -237,11 +251,13 @@ func TestSnapshotDecodeErrors(t *testing.T) {
 func FuzzSnapshotRoundTrip(f *testing.F) {
 	cfg := DefaultConfig()
 	cfg.Seed = 1
-	res, _, _ := buildWarmResidents(f, 200, 4, 2, 2, cfg)
-	for _, r := range res {
-		enc := NewSnapEncoder()
-		r.Snapshot(enc)
-		f.Add(append([]byte(nil), enc.Bytes()...))
+	for _, dim := range []int{2, 8} {
+		res, _, _ := buildWarmResidents(f, 200, dim, 4, 2, 2, cfg)
+		for _, r := range res {
+			enc := NewSnapEncoder()
+			r.Snapshot(enc)
+			f.Add(append([]byte(nil), enc.Bytes()...))
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x52, 0x4F, 0x45, 0x47})

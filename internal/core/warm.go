@@ -29,7 +29,7 @@ const boundSlack = 4e-16
 func (st *state) carryOK() bool {
 	ok := st.warm && st.cfg.Incremental && st.carryValid &&
 		st.carryBounds == st.cfg.Bounds && st.cfg.Bounds != BoundsNone &&
-		st.carryK == st.k && len(st.boundCenters) == st.k
+		st.carryK == st.k && len(st.boundCenters) == st.k*st.dim
 	if ok && st.cfg.Bounds == BoundsHamerly && len(st.rlb) != len(st.A) {
 		return false // raw shadow missing: nothing sound to carry
 	}
@@ -71,7 +71,7 @@ func (st *state) prepareCarried() {
 
 	maxDrift := 0.0
 	for b := 0; b < st.k; b++ {
-		d := geom.Dist(st.boundCenters[b], st.centers[b], st.dim) * (1 + boundSlack)
+		d := geom.DistVec(st.boundCenters[b*st.dim:(b+1)*st.dim], st.centerRow(b)) * (1 + boundSlack)
 		st.perCenter[b] = d
 		if d > maxDrift {
 			maxDrift = d
@@ -151,8 +151,9 @@ func (st *state) buildCCTables() {
 	tmp := st.perCenter // per-center scratch; consumers recompute it later
 	for a := 0; a < k; a++ {
 		row := st.ccOrder[a*k : a*k+k]
+		ra := st.centerRow(a)
 		for b := 0; b < k; b++ {
-			tmp[b] = geom.Dist(st.centers[a], st.centers[b], st.dim)
+			tmp[b] = geom.DistVec(ra, st.centerRow(b))
 			row[b] = int32(b)
 		}
 		row[0], row[a] = row[a], row[0]
@@ -210,28 +211,26 @@ func (st *state) exactBlockWeights() []float64 {
 	return out
 }
 
-// computeCentersExact is computeCenters for the warm path: the weighted
-// coordinate sums go through exact accumulators and one integer
-// reduction, so the new centers are bit-identical regardless of the
-// rank layout. The per-term fl(w·x) rounding is a deterministic
-// function of each point alone; only the summation order had to be
-// neutralized.
-func (st *state) computeCentersExact(out []geom.Point) bool {
+// computeCentersExact is computeCenters for the warm and deterministic
+// paths: the weighted coordinate sums go through exact accumulators and
+// one integer reduction, so the new centers are bit-identical
+// regardless of the rank layout. The per-term fl(w·x) rounding is a
+// deterministic function of each point alone; only the summation order
+// had to be neutralized. Both callers run on the full point set
+// (warm never samples; Deterministic forces SampledInit off), so the
+// linear index-order pass is the whole sample.
+func (st *state) computeCentersExact(out []float64) bool {
 	stride := st.dim + 1
 	st.exactC.Reset()
-	px, py, pz := st.X.X, st.X.Y, st.X.Z
+	cols := st.X.Col
 	for i, a := range st.A {
 		if a < 0 {
 			continue
 		}
 		base := int(a) * stride
 		w := st.W[i]
-		st.exactC.Add(base, w*px[i])
-		if st.dim >= 2 {
-			st.exactC.Add(base+1, w*py[i])
-		}
-		if st.dim >= 3 {
-			st.exactC.Add(base+2, w*pz[i])
+		for d, col := range cols {
+			st.exactC.Add(base+d, w*col[i])
 		}
 		st.exactC.Add(base+st.dim, w)
 	}
@@ -245,17 +244,33 @@ func (st *state) computeCentersExact(out []geom.Point) bool {
 	any := false
 	for b := 0; b < st.k; b++ {
 		base := b * stride
+		obase := b * st.dim
 		w := st.exactC.Float64(base + st.dim)
 		if w <= 0 {
-			out[b] = st.centers[b]
+			copy(out[obase:obase+st.dim], st.centerRow(b))
 			continue
 		}
 		any = true
-		var p geom.Point
 		for d := 0; d < st.dim; d++ {
-			p[d] = st.exactC.Float64(base+d) / w
+			out[obase+d] = st.exactC.Float64(base+d) / w
 		}
-		out[b] = p
 	}
 	return any
+}
+
+// exactTotalW computes the exact global point weight through the
+// single-row accumulator bank and stores it on the state: the reduction
+// is over integer limbs, so the value (and everything derived from it —
+// targets, the balance scale) is independent of the rank layout. Used
+// by every warm run and by cold runs under cfg.Deterministic.
+func (st *state) exactTotalW() float64 {
+	st.exactTot.Reset()
+	for _, w := range st.W {
+		st.exactTot.Add(0, w)
+	}
+	off, seg := st.exactTot.Wire()
+	lo, ln := mpi.AllreduceSumSparse(st.c, exact.WireLen, off, seg, st.exactTot.Backing())
+	st.exactTot.SetWindow(lo, ln)
+	st.totalW = st.exactTot.Float64(0)
+	return st.totalW
 }

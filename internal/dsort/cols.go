@@ -35,7 +35,7 @@ type Cols struct {
 	Keys []uint64
 	IDs  []int64
 	W    []float64
-	C    [geom.MaxDim][]float64
+	C    [][]float64 // Dim coordinate columns
 }
 
 // NewCols allocates a batch of n zero records in dim dimensions.
@@ -45,6 +45,7 @@ func NewCols(dim, n int) *Cols {
 		Keys: make([]uint64, n),
 		IDs:  make([]int64, n),
 		W:    make([]float64, n),
+		C:    make([][]float64, dim),
 	}
 	for d := 0; d < dim; d++ {
 		c.C[d] = make([]float64, n)
@@ -71,18 +72,29 @@ func (c *Cols) Point(i int) geom.Point {
 	return p
 }
 
+// col returns coordinate column d, or nil when the batch has fewer
+// dimensions.
+func (c *Cols) col(d int) []float64 {
+	if d < c.Dim {
+		return c.C[d]
+	}
+	return nil
+}
+
 // GeomView returns a geom.Cols sharing the coordinate columns; columns
-// of unused axes stay nil. Only safe for consumers that never touch the
-// missing axes (the batch key kernel).
+// of unused spatial axes stay nil. Only safe for consumers that never
+// touch the missing axes (the batch key kernel).
 func (c *Cols) GeomView() geom.Cols {
-	return geom.Cols{Dim: c.Dim, X: c.C[0], Y: c.C[1], Z: c.C[2]}
+	return geom.Cols{Dim: c.Dim, X: c.col(0), Y: c.col(1), Z: c.col(2), Col: c.C}
 }
 
 // Geom converts the batch into a full geom.Cols point store: present
-// coordinate columns are shared (no copy), absent axes get fresh
-// zero-filled columns so SoA kernels that read all three axes work.
+// coordinate columns are shared (no copy); for spatial dimensions the
+// absent X/Y/Z axes get fresh zero-filled columns so SoA kernels that
+// read all three axes work, and beyond MaxDim the aliases point at the
+// first three real columns (only the generic kernels read them there).
 func (c *Cols) Geom() geom.Cols {
-	out := geom.Cols{Dim: c.Dim, X: c.C[0], Y: c.C[1], Z: c.C[2]}
+	out := geom.Cols{Dim: c.Dim, Col: c.C, X: c.col(0), Y: c.col(1), Z: c.col(2)}
 	n := c.Len()
 	if out.X == nil {
 		out.X = make([]float64, n)
@@ -173,7 +185,7 @@ func exchange(c *mpi.Comm, local *Cols, sendCounts []int) (*Cols, []int) {
 		f64[1+d] = local.C[d]
 	}
 	keys, ids, recvF, counts := mpi.AlltoallCols(c, local.Keys, local.IDs, f64, sendCounts)
-	out := &Cols{Dim: local.Dim, Keys: keys, IDs: ids, W: recvF[0]}
+	out := &Cols{Dim: local.Dim, Keys: keys, IDs: ids, W: recvF[0], C: make([][]float64, local.Dim)}
 	for d := 0; d < local.Dim; d++ {
 		out.C[d] = recvF[1+d]
 	}

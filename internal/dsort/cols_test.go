@@ -59,7 +59,7 @@ func TestSortColsLocalNegativeIDs(t *testing.T) {
 		Keys: []uint64{7, 7, 7, 1, 7},
 		IDs:  []int64{5, -3, 0, 9, -1 << 62},
 		W:    []float64{1, 2, 3, 4, 5},
-		C:    [3][]float64{{1, 2, 3, 4, 5}, {0, 0, 0, 0, 0}, nil},
+		C:    [][]float64{{1, 2, 3, 4, 5}, {0, 0, 0, 0, 0}},
 	}
 	items := cols.Items()
 	SortColsLocal(cols)

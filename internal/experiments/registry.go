@@ -125,6 +125,15 @@ type Scale struct {
 	SoakMaxK  int
 	SoakMaxP  int
 	SoakSteps int
+
+	// Highdim grid (runexp -exp highdim): Gaussian-mixture clustering in
+	// feature space at d ∈ {8, 16, 64} — HighdimN points, HighdimK
+	// blocks (= mixture components), HighdimP simulated ranks,
+	// HighdimSteps warm steps per cell.
+	HighdimN     int
+	HighdimK     int
+	HighdimP     int
+	HighdimSteps int
 }
 
 // DefaultScale is used by cmd/runexp.
@@ -146,6 +155,11 @@ func DefaultScale() Scale {
 		SoakMaxK:   512,
 		SoakMaxP:   4096,
 		SoakSteps:  3,
+
+		HighdimN:     60000,
+		HighdimK:     16,
+		HighdimP:     16,
+		HighdimSteps: 3,
 	}
 }
 
@@ -168,6 +182,11 @@ func QuickScale() Scale {
 		SoakMaxK:   32,
 		SoakMaxP:   64,
 		SoakSteps:  2,
+
+		HighdimN:     6000,
+		HighdimK:     8,
+		HighdimP:     4,
+		HighdimSteps: 2,
 	}
 }
 

@@ -74,6 +74,69 @@ func Dist(p, q Point, dim int) float64 {
 	return math.Sqrt(Dist2(p, q, dim))
 }
 
+// Dist2Vec returns the squared Euclidean distance between two flat
+// coordinate vectors of equal length (any dimension). The axis terms
+// accumulate left to right from zero, the association order of the
+// Dist2 switch, so at dim ≤ 3 the result is bit-identical to Dist2.
+func Dist2Vec(a, b []float64) float64 {
+	s := 0.0
+	for d := range a {
+		t := a[d] - b[d]
+		s += t * t
+	}
+	return s
+}
+
+// DistVec returns the Euclidean distance between two flat vectors.
+func DistVec(a, b []float64) float64 { return math.Sqrt(Dist2Vec(a, b)) }
+
+// FlatBoxInit resets a flat axis-aligned box (per-axis min and max
+// slices of equal length) to the empty box, the identity for folds.
+func FlatBoxInit(bmin, bmax []float64) {
+	for d := range bmin {
+		bmin[d] = math.Inf(1)
+		bmax[d] = math.Inf(-1)
+	}
+}
+
+// FlatBoxEmpty reports whether the flat box contains no points, with the
+// same any-axis-inverted test as Box.Empty.
+func FlatBoxEmpty(bmin, bmax []float64) bool {
+	for d := range bmin {
+		if bmin[d] > bmax[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// FlatBoxMinDist2 returns the squared distance from the flat vector q to
+// the closest point of the flat box — Box.MinDist2 for any dimension,
+// with identical per-axis arithmetic and accumulation order.
+func FlatBoxMinDist2(bmin, bmax, q []float64) float64 {
+	s := 0.0
+	for d := range q {
+		var t float64
+		if q[d] < bmin[d] {
+			t = bmin[d] - q[d]
+		} else if q[d] > bmax[d] {
+			t = q[d] - bmax[d]
+		}
+		s += t * t
+	}
+	return s
+}
+
+// FlatBoxDiagonal returns the diagonal length of the flat box.
+func FlatBoxDiagonal(bmin, bmax []float64) float64 {
+	s := 0.0
+	for d := range bmin {
+		t := bmax[d] - bmin[d]
+		s += t * t
+	}
+	return math.Sqrt(s)
+}
+
 // Box is an axis-aligned bounding box. A zero Box is not valid; use
 // EmptyBox and then Extend, or NewBox.
 type Box struct {

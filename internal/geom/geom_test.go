@@ -228,9 +228,12 @@ func TestPointSetUnweightedTotals(t *testing.T) {
 }
 
 func TestPointSetValidateErrors(t *testing.T) {
-	bad := &PointSet{Dim: 5}
+	bad := &PointSet{Dim: 0}
 	if bad.Validate() == nil {
-		t.Error("dim 5 should fail")
+		t.Error("dim 0 should fail")
+	}
+	if ok := (&PointSet{Dim: 5}).Validate(); ok != nil {
+		t.Errorf("dim 5 is a valid feature-space set: %v", ok)
 	}
 	bad = &PointSet{Dim: 2, Coords: []float64{1, 2, 3}}
 	if bad.Validate() == nil {

@@ -12,11 +12,16 @@
 // live in raw-distance space). See DESIGN.md, "Performance notes", for
 // the invariants the callers rely on.
 //
-// The kernels read points from a structure-of-arrays Cols store and are
-// specialized for the supported dimensions (2D and 3D; 1D inputs ride on
-// the 2D kernel with a zero Y column). Each AssignKernel value carries
-// its own weight accumulator and counters so that several kernels can
-// run concurrently over disjoint index shards of the same point set.
+// The kernels read points from a structure-of-arrays Cols store. The
+// spatial dimensions (2D and 3D; 1D inputs ride on the 2D kernel with a
+// zero Y column) run through register-specialized bodies; any higher
+// dimension dispatches to the generic column-walking bodies (the
+// *Generic entry points), which share the exact comparison structure and
+// left-to-right accumulation order — at d ≤ 3 the generic bodies are
+// bit-identical to the specialized ones, which is pinned by a
+// differential test. Each AssignKernel value carries its own weight
+// accumulator and counters so that several kernels can run concurrently
+// over disjoint index shards of the same point set.
 package geom
 
 import "math"
@@ -51,29 +56,58 @@ func ChunkGrid(n int) int {
 }
 
 // Cols is a structure-of-arrays point store: one flat []float64 column
-// per axis, the layout the batch kernels operate on. All three columns
-// are always allocated to the full length — unused axes stay zero — so
-// dimension-specialized kernels never need bounds switches on Dim.
+// per axis, the layout the batch kernels operate on. Col holds the Dim
+// live columns (strided views over one backing buffer). For spatial
+// dimensions (Dim ≤ MaxDim) the X/Y/Z aliases are additionally always
+// allocated to the full length — unused axes stay zero — so the
+// dimension-specialized kernels never need bounds switches on Dim; for
+// Dim > MaxDim the X/Y/Z aliases point at the first three columns and
+// only the generic kernels may be used.
 type Cols struct {
 	Dim     int
 	X, Y, Z []float64
+	Col     [][]float64
 }
 
 // MakeCols returns a Cols holding n zero points in one backing allocation.
 func MakeCols(dim, n int) Cols {
-	buf := make([]float64, 3*n)
-	return Cols{Dim: dim, X: buf[0:n:n], Y: buf[n : 2*n : 2*n], Z: buf[2*n : 3*n : 3*n]}
+	if dim <= MaxDim {
+		buf := make([]float64, 3*n)
+		c := Cols{Dim: dim, X: buf[0:n:n], Y: buf[n : 2*n : 2*n], Z: buf[2*n : 3*n : 3*n]}
+		c.Col = [][]float64{c.X, c.Y, c.Z}[:dim]
+		return c
+	}
+	buf := make([]float64, dim*n)
+	col := make([][]float64, dim)
+	for d := range col {
+		col[d] = buf[d*n : (d+1)*n : (d+1)*n]
+	}
+	return Cols{Dim: dim, X: col[0], Y: col[1], Z: col[2], Col: col}
 }
 
 // Len returns the number of points.
 func (c *Cols) Len() int { return len(c.X) }
 
-// At returns point i as a Point value.
+// At returns point i as a Point value (spatial dimensions only).
 func (c *Cols) At(i int) Point { return Point{c.X[i], c.Y[i], c.Z[i]} }
 
-// Set overwrites point i.
+// Set overwrites point i (spatial dimensions only).
 func (c *Cols) Set(i int, p Point) {
 	c.X[i], c.Y[i], c.Z[i] = p[0], p[1], p[2]
+}
+
+// AtVec copies point i into out (len(out) ≥ Dim), any dimension.
+func (c *Cols) AtVec(i int, out []float64) {
+	for d, col := range c.Col {
+		out[d] = col[i]
+	}
+}
+
+// SetVec overwrites point i from v (len(v) ≥ Dim), any dimension.
+func (c *Cols) SetVec(i int, v []float64) {
+	for d, col := range c.Col {
+		col[i] = v[d]
+	}
 }
 
 // Dist2Batch writes the squared Euclidean distance from every point of
@@ -165,6 +199,44 @@ func SampleBoxW(dim int, px, py, pz, w []float64, idx []int32) (Box, float64) {
 	return bb, sumW
 }
 
+// Dist2BatchND is Dist2Batch for any dimension: the squared Euclidean
+// distance from every point of the pc columns to the query vector q
+// (len(q) = dimension) is written into out. Axis differences accumulate
+// left to right, the same order the specialized kernels use, so at d ≤ 3
+// the results are bit-identical to Dist2Batch.
+func Dist2BatchND(pc [][]float64, q []float64, out []float64) {
+	for i := range out {
+		s := 0.0
+		for d := range q {
+			t := pc[d][i] - q[d]
+			s += t * t
+		}
+		out[i] = s
+	}
+}
+
+// SampleBoxWND is SampleBoxW for any dimension: it folds the indexed
+// points of the pc columns into the caller-provided flat box (bmin/bmax,
+// len = dimension, reinitialized to the empty box here) and sums their
+// weights. Allocation-free, so warm steps can reuse one scratch box.
+func SampleBoxWND(pc [][]float64, w []float64, idx []int32, bmin, bmax []float64) float64 {
+	FlatBoxInit(bmin, bmax)
+	sumW := 0.0
+	for _, i := range idx {
+		for d, col := range pc {
+			x := col[i]
+			if x < bmin[d] {
+				bmin[d] = x
+			}
+			if x > bmax[d] {
+				bmax[d] = x
+			}
+		}
+		sumW += w[i]
+	}
+	return sumW
+}
+
 // AssignKernel bundles the inputs, in/out state and accumulators of one
 // batch assignment pass. The point and center columns, pruning tables
 // and per-point slices (A, Ub, Lb, Lbk) may be shared between several
@@ -178,6 +250,12 @@ type AssignKernel struct {
 	// Centers: SoA columns (length K) and squared reciprocal influences.
 	CX, CY, CZ []float64
 	InvInf2    []float64
+
+	// Generic-dimension columns (the *Generic passes): PC holds the d
+	// point columns, CC the d center columns. At d ≤ MaxDim these alias
+	// the PX../CX.. columns; beyond MaxDim they are the only
+	// representation and the specialized passes must not be used.
+	PC, CC [][]float64
 
 	// Pruning tables: centers in ascending order of DistBB2, the squared
 	// effective distance from the center to the local bounding box.
@@ -240,10 +318,15 @@ type AssignKernel struct {
 // RunBounded executes the Hamerly/plain assignment pass over idx: for
 // each point, recompute the best and second-best effective center unless
 // hamerly bound skipping (Ub < Lb) proves the assignment unchanged.
+// Spatial dimensions take the register-specialized bodies; d > MaxDim
+// dispatches to the generic column walk (RunBoundedGeneric).
 func (kr *AssignKernel) RunBounded(dim int, idx []int32, hamerly bool) {
-	if dim == 3 {
+	switch {
+	case dim == 3:
 		kr.bounded3D(idx, hamerly)
-	} else {
+	case dim > MaxDim:
+		kr.RunBoundedGeneric(idx, hamerly)
+	default:
 		kr.bounded2D(idx, hamerly)
 	}
 }
@@ -376,9 +459,12 @@ func (kr *AssignKernel) bounded3D(idx []int32, hamerly bool) {
 // Ub and freshly overwrites it for every visited point, which consumes
 // the pending rescale by construction.
 func (kr *AssignKernel) RunElkan(dim int, idx []int32) {
-	if dim == 3 {
+	switch {
+	case dim == 3:
 		kr.elkan3D(idx)
-	} else {
+	case dim > MaxDim:
+		kr.RunElkanGeneric(idx)
+	default:
 		kr.elkan2D(idx)
 	}
 }
@@ -454,9 +540,12 @@ func (kr *AssignKernel) elkan2D(idx []int32) {
 // exactly as a full scan computes them, so A, Ub and Lb match the plain
 // pass (modulo exact-tie scan order; see DESIGN.md).
 func (kr *AssignKernel) RunBoundedRaw(dim int, idx []int32) {
-	if dim == 3 {
+	switch {
+	case dim == 3:
 		kr.boundedRaw3D(idx)
-	} else {
+	case dim > MaxDim:
+		kr.RunBoundedRawGeneric(idx)
+	default:
 		kr.boundedRaw2D(idx)
 	}
 }

@@ -1,0 +1,243 @@
+// Generic-dimension bodies of the batch assignment kernels: the same
+// squared effective-distance comparison structure as the 2D/3D
+// specialized passes in kernels.go, with the per-axis difference
+// accumulation replaced by a walk over the PC/CC column slices. The
+// accumulation is left to right with a zero start, exactly the
+// association order the specialized expressions use, so at d ≤ MaxDim
+// every value these bodies produce is bit-identical to the specialized
+// passes — pinned by TestGenericKernelMatchesSpecialized — and for
+// d > MaxDim they are pinned against the scalar reference path of
+// internal/core. The entry points are exported so the differential tests
+// can force the generic path at the spatial dimensions the production
+// dispatch would route to the specialized bodies.
+
+package geom
+
+import "math"
+
+// colsDist2 returns the squared Euclidean distance between point i of
+// the pc columns and center b of the cc columns.
+func colsDist2(pc, cc [][]float64, i, b int32) float64 {
+	s := 0.0
+	for d, col := range cc {
+		t := pc[d][i] - col[b]
+		s += t * t
+	}
+	return s
+}
+
+// RunBoundedGeneric is the generic-dimension body of RunBounded. The
+// kernel's PC/CC columns must be populated.
+func (kr *AssignKernel) RunBoundedGeneric(idx []int32, hamerly bool) {
+	pc, cc := kr.PC, kr.CC
+	inv2 := kr.InvInf2
+	order, dbb2 := kr.Order, kr.DistBB2
+	prune := kr.Prune
+	w, a, ub, lb, localW := kr.W, kr.A, kr.Ub, kr.Lb, kr.LocalW
+	ubScale, lbScale := kr.UbScale, kr.LbScale
+	scaled := ubScale != nil
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		best := a[i]
+		if hamerly && best >= 0 {
+			u, l := ub[i], lb[i]
+			if scaled {
+				u *= ubScale[best]
+				l *= lbScale
+			}
+			if u < l {
+				if scaled {
+					ub[i] = u
+					lb[i] = l
+				}
+				skips++
+				localW[best] += w[i]
+				continue
+			}
+		}
+		best2, second2 := math.Inf(1), math.Inf(1)
+		best = 0
+		for _, bc := range order {
+			if prune && dbb2[bc] > second2 {
+				breaks++
+				break
+			}
+			d2 := colsDist2(pc, cc, i, bc) * inv2[bc]
+			distCalcs++
+			if d2 < best2 {
+				second2 = best2
+				best2 = d2
+				best = bc
+			} else if d2 < second2 {
+				second2 = d2
+			}
+		}
+		a[i] = best
+		ub[i] = math.Sqrt(best2)
+		lb[i] = math.Sqrt(second2)
+		localW[best] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}
+
+// RunElkanGeneric is the generic-dimension body of RunElkan.
+func (kr *AssignKernel) RunElkanGeneric(idx []int32) {
+	pc, cc := kr.PC, kr.CC
+	inv2 := kr.InvInf2
+	order, dbb2 := kr.Order, kr.DistBB2
+	prune := kr.Prune
+	k := kr.K
+	w, a, ub, lbk, localW := kr.W, kr.A, kr.Ub, kr.Lbk, kr.LocalW
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		best2 := math.Inf(1)
+		bestC := int32(0)
+		row := int(i) * k
+		cur := a[i]
+		if cur >= 0 {
+			raw2 := colsDist2(pc, cc, i, cur)
+			distCalcs++
+			lbk[row+int(cur)] = math.Sqrt(raw2)
+			best2 = raw2 * inv2[cur]
+			bestC = cur
+		}
+		for _, bc := range order {
+			if bc == cur {
+				continue
+			}
+			if prune && dbb2[bc] > best2 {
+				breaks++
+				break
+			}
+			if l := lbk[row+int(bc)]; l > 0 && l*l*inv2[bc] >= best2 {
+				skips++
+				continue
+			}
+			raw2 := colsDist2(pc, cc, i, bc)
+			distCalcs++
+			lbk[row+int(bc)] = math.Sqrt(raw2)
+			if d2 := raw2 * inv2[bc]; d2 < best2 {
+				best2 = d2
+				bestC = bc
+			}
+		}
+		a[i] = bestC
+		ub[i] = math.Sqrt(best2)
+		localW[bestC] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}
+
+// RunBoundedRawGeneric is the generic-dimension body of RunBoundedRaw.
+func (kr *AssignKernel) RunBoundedRawGeneric(idx []int32) {
+	pc, cc := kr.PC, kr.CC
+	inv2 := kr.InvInf2
+	k := kr.K
+	order := kr.Order
+	ccOrder, ccDist := kr.CCOrder, kr.CCDist
+	w, a, ub, lb, localW := kr.W, kr.A, kr.Ub, kr.Lb, kr.LocalW
+	rawLb, rawLbInv := kr.RawLb, kr.RawLbInv
+	invMaxInf2 := rawLbInv * rawLbInv
+	ubScale, lbScale := kr.UbScale, kr.LbScale
+	scaled := ubScale != nil
+	var distCalcs, skips, breaks int64
+	for _, i := range idx {
+		cur := a[i]
+		if cur >= 0 {
+			u, l := ub[i], lb[i]
+			if scaled {
+				u *= ubScale[cur]
+				l *= lbScale
+			}
+			if lr := rawLb[i] * rawLbInv; lr > l {
+				l = lr
+			}
+			if u < l {
+				ub[i] = u
+				lb[i] = l
+				skips++
+				localW[cur] += w[i]
+				continue
+			}
+		}
+		best2, second2 := math.Inf(1), math.Inf(1)
+		r1, r2 := math.Inf(1), math.Inf(1)
+		r1id := int32(-1)
+		best := int32(0)
+		rawFloor2 := math.Inf(1)
+		if cur >= 0 {
+			row := int(cur) * k
+			rawA2 := colsDist2(pc, cc, i, cur)
+			distCalcs++
+			rub := math.Sqrt(rawA2)
+			r1, r1id = rawA2, cur
+			best2 = rawA2 * inv2[cur]
+			best = cur
+			for j := 1; j < k; j++ {
+				lr := ccDist[row+j] - rub
+				if lr > 0 && lr*lr*invMaxInf2 > second2 {
+					breaks++
+					rawFloor2 = lr * lr
+					break
+				}
+				bc := ccOrder[row+j]
+				raw2 := colsDist2(pc, cc, i, bc)
+				d2 := raw2 * inv2[bc]
+				distCalcs++
+				if raw2 < r1 {
+					r2 = r1
+					r1 = raw2
+					r1id = bc
+				} else if raw2 < r2 {
+					r2 = raw2
+				}
+				if d2 < best2 {
+					second2 = best2
+					best2 = d2
+					best = bc
+				} else if d2 < second2 {
+					second2 = d2
+				}
+			}
+		} else {
+			for _, bc := range order {
+				raw2 := colsDist2(pc, cc, i, bc)
+				d2 := raw2 * inv2[bc]
+				distCalcs++
+				if raw2 < r1 {
+					r2 = r1
+					r1 = raw2
+					r1id = bc
+				} else if raw2 < r2 {
+					r2 = raw2
+				}
+				if d2 < best2 {
+					second2 = best2
+					best2 = d2
+					best = bc
+				} else if d2 < second2 {
+					second2 = d2
+				}
+			}
+		}
+		a[i] = best
+		ub[i] = math.Sqrt(best2)
+		lb[i] = math.Sqrt(second2)
+		rl := r1
+		if r1id == best {
+			rl = r2
+		}
+		if rawFloor2 < rl {
+			rl = rawFloor2
+		}
+		rawLb[i] = math.Sqrt(rl)
+		localW[best] += w[i]
+	}
+	kr.DistCalcs += distCalcs
+	kr.Skips += skips
+	kr.Breaks += breaks
+}

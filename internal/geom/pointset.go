@@ -119,10 +119,14 @@ func (ps *PointSet) Subset(idx []int) *PointSet {
 	return out
 }
 
-// Validate checks structural invariants.
+// Validate checks structural invariants. Dimensions beyond MaxDim are
+// structurally valid (feature-space clustering through the generic
+// kernels); consumers that are inherently spatial — meshes, space-filling
+// curves, the At/Set Point accessors — must enforce Dim ≤ MaxDim
+// themselves.
 func (ps *PointSet) Validate() error {
-	if ps.Dim < 1 || ps.Dim > MaxDim {
-		return fmt.Errorf("geom: dimension %d out of range [1,%d]", ps.Dim, MaxDim)
+	if ps.Dim < 1 {
+		return fmt.Errorf("geom: dimension %d out of range (must be ≥ 1)", ps.Dim)
 	}
 	if len(ps.Coords)%ps.Dim != 0 {
 		return fmt.Errorf("geom: %d coordinates not divisible by dim %d", len(ps.Coords), ps.Dim)

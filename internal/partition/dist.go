@@ -10,15 +10,33 @@ import (
 // Local is the per-rank view of a distributed point set: every point
 // carries its global id so results can be assembled after arbitrary
 // migrations (distributed partitioners move points between ranks).
+// Coordinates are stored flat (stride Dim) so any dimension fits; the
+// At accessor serves the spatial (Dim ≤ geom.MaxDim) consumers.
 type Local struct {
-	Dim int
-	IDs []int64
-	X   []geom.Point
-	W   []float64 // nil = unit weights
+	Dim    int
+	IDs    []int64
+	Coords []float64 // len = Len()·Dim, stride Dim
+	W      []float64 // nil = unit weights
 }
 
 // Len returns the number of local points.
 func (l *Local) Len() int { return len(l.IDs) }
+
+// At returns local point i as a Point value (Dim ≤ geom.MaxDim only).
+func (l *Local) At(i int) geom.Point {
+	var p geom.Point
+	base := i * l.Dim
+	for d := 0; d < l.Dim; d++ {
+		p[d] = l.Coords[base+d]
+	}
+	return p
+}
+
+// Coord returns the flat coordinate vector of local point i (any
+// dimension; the returned slice aliases the Coords buffer).
+func (l *Local) Coord(i int) []float64 {
+	return l.Coords[i*l.Dim : (i+1)*l.Dim]
+}
 
 // Weight returns the weight of local point i.
 func (l *Local) Weight(i int) float64 {
@@ -45,19 +63,15 @@ func Scatter(c *mpi.Comm, ps *geom.PointSet) *Local {
 	lo := r * n / p
 	hi := (r + 1) * n / p
 	lp := &Local{
-		Dim: ps.Dim,
-		IDs: make([]int64, 0, hi-lo),
-		X:   make([]geom.Point, 0, hi-lo),
+		Dim:    ps.Dim,
+		IDs:    make([]int64, 0, hi-lo),
+		Coords: append([]float64(nil), ps.Coords[lo*ps.Dim:hi*ps.Dim]...),
 	}
 	if ps.Weight != nil {
-		lp.W = make([]float64, 0, hi-lo)
+		lp.W = append([]float64(nil), ps.Weight[lo:hi]...)
 	}
 	for i := lo; i < hi; i++ {
 		lp.IDs = append(lp.IDs, int64(i))
-		lp.X = append(lp.X, ps.At(i))
-		if ps.Weight != nil {
-			lp.W = append(lp.W, ps.Weight[i])
-		}
 	}
 	return lp
 }

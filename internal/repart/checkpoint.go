@@ -63,7 +63,7 @@ func readHeader(d *core.SnapDecoder) (CheckpointInfo, error) {
 	if err := d.Err(); err != nil {
 		return CheckpointInfo{}, err
 	}
-	if info.K < 1 || info.P < 1 || info.Dim < 1 || info.Dim > 3 || info.N < 1 {
+	if info.K < 1 || info.P < 1 || info.Dim < 1 || info.Dim > 4096 || info.N < 1 {
 		return CheckpointInfo{}, fmt.Errorf("%w: header k=%d p=%d dim=%d n=%d",
 			core.ErrCheckpointCorrupt, info.K, info.P, info.Dim, info.N)
 	}

@@ -187,7 +187,7 @@ func TestSessionCheckpointErrors(t *testing.T) {
 	})
 	t.Run("warm centers preset", func(t *testing.T) {
 		bad := cfg
-		bad.WarmCenters = []geom.Point{{0, 0, 0}}
+		bad.WarmCenters = []float64{0, 0, 0}
 		if _, err := NewSessionFromCheckpoint(mpi.NewWorld(p), ckpt, bad); err == nil {
 			t.Fatal("restore with preset WarmCenters succeeded")
 		}

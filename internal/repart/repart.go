@@ -37,8 +37,8 @@ type Stats struct {
 	// MigratedWeight/TotalWeight is the migrated fraction.
 	TotalWeight float64
 	// Centers holds the seed centers recovered from the previous
-	// assignment (diagnostics; length k).
-	Centers []geom.Point
+	// assignment (diagnostics; flat, length k·dim).
+	Centers []float64
 	// Info carries the k-means diagnostics of the run.
 	Info core.Info
 	// IngestSeconds is the wall time spent scattering the points and
@@ -83,7 +83,7 @@ type Stats struct {
 // empty block is re-seeded at a block-specific position on the bounding
 // box diagonal (distinct per block, so no two recovered centers
 // coincide and tie-breaking stays order-independent).
-func RecoverCenters(ps *geom.PointSet, prev []int32, k int) ([]geom.Point, error) {
+func RecoverCenters(ps *geom.PointSet, prev []int32, k int) ([]float64, error) {
 	n := ps.Len()
 	if n == 0 {
 		return nil, fmt.Errorf("repart: empty point set")
@@ -92,40 +92,51 @@ func RecoverCenters(ps *geom.PointSet, prev []int32, k int) ([]geom.Point, error
 		return nil, fmt.Errorf("repart: invalid previous assignment: %w", err)
 	}
 
+	dim := ps.Dim
 	wSum := make([]float64, k)
 	count := make([]int64, k)
-	wMean := make([]geom.Point, k) // Σ w·x per block
-	uMean := make([]geom.Point, k) // Σ x per block (zero-weight fallback)
+	wMean := make([]float64, k*dim) // Σ w·x per block
+	uMean := make([]float64, k*dim) // Σ x per block (zero-weight fallback)
+	bmin := make([]float64, dim)
+	bmax := make([]float64, dim)
+	geom.FlatBoxInit(bmin, bmax)
 	for i := 0; i < n; i++ {
-		b := prev[i]
-		x := ps.At(i)
+		b := int(prev[i])
+		x := ps.Coords[i*dim : (i+1)*dim]
 		w := ps.W(i)
 		count[b]++
 		wSum[b] += w
-		for d := 0; d < ps.Dim; d++ {
-			wMean[b][d] += w * x[d]
-			uMean[b][d] += x[d]
+		base := b * dim
+		for d := 0; d < dim; d++ {
+			wMean[base+d] += w * x[d]
+			uMean[base+d] += x[d]
+			if x[d] < bmin[d] {
+				bmin[d] = x[d]
+			}
+			if x[d] > bmax[d] {
+				bmax[d] = x[d]
+			}
 		}
 	}
 
-	box := ps.Bounds()
-	centers := make([]geom.Point, k)
+	centers := make([]float64, k*dim)
 	for b := 0; b < k; b++ {
+		base := b * dim
 		switch {
 		case wSum[b] > 0:
-			for d := 0; d < ps.Dim; d++ {
-				centers[b][d] = wMean[b][d] / wSum[b]
+			for d := 0; d < dim; d++ {
+				centers[base+d] = wMean[base+d] / wSum[b]
 			}
 		case count[b] > 0:
-			for d := 0; d < ps.Dim; d++ {
-				centers[b][d] = uMean[b][d] / float64(count[b])
+			for d := 0; d < dim; d++ {
+				centers[base+d] = uMean[base+d] / float64(count[b])
 			}
 		default:
 			// Empty block: spread along the global bounding box diagonal
 			// at a block-specific offset.
 			t := (float64(b) + 0.5) / float64(k)
-			for d := 0; d < ps.Dim; d++ {
-				centers[b][d] = box.Min[d] + t*(box.Max[d]-box.Min[d])
+			for d := 0; d < dim; d++ {
+				centers[base+d] = bmin[d] + t*(bmax[d]-bmin[d])
 			}
 		}
 	}

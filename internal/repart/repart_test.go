@@ -46,20 +46,20 @@ func TestRecoverCenters(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Block 0: (0+2+2·1)/4, (0+0+2·3)/4 = (1, 1.5).
-	if math.Abs(cs[0][0]-1) > 1e-12 || math.Abs(cs[0][1]-1.5) > 1e-12 {
-		t.Errorf("block 0 center = %v", cs[0])
+	if math.Abs(cs[0]-1) > 1e-12 || math.Abs(cs[1]-1.5) > 1e-12 {
+		t.Errorf("block 0 center = %v", cs[0:2])
 	}
 	// Block 1: (3·10+12)/4, 10.
-	if math.Abs(cs[1][0]-10.5) > 1e-12 || math.Abs(cs[1][1]-10) > 1e-12 {
-		t.Errorf("block 1 center = %v", cs[1])
+	if math.Abs(cs[2]-10.5) > 1e-12 || math.Abs(cs[3]-10) > 1e-12 {
+		t.Errorf("block 1 center = %v", cs[2:4])
 	}
 	// Block 2 is empty: deterministic fallback inside the bounding box,
 	// distinct from the others.
-	if !ps.Bounds().Contains(cs[2]) {
-		t.Errorf("empty-block center %v outside bounds", cs[2])
+	if !ps.Bounds().Contains(geom.Point{cs[4], cs[5]}) {
+		t.Errorf("empty-block center %v outside bounds", cs[4:6])
 	}
-	if cs[2] == cs[0] || cs[2] == cs[1] {
-		t.Errorf("fallback center %v coincides", cs[2])
+	if (cs[4] == cs[0] && cs[5] == cs[1]) || (cs[4] == cs[2] && cs[5] == cs[3]) {
+		t.Errorf("fallback center %v coincides", cs[4:6])
 	}
 }
 
@@ -69,8 +69,8 @@ func TestRecoverCentersZeroWeightBlock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(cs[0][0]-2) > 1e-12 || math.Abs(cs[0][1]-2) > 1e-12 {
-		t.Errorf("zero-weight block center = %v, want (2,2)", cs[0])
+	if math.Abs(cs[0]-2) > 1e-12 || math.Abs(cs[1]-2) > 1e-12 {
+		t.Errorf("zero-weight block center = %v, want (2,2)", cs[0:2])
 	}
 }
 

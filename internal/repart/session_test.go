@@ -158,7 +158,7 @@ func TestSessionLifecycle(t *testing.T) {
 		t.Error("NewSession accepted an empty point set")
 	}
 	warm := cfg
-	warm.WarmCenters = make([]geom.Point, k)
+	warm.WarmCenters = make([]float64, k*ps.Dim)
 	if _, err := NewSession(mpi.NewWorld(p), ps.Clone(), k, warm); err == nil {
 		t.Error("NewSession accepted cfg.WarmCenters (session-managed)")
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -40,15 +41,52 @@ func phaseWeights(m *mesh.Mesh, step int) []float64 {
 	return out
 }
 
+// mixtureTenant builds a d-dimensional Gaussian-mixture tenant — the
+// feature-space workload (d > geom.MaxDim) served through the same
+// registry verbs as the spatial mesh tenants.
+func mixtureTenant(n, dim, m int, seed int64) *geom.PointSet {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([]float64, m*dim)
+	for i := range centers {
+		centers[i] = rng.Float64() * 10
+	}
+	ps := &geom.PointSet{Dim: dim, Coords: make([]float64, n*dim)}
+	for i := 0; i < n; i++ {
+		c := centers[(i%m)*dim : (i%m+1)*dim]
+		for d := 0; d < dim; d++ {
+			ps.Coords[i*dim+d] = c[d] + rng.NormFloat64()
+		}
+	}
+	return ps
+}
+
+// featureWeights is the load wave of the feature-space tenants.
+func featureWeights(ps *geom.PointSet, step int) []float64 {
+	out := make([]float64, ps.Len())
+	for i := range out {
+		x := ps.Coords[i*ps.Dim]
+		y := ps.Coords[i*ps.Dim+ps.Dim-1]
+		out[i] = 1 + 0.4*math.Sin(0.3*x+0.2*y+0.9*float64(step))
+	}
+	return out
+}
+
 // soloChain runs the reference chain outside the registry: cold
 // partition, then steps warm repartitions under the phase weights.
 // Returns each step's assignment (index 0 = cold) and the per-step
 // stats (index 0 zero-valued).
 func soloChain(t *testing.T, m *mesh.Mesh, k, p, steps int) ([][]int32, []repart.Stats) {
 	t.Helper()
+	return soloChainPts(t, m.Points, func(step int) []float64 { return phaseWeights(m, step) }, k, p, steps)
+}
+
+// soloChainPts is soloChain over a bare point set with an arbitrary
+// per-step weight wave (any dimension).
+func soloChainPts(t *testing.T, base *geom.PointSet, weightsAt func(int) []float64, k, p, steps int) ([][]int32, []repart.Stats) {
+	t.Helper()
 	cfg := core.DefaultConfig()
 	cfg.Seed = 1
-	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
+	ps := &geom.PointSet{Dim: base.Dim, Coords: base.Coords, Weight: weightsAt(0)}
 	s, err := repart.NewSession(mpi.NewWorld(p), ps.Clone(), k, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +100,7 @@ func soloChain(t *testing.T, m *mesh.Mesh, k, p, steps int) ([][]int32, []repart
 	}
 	chain = append(chain, append([]int32(nil), p0.Assign...))
 	for step := 1; step <= steps; step++ {
-		if err := s.UpdateWeights(phaseWeights(m, step)); err != nil {
+		if err := s.UpdateWeights(weightsAt(step)); err != nil {
 			t.Fatal(err)
 		}
 		pt, st, _, err := s.RepartitionIfAbove(0)
@@ -130,17 +168,29 @@ func TestRegistryChainMatchesSolo(t *testing.T) {
 // TestEvictionRoundTrip force-evicts mid-chain — with carried
 // incremental bounds resident and a weight delta pending — restores on
 // the next touch, and pins the next warm step bit-identical to the
-// never-evicted chain, still on the incremental fast path.
+// never-evicted chain, still on the incremental fast path. Runs once on
+// a spatial mesh tenant (d=2) and once on a feature-space tenant (d=8,
+// through the generic kernels and the dimension-strided checkpoint
+// codec).
 func TestEvictionRoundTrip(t *testing.T) {
-	const n, k, p, steps = 1500, 8, 2, 3
-	m := tenantMesh(t, n, 1)
-	ref, refStats := soloChain(t, m, k, p, steps)
+	t.Run("mesh-d2", func(t *testing.T) {
+		m := tenantMesh(t, 1500, 1)
+		runEvictionRoundTrip(t, m.Points, func(step int) []float64 { return phaseWeights(m, step) }, 8, 2, 3)
+	})
+	t.Run("feature-d8", func(t *testing.T) {
+		ps := mixtureTenant(1200, 8, 6, 11)
+		runEvictionRoundTrip(t, ps, func(step int) []float64 { return featureWeights(ps, step) }, 6, 2, 3)
+	})
+}
+
+func runEvictionRoundTrip(t *testing.T, base *geom.PointSet, weightsAt func(int) []float64, k, p, steps int) {
+	ref, refStats := soloChainPts(t, base, weightsAt, k, p, steps)
 	if !refStats[steps].Incremental {
 		t.Fatalf("reference chain's final step did not carry bounds; test needs the incremental path")
 	}
 
 	g := NewRegistry(Config{})
-	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
+	ps := &geom.PointSet{Dim: base.Dim, Coords: base.Coords, Weight: weightsAt(0)}
 	if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p}); err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +199,7 @@ func TestEvictionRoundTrip(t *testing.T) {
 	}
 	// Two warm steps so the carried Hamerly bounds are resident.
 	for step := 1; step < steps; step++ {
-		if err := g.UpdateWeights("sim", phaseWeights(m, step)); err != nil {
+		if err := g.UpdateWeights("sim", weightsAt(step)); err != nil {
 			t.Fatal(err)
 		}
 		if _, st, _, err := g.RepartitionIfAbove("sim", 0); err != nil {
@@ -161,7 +211,7 @@ func TestEvictionRoundTrip(t *testing.T) {
 
 	// Queue a weight delta, then park the tenant: the pending flag and
 	// the carried bounds must travel through the checkpoint.
-	if err := g.UpdateWeights("sim", phaseWeights(m, steps)); err != nil {
+	if err := g.UpdateWeights("sim", weightsAt(steps)); err != nil {
 		t.Fatal(err)
 	}
 	if err := g.Evict("sim"); err != nil {

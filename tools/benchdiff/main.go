@@ -1,15 +1,19 @@
 // Command benchdiff compares two benchmark reports cell by cell and
 // fails on regressions. It understands the soak report (BENCH_soak.json,
 // schema geographer-soak/v1), the chaos report (BENCH_chaos.json,
-// schema geographer-chaos/v1), and the serving report (BENCH_serve.json,
-// schema geographer-serve/v1), dispatching on the schema field.
+// schema geographer-chaos/v1), the serving report (BENCH_serve.json,
+// schema geographer-serve/v1), and the feature-space report
+// (BENCH_highdim.json, schema geographer-highdim/v1), dispatching on the
+// schema field.
 //
 //	benchdiff -old BENCH_soak.json -new /tmp/soak.json [-tol 0.10]
 //	benchdiff -old BENCH_chaos.json -new /tmp/chaos.json
 //	benchdiff -old BENCH_serve.json -new /tmp/serve.json
+//	benchdiff -old BENCH_highdim.json -new /tmp/highdim.json
 //
 // Cells are matched by their configuration (soak: n/dim/k/p/steps;
-// chaos: graph/n/k/p/steps; serve: tenants/n/k/p/steps/pool/budget).
+// chaos: graph/n/k/p/steps; serve: tenants/n/k/p/steps/pool/budget;
+// highdim: n/dim/m/k/p/steps).
 // Deterministic metrics — for the soak the collective counts and bytes,
 // barriers, distance evaluations, modeled communication time, and final
 // imbalance; for the chaos run the fired fault count, recoveries, delay
@@ -92,6 +96,28 @@ func serveCells(rep experiments.ServeReport) []cellData {
 	return out
 }
 
+func highdimCells(rep experiments.HighdimReport) []cellData {
+	out := make([]cellData, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		out = append(out, cellData{
+			key: fmt.Sprintf("n=%d dim=%d m=%d k=%d p=%d steps=%d", c.N, c.Dim, c.M, c.K, c.P, c.Steps),
+			metrics: []metricVal{
+				{"collectives", true, float64(c.Collectives)},
+				{"collective_bytes", true, float64(c.CollectiveBytes)},
+				{"barriers", true, float64(c.Barriers)},
+				{"dist_calcs", true, float64(c.DistCalcs)},
+				{"chain_cut", true, float64(c.ChainCut)},
+				{"imbalance", true, c.Imbalance},
+				{"wall_sec", false, c.WallSec},
+				{"cold_sec", false, c.ColdSec},
+				{"step_sec_mean", false, c.StepSecMean},
+				{"peak_rss_mb", false, c.PeakRSSMB},
+			},
+		})
+	}
+	return out
+}
+
 func chaosCells(rep experiments.ChaosReport) []cellData {
 	out := make([]cellData, 0, len(rep.Cells))
 	for _, c := range rep.Cells {
@@ -168,6 +194,12 @@ func loadCells(path string) (string, []cellData, error) {
 			return "", nil, fmt.Errorf("%s: %w", path, err)
 		}
 		return head.Schema, serveCells(rep), nil
+	case "geographer-highdim/v1":
+		var rep experiments.HighdimReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return "", nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, highdimCells(rep), nil
 	default:
 		return "", nil, fmt.Errorf("%s: unknown report schema %q", path, head.Schema)
 	}
