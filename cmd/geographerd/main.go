@@ -2,9 +2,18 @@
 // service: named long-lived sessions (one per simulation/tenant) behind
 // the registry of internal/serve, sharing the host under one bounded
 // worker pool, with admission control against a resident-memory budget
-// and LRU eviction of idle tenants to checkpoint bytes.
+// and LRU eviction of idle tenants to checkpointed spills.
 //
-//	geographerd -addr :8080 -max-resident-mb 1024 -max-tenants 64
+//	geographerd -addr :8080 -max-resident-mb 1024 -max-tenants 64 -spill-dir /var/lib/geographer
+//
+// With -spill-dir, parked tenants are durable: evictions write
+// checksummed checkpoint files under the directory (atomic rename,
+// CRC32-C verified on read, corrupt files quarantined), and at startup
+// the daemon scans the directory and re-registers every surviving
+// tenant — so a crash (even kill -9) between verbs loses no parked
+// tenant, and restored chains resume bit-identically. Without it,
+// spills live in process memory and die with the daemon (the pre-spill
+// behavior).
 //
 // Endpoints (see docs/serving.md for schemas):
 //
@@ -24,8 +33,9 @@
 //
 // Shutdown is graceful: SIGINT/SIGTERM stops accepting connections,
 // lets in-flight requests finish (up to -drain-timeout), then drains
-// the registry — every in-flight session verb completes before state
-// is released.
+// the registry — every in-flight session verb completes and every
+// resident tenant is parked to the spill store before state is
+// released.
 package main
 
 import (
@@ -40,6 +50,7 @@ import (
 	"time"
 
 	"geographer/internal/serve"
+	"geographer/internal/store"
 )
 
 func main() {
@@ -47,17 +58,48 @@ func main() {
 		addr          = flag.String("addr", ":8080", "listen address")
 		maxResidentMB = flag.Int64("max-resident-mb", 0, "resident-memory budget for live tenants, MiB (0 = unlimited)")
 		maxTenants    = flag.Int("max-tenants", 0, "max tenants, resident + parked (0 = unlimited)")
+		spillDir      = flag.String("spill-dir", "", "directory for durable tenant spills (empty = in-memory, lost on exit)")
 		sweepEvery    = flag.Duration("sweep-every", time.Minute, "idle-eviction sweep period (0 disables)")
 		sweepIdle     = flag.Int64("sweep-idle", 1000, "verbs of registry traffic a tenant may sit out before a sweep parks it")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 
-	reg := serve.NewRegistry(serve.Config{
+	cfg := serve.Config{
 		MaxResidentBytes: *maxResidentMB << 20,
 		MaxTenants:       *maxTenants,
-	})
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg)}
+	}
+	if *spillDir != "" {
+		disk, err := store.NewDisk(*spillDir)
+		if err != nil {
+			log.Fatalf("spill dir: %v", err)
+		}
+		cfg.Store = disk
+	}
+	reg := serve.NewRegistry(cfg)
+	if *spillDir != "" {
+		n, err := reg.Recover()
+		if err != nil {
+			log.Fatalf("recover from %s: %v", *spillDir, err)
+		}
+		if n > 0 {
+			log.Printf("recovered %d parked tenant(s) from %s", n, *spillDir)
+		}
+	}
+
+	// Server-side timeouts close off slowloris and stuck-client hangs;
+	// the generous read/write ceilings accommodate large point-set
+	// ingests and big assignment responses. Per-verb cancellation is
+	// separate: handlers thread each request's context into the session
+	// verbs, so a disconnected client aborts its own run immediately.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.NewHandler(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+		WriteTimeout:      10 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	stop := make(chan struct{})
 	if *sweepEvery > 0 {
@@ -90,11 +132,13 @@ func main() {
 		}
 	}()
 
-	log.Printf("geographerd listening on %s (resident budget %d MiB, tenant cap %d)",
-		*addr, *maxResidentMB, *maxTenants)
+	log.Printf("geographerd listening on %s (resident budget %d MiB, tenant cap %d, spill %q)",
+		*addr, *maxResidentMB, *maxTenants, *spillDir)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	reg.Drain()
+	if n := reg.Drain(); n > 0 {
+		log.Printf("parked %d resident tenant(s) on drain", n)
+	}
 	log.Printf("drained, bye")
 }

@@ -25,12 +25,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|chaos|serve|highdim|all")
+		exp     = flag.String("exp", "all", "table1|table2|fig1|fig2|fig3a|fig3b|fig4|components|phases|repart|stream|ablation|soak|chaos|serve|durable|highdim|all")
 		scale   = flag.String("scale", "default", "default|quick")
 		outdir  = flag.String("outdir", ".", "directory for fig1 SVGs")
 		repeats = flag.Int("repeats", 0, "override measurement repetitions (paper: 5)")
 		csvDir  = flag.String("csv", "", "also dump raw results as CSV files into this directory")
-		bench   = flag.String("bench", "", "write the soak/chaos/serve report as JSON to this path (BENCH_soak.json / BENCH_chaos.json / BENCH_serve.json convention)")
+		bench   = flag.String("bench", "", "write the soak/chaos/serve/durable report as JSON to this path (BENCH_soak.json / BENCH_chaos.json / BENCH_serve.json / BENCH_durable.json convention)")
 	)
 	flag.Parse()
 
@@ -267,6 +267,49 @@ func main() {
 				}
 				if c.Restores != c.Evictions || c.Evictions == 0 {
 					return fmt.Errorf("evictions=%d restores=%d: every forced park must restore", c.Evictions, c.Restores)
+				}
+			}
+			return nil
+		})
+	}
+	// The durability fence is opt-in like the chaos run: it validates
+	// the disk spill store under injected corruption (torn writes,
+	// bit-flips, deleted files) and cold crash recovery, not a paper
+	// artifact.
+	if *exp == "durable" {
+		any = true
+		run("durable", func() error {
+			rep, err := experiments.Durable(os.Stdout, sc)
+			if err != nil {
+				return err
+			}
+			if *bench != "" {
+				f, err := os.Create(*bench)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := experiments.WriteDurableJSON(f, rep); err != nil {
+					return err
+				}
+				fmt.Println("wrote", *bench)
+			}
+			// Quarantine-not-crash is the headline claim; fail loudly here
+			// rather than in a diff later.
+			for _, c := range rep.Cells {
+				injured := c.InjectedTorn + c.InjectedFlip + c.InjectedDelete
+				if c.LostTyped != injured {
+					return fmt.Errorf("%d injuries but only %d degraded to the typed ErrTenantLost", injured, c.LostTyped)
+				}
+				if c.Quarantined != c.InjectedTorn+c.InjectedFlip {
+					return fmt.Errorf("quarantined %d spills, want %d (torn + flipped)", c.Quarantined, c.InjectedTorn+c.InjectedFlip)
+				}
+				if want := c.Tenants - injured; c.SurvivorChains != want {
+					return fmt.Errorf("%d of %d uninjured chains diverged from their solo references", want-c.SurvivorChains, want)
+				}
+				if c.Recovered != c.Tenants || c.RecoveredChains != c.Tenants {
+					return fmt.Errorf("cold recovery resumed %d/%d tenants, %d/%d chains bit-identical",
+						c.Recovered, c.Tenants, c.RecoveredChains, c.Tenants)
 				}
 			}
 			return nil

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestChecksumSealVerifyRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		{0x00},
+		[]byte("checkpoint payload"),
+		bytes.Repeat([]byte{0xAB, 0x00, 0xFF}, 1000),
+	} {
+		sealed := SealChecksum(append([]byte(nil), payload...))
+		if len(sealed) != len(payload)+ChecksumTrailerSize {
+			t.Fatalf("sealed %d bytes for %d payload", len(sealed), len(payload))
+		}
+		got, err := VerifyChecksum(sealed)
+		if err != nil {
+			t.Fatalf("VerifyChecksum: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("verified payload differs: %x vs %x", got, payload)
+		}
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	payload := bytes.Repeat([]byte("geographer"), 100)
+	sealed := SealChecksum(append([]byte(nil), payload...))
+
+	// Every single-bit flip anywhere in the frame — payload, magic, or
+	// CRC — must be caught (CRC32-C detects all single-bit errors; the
+	// trailer fields are compared directly).
+	for i := 0; i < len(sealed); i += 13 {
+		for bit := 0; bit < 8; bit++ {
+			bad := append([]byte(nil), sealed...)
+			bad[i] ^= 1 << bit
+			if _, err := VerifyChecksum(bad); !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("bit flip at %d.%d: err = %v, want ErrCheckpointCorrupt", i, bit, err)
+			}
+		}
+	}
+
+	// Every truncation moves or removes the trailer.
+	for cut := 0; cut < len(sealed); cut += 7 {
+		if _, err := VerifyChecksum(sealed[:cut]); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCheckpointCorrupt", cut, err)
+		}
+	}
+
+	// Trailing garbage shifts the trailer window off the real one.
+	grown := append(append([]byte(nil), sealed...), 0x00)
+	if _, err := VerifyChecksum(grown); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("trailing garbage: err = %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+func TestChecksumShortInputs(t *testing.T) {
+	for n := 0; n < ChecksumTrailerSize; n++ {
+		if _, err := VerifyChecksum(make([]byte, n)); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("%d-byte input: err = %v, want ErrCheckpointCorrupt", n, err)
+		}
+	}
+}

@@ -244,10 +244,78 @@ func TestSnapshotDecodeErrors(t *testing.T) {
 	})
 }
 
+// residentFieldOffsets replays a valid resident record field by field
+// through the public decoder and returns the byte offset after each
+// field — the exact truncation points that leave a stream cut between
+// two fields rather than mid-varint-nowhere. Mirrors the read sequence
+// of RestoreResident.
+func residentFieldOffsets(tb testing.TB, blob []byte) []int {
+	tb.Helper()
+	d := NewSnapDecoder(blob)
+	var offs []int
+	mark := func() {
+		if d.Err() != nil {
+			tb.Fatalf("replay of a valid record errored at offset %d: %v", len(blob)-d.Len(), d.Err())
+		}
+		offs = append(offs, len(blob)-d.Len())
+	}
+	d.U32() // magic
+	mark()
+	d.U32() // version
+	mark()
+	dim := int(d.U32())
+	mark()
+	d.F64s() // box min
+	mark()
+	d.F64s() // box max
+	mark()
+	n := int(d.U64())
+	mark()
+	for di := 0; di < dim; di++ {
+		d.F64s() // coordinate column
+		mark()
+	}
+	d.F64s() // weights
+	mark()
+	d.I64s() // ids
+	mark()
+	carry := d.Bool()
+	mark()
+	if carry {
+		d.Str() // bounds kind
+		mark()
+		d.U32() // carried k
+		mark()
+		d.I32s() // assignment
+		mark()
+		d.F64s() // upper bounds
+		mark()
+		d.F64s() // lower bounds
+		mark()
+		if d.Bool() { // raw shadow present
+			d.F64s()
+		}
+		mark()
+		if d.Bool() { // per-center Elkan bounds present
+			d.F64s()
+		}
+		mark()
+		d.F64s() // influence
+		mark()
+		d.F64s() // centers
+		mark()
+	}
+	_ = n
+	return offs
+}
+
 // FuzzSnapshotRoundTrip: arbitrary bytes never panic the decoder, and
 // anything that decodes successfully re-encodes to a stream that decodes
 // to the same bytes again (decode∘encode is the identity on the image of
-// encode).
+// encode). The seed corpus covers every field boundary: a valid record
+// truncated after each field, and a valid record with trailing garbage —
+// the torn-write and overwrite shapes the disk spill store must turn
+// into typed errors.
 func FuzzSnapshotRoundTrip(f *testing.F) {
 	cfg := DefaultConfig()
 	cfg.Seed = 1
@@ -256,7 +324,12 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		for _, r := range res {
 			enc := NewSnapEncoder()
 			r.Snapshot(enc)
-			f.Add(append([]byte(nil), enc.Bytes()...))
+			blob := append([]byte(nil), enc.Bytes()...)
+			f.Add(blob)
+			for _, off := range residentFieldOffsets(f, blob) {
+				f.Add(append([]byte(nil), blob[:off]...))
+			}
+			f.Add(append(append([]byte(nil), blob...), 0xDE, 0xAD, 0xBE, 0xEF))
 		}
 	}
 	f.Add([]byte{})

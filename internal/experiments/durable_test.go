@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestDurableQuick runs the durability fence at quick scale and pins
+// its deterministic invariants: every injury lands as a typed loss,
+// torn and flipped spills are quarantined, every uninjured chain is
+// bit-identical, and cold recovery resumes all parked tenants.
+func TestDurableQuick(t *testing.T) {
+	rep, err := Durable(io.Discard, QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("cells = %d", len(rep.Cells))
+	}
+	c := rep.Cells[0]
+	injured := c.InjectedTorn + c.InjectedFlip + c.InjectedDelete
+	if injured != 3 {
+		t.Errorf("injuries = %d, want 3", injured)
+	}
+	if c.LostTyped != injured {
+		t.Errorf("lost_typed = %d, want %d (every injury must degrade to typed ErrTenantLost)", c.LostTyped, injured)
+	}
+	if c.Quarantined != c.InjectedTorn+c.InjectedFlip {
+		t.Errorf("quarantined = %d, want %d (torn + flipped)", c.Quarantined, c.InjectedTorn+c.InjectedFlip)
+	}
+	if want := c.Tenants - injured; c.SurvivorChains != want {
+		t.Errorf("survivor_chains = %d, want %d", c.SurvivorChains, want)
+	}
+	if c.Recovered != c.Tenants {
+		t.Errorf("recovered = %d, want %d", c.Recovered, c.Tenants)
+	}
+	if c.RecoveredChains != c.Tenants {
+		t.Errorf("recovered_chains = %d, want %d", c.RecoveredChains, c.Tenants)
+	}
+	if c.Parks != int64(2*c.Tenants) {
+		t.Errorf("parks = %d, want %d", c.Parks, 2*c.Tenants)
+	}
+	if c.DistCalcs <= 0 {
+		t.Errorf("dist_calcs = %d", c.DistCalcs)
+	}
+}

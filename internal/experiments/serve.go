@@ -242,12 +242,12 @@ func Serve(w io.Writer, sc Scale) ([]ServeRow, ServeReport, error) {
 
 			ps := &geom.PointSet{Dim: ref.m.Points.Dim, Coords: ref.m.Points.Coords, Weight: perturbedWeights(ref.m, 7*id)}
 			if !verb("create", func() error {
-				return g.Create(name, ps, serve.TenantOptions{K: serveK, Processes: serveP, Workers: serveBudget})
+				return g.Create(nil, name, ps, serve.TenantOptions{K: serveK, Processes: serveP, Workers: serveBudget})
 			}) {
 				return
 			}
 			ok := verb("partition", func() error {
-				p, err := g.Partition(name)
+				p, err := g.Partition(nil, name)
 				if err == nil && !sameAssign(p.Assign, ref.chain[0]) {
 					row.Identical = false
 				}
@@ -266,7 +266,7 @@ func Serve(w io.Writer, sc Scale) ([]ServeRow, ServeReport, error) {
 					}
 				}
 				ok = verb("repartition", func() error {
-					p, st, acted, err := g.RepartitionIfAbove(name, 0)
+					p, st, acted, err := g.RepartitionIfAbove(nil, name, 0)
 					if err != nil {
 						return err
 					}

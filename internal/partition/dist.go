@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 
 	"geographer/internal/geom"
@@ -81,11 +82,22 @@ func Scatter(c *mpi.Comm, ps *geom.PointSet) *Local {
 // result exploits shared memory for output collection only — the
 // algorithm under test communicates exclusively through the mpi runtime.
 func Run(w *mpi.World, ps *geom.PointSet, k int, d Distributed) (P, error) {
+	return RunCtx(nil, w, ps, k, d)
+}
+
+// RunCtx is Run under a context: cancellation aborts the world through
+// the mpi runtime's abort path (mpi.World.RunCtx) and surfaces as a
+// typed mpi.ErrBroken. A nil context runs exactly like Run.
+func RunCtx(ctx context.Context, w *mpi.World, ps *geom.PointSet, k int, d Distributed) (P, error) {
+	exec := w.Run
+	if ctx != nil {
+		exec = func(f func(c *mpi.Comm)) error { return w.RunCtx(ctx, f) }
+	}
 	out := New(ps.Len(), k)
 	for i := range out.Assign {
 		out.Assign[i] = -1
 	}
-	runErr := w.Run(func(c *mpi.Comm) {
+	runErr := exec(func(c *mpi.Comm) {
 		lp := Scatter(c, ps)
 		ids, blocks, err := d.Partition(c, lp, k)
 		if err != nil {

@@ -1,0 +1,139 @@
+package repart
+
+// Header-robustness tests for ReadCheckpointInfo: the serving layer
+// sizes worlds from spilled checkpoints it did not produce, so the
+// header decode must turn every malformed input — truncations at each
+// field, flipped magic/version, absurd shape values — into a typed
+// error, never a panic and never a nonsense CheckpointInfo.
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"geographer/internal/core"
+	"geographer/internal/geom"
+	"geographer/internal/mesh"
+	"geographer/internal/mpi"
+)
+
+// sessionHeaderLen is the byte length of the checkpoint header
+// ReadCheckpointInfo consumes: magic, version, K, P, Dim (u32 each)
+// plus N (u64).
+const sessionHeaderLen = 5*4 + 8
+
+// validCheckpoint builds one real checkpoint to mutate.
+func validCheckpoint(t *testing.T) []byte {
+	t.Helper()
+	m := sessionTestMesh(t, 600)
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	s := buildWarmSession(t, m, 4, 2, 1, cfg)
+	defer s.Close()
+	ckpt, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckpt
+}
+
+func TestReadCheckpointInfoTruncations(t *testing.T) {
+	ckpt := validCheckpoint(t)
+	info, err := ReadCheckpointInfo(ckpt)
+	if err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	if info.K != 4 || info.P != 2 || info.N != 600 {
+		t.Fatalf("header misread: %+v", info)
+	}
+
+	// Every prefix strictly shorter than the header must fail typed —
+	// this walks through every field boundary (0, 4, 8, 12, 16, 20) and
+	// every mid-field cut.
+	for cut := 0; cut < sessionHeaderLen; cut++ {
+		_, err := ReadCheckpointInfo(ckpt[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+		if !errors.Is(err, core.ErrCheckpointCorrupt) && !errors.Is(err, core.ErrCheckpointVersion) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+	// The full header alone (payload stripped) is sufficient for the
+	// header read.
+	if _, err := ReadCheckpointInfo(ckpt[:sessionHeaderLen]); err != nil {
+		t.Fatalf("bare header rejected: %v", err)
+	}
+}
+
+func TestReadCheckpointInfoMutations(t *testing.T) {
+	ckpt := validCheckpoint(t)
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), ckpt...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, core.ErrCheckpointCorrupt},
+		{"bad magic", mutate(func(b []byte) { b[0] ^= 0xFF }), core.ErrCheckpointCorrupt},
+		{"future version", mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[4:], 99) }), core.ErrCheckpointVersion},
+		{"zero k", mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[8:], 0) }), core.ErrCheckpointCorrupt},
+		{"zero p", mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[12:], 0) }), core.ErrCheckpointCorrupt},
+		{"absurd dim", mutate(func(b []byte) { binary.LittleEndian.PutUint32(b[16:], 1<<30) }), core.ErrCheckpointCorrupt},
+		{"zero n", mutate(func(b []byte) { binary.LittleEndian.PutUint64(b[20:], 0) }), core.ErrCheckpointCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCheckpointInfo(tc.data); !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzReadCheckpointInfo: arbitrary bytes never panic the header read;
+// failures are always one of the two typed sentinels, and successes
+// report a shape the validation range allows.
+func FuzzReadCheckpointInfo(f *testing.F) {
+	m, err := mesh.GenRefinedTri(600, 42)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = 1
+	ps0 := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: testWeights(m, 0)}
+	s, err := NewSession(mpi.NewWorld(2), ps0.Clone(), 4, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Partition(); err != nil {
+		f.Fatal(err)
+	}
+	ckpt, err := s.Checkpoint()
+	s.Close()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), ckpt...))
+	for cut := 0; cut <= sessionHeaderLen; cut += 4 {
+		f.Add(append([]byte(nil), ckpt[:cut]...))
+	}
+	f.Add(append(append([]byte(nil), ckpt...), 0xDE, 0xAD))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := ReadCheckpointInfo(data)
+		if err != nil {
+			if !errors.Is(err, core.ErrCheckpointCorrupt) && !errors.Is(err, core.ErrCheckpointVersion) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if info.K < 1 || info.P < 1 || info.Dim < 1 || info.Dim > 4096 || info.N < 1 {
+			t.Fatalf("accepted out-of-range header: %+v", info)
+		}
+	})
+}

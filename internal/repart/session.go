@@ -88,6 +88,13 @@ type Session struct {
 // be unset — the session recovers centers from the previous partition
 // itself on every warm step.
 func NewSession(w *mpi.World, ps *geom.PointSet, k int, cfg core.Config) (*Session, error) {
+	return NewSessionCtx(nil, w, ps, k, cfg)
+}
+
+// NewSessionCtx is NewSession under a context: cancelling ctx while the
+// ingest runs aborts the world (the session is then unusable, like any
+// broken world). A nil context behaves exactly like NewSession.
+func NewSessionCtx(ctx context.Context, w *mpi.World, ps *geom.PointSet, k int, cfg core.Config) (*Session, error) {
 	if err := ps.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,14 +108,16 @@ func NewSession(w *mpi.World, ps *geom.PointSet, k int, cfg core.Config) (*Sessi
 		return nil, err
 	}
 	s := &Session{
-		w:   w,
-		ps:  ps,
-		k:   k,
-		cfg: cfg,
-		res: make([]*core.Resident, w.Size()),
+		w:      w,
+		ps:     ps,
+		k:      k,
+		cfg:    cfg,
+		res:    make([]*core.Resident, w.Size()),
+		runCtx: ctx,
 	}
+	defer func() { s.runCtx = nil }()
 	t0 := time.Now()
-	if err := s.w.Run(func(c *mpi.Comm) {
+	if err := s.run(func(c *mpi.Comm) {
 		s.res[c.Rank()] = core.Ingest(c, partition.Scatter(c, ps))
 	}); err != nil {
 		return nil, err
@@ -181,19 +190,42 @@ func (s *Session) Blocks() []int32 {
 // bootstrap, bit-identical to a one-shot partition.Run with the same
 // configuration — and installs it as the session's current partition.
 func (s *Session) Partition() (partition.P, error) {
+	return s.PartitionCtx(nil)
+}
+
+// PartitionCtx is Partition under a context: cancellation aborts the
+// world mid-verb (mpi.ErrBroken). The serving layer threads each HTTP
+// request's context here so a disconnected client cancels its verb. A
+// nil context behaves exactly like Partition — the context never
+// influences the computed partition, only whether it completes.
+func (s *Session) PartitionCtx(ctx context.Context) (partition.P, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return partition.P{}, ErrClosed
 	}
+	restore := s.setRunCtxLocked(ctx)
+	defer restore()
 	bkm := core.New(s.cfg)
-	p, err := partition.Run(s.w, s.ps, s.k, bkm)
+	p, err := partition.RunCtx(s.runCtx, s.w, s.ps, s.k, bkm)
 	if err != nil {
 		return partition.P{}, err
 	}
 	s.lastInfo = bkm.LastInfo()
 	s.prev = append(s.prev[:0], p.Assign...)
 	return p, nil
+}
+
+// setRunCtxLocked installs ctx as the current verb's run context (nil =
+// leave the existing one in place) and returns the restorer the verb
+// defers. Caller holds s.mu.
+func (s *Session) setRunCtxLocked(ctx context.Context) func() {
+	if ctx == nil {
+		return func() {}
+	}
+	prev := s.runCtx
+	s.runCtx = ctx
+	return func() { s.runCtx = prev }
 }
 
 // SetPartition installs prev as the session's current partition without
@@ -221,6 +253,11 @@ func (s *Session) setPartitionLocked(prev []int32) error {
 // current partition and installs the result as the new current
 // partition. A partition must exist first (Partition or SetPartition).
 func (s *Session) Repartition() (partition.P, Stats, error) {
+	return s.RepartitionCtx(nil)
+}
+
+// RepartitionCtx is Repartition under a context (see PartitionCtx).
+func (s *Session) RepartitionCtx(ctx context.Context) (partition.P, Stats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -229,6 +266,8 @@ func (s *Session) Repartition() (partition.P, Stats, error) {
 	if s.prev == nil {
 		return partition.P{}, Stats{}, fmt.Errorf("repart: no partition to warm-start from; call Partition or SetPartition first")
 	}
+	restore := s.setRunCtxLocked(ctx)
+	defer restore()
 	return s.repartitionFromLocked(s.prev)
 }
 
@@ -431,11 +470,19 @@ func (s *Session) imbalanceLocked() (float64, error) {
 // partition remains installed; the measured imbalance is returned in
 // Stats.PreImbalance either way.
 func (s *Session) RepartitionIfAbove(eps float64) (partition.P, Stats, bool, error) {
+	return s.RepartitionIfAboveCtx(nil, eps)
+}
+
+// RepartitionIfAboveCtx is RepartitionIfAbove under a context (see
+// PartitionCtx).
+func (s *Session) RepartitionIfAboveCtx(ctx context.Context, eps float64) (partition.P, Stats, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return partition.P{}, Stats{}, false, ErrClosed
 	}
+	restore := s.setRunCtxLocked(ctx)
+	defer restore()
 	return s.repartitionIfAboveLocked(eps)
 }
 

@@ -52,9 +52,10 @@ type stepResponse struct {
 // distinct failure mode the ISSUE names gets its own code: a missing
 // tenant is 404, a duplicate create 409, admission rejection 429 (the
 // request may succeed once a tenant goes idle), a draining registry
-// 503 (shutting down — retry elsewhere), a closed session 410 (its
-// state is gone for good), a broken simulated world 500, and anything
-// else — validation — 400.
+// 503 (shutting down — retry elsewhere), lost tenant state — corrupt
+// or missing spill, quarantined — 410 (gone for good; Delete and
+// re-Create), a closed session 410 likewise, a broken simulated world
+// 500, and anything else — validation — 400.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -65,6 +66,8 @@ func errStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrTenantLost):
+		return http.StatusGone
 	case errors.Is(err, repart.ErrClosed):
 		return http.StatusGone
 	case errors.Is(err, mpi.ErrBroken):
@@ -127,7 +130,7 @@ func NewHandler(g *Registry) http.Handler {
 			return
 		}
 		ps := &geom.PointSet{Dim: req.Dim, Coords: req.Coords, Weight: req.Weights}
-		err := g.Create(req.Name, ps, TenantOptions{
+		err := g.Create(r.Context(), req.Name, ps, TenantOptions{
 			K: req.K, Processes: req.Processes, Workers: req.Workers,
 			Epsilon: req.Epsilon, Seed: req.Seed,
 		})
@@ -166,7 +169,7 @@ func NewHandler(g *Registry) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/tenants/{name}/partition", func(w http.ResponseWriter, r *http.Request) {
-		p, err := g.Partition(r.PathValue("name"))
+		p, err := g.Partition(r.Context(), r.PathValue("name"))
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -182,7 +185,7 @@ func NewHandler(g *Registry) http.Handler {
 			writeErr(w, err)
 			return
 		}
-		p, st, acted, err := g.RepartitionIfAbove(r.PathValue("name"), req.Eps)
+		p, st, acted, err := g.RepartitionIfAbove(r.Context(), r.PathValue("name"), req.Eps)
 		if err != nil {
 			writeErr(w, err)
 			return

@@ -15,9 +15,25 @@
 // the eviction scan — so verbs on distinct tenants run concurrently
 // and the registry cannot deadlock: a busy tenant is simply not a
 // victim this round.
+//
+// Durability model. Parked tenants live in a pluggable checkpoint store
+// (internal/store), not in process memory: eviction writes the
+// checkpoint through Config.Store, restore-on-touch reads it back, and
+// with the disk backend the spill outlives the daemon — Recover scans
+// the store at startup and re-registers every surviving tenant, so a
+// kill -9 between verbs loses nothing that was parked. The spill is
+// kept (not consumed) on restore and deleted only when the first
+// mutating verb lands, so an on-store spill is always current: crash
+// recovery can never resurrect stale state. A corrupt or missing spill
+// marks the tenant lost — a sticky, typed ErrTenantLost (HTTP 410) for
+// that tenant only; the registry itself never crashes on bad bytes
+// (DESIGN.md, "Durability invariants").
 package serve
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -28,6 +44,7 @@ import (
 	"geographer/internal/partition"
 	"geographer/internal/repart"
 	"geographer/internal/sched"
+	"geographer/internal/store"
 )
 
 // Typed registry errors; the HTTP layer maps each to a distinct status
@@ -43,6 +60,11 @@ var (
 	ErrAdmission = fmt.Errorf("serve: admission rejected: resident budget exhausted")
 	// ErrDraining: the registry is shutting down; no new verbs.
 	ErrDraining = fmt.Errorf("serve: registry is draining")
+	// ErrTenantLost: the tenant's only copy of state — its spilled
+	// checkpoint — is corrupt or missing (quarantined by the store), or
+	// its world broke with no current spill to restore from. Sticky for
+	// the tenant until it is Deleted; the registry stays healthy.
+	ErrTenantLost = fmt.Errorf("serve: tenant state lost")
 )
 
 // Config sizes a Registry.
@@ -63,6 +85,12 @@ type Config struct {
 	// by eviction — parked tenants still hold their checkpoint — so
 	// exceeding it fails Create with ErrAdmission.
 	MaxTenants int
+
+	// Store holds parked tenants' checkpoints. nil uses an in-process
+	// store.Memory (the pre-spill behavior: parked state dies with the
+	// process); a store.Disk makes parked tenants durable across daemon
+	// restarts and crashes (see Recover).
+	Store store.Store
 }
 
 // TenantOptions configures one tenant's session at Create time.
@@ -112,17 +140,25 @@ func (o TenantOptions) config() (core.Config, int, error) {
 }
 
 // tenant is one named session slot: either resident (sess != nil) or
-// parked as checkpoint bytes (parked != nil). Its mutex serializes the
-// tenant's verbs; restore-on-touch happens under it.
+// parked as checkpoint bytes in the registry's store (spilled). Its
+// mutex serializes the tenant's verbs; restore-on-touch happens under
+// it.
 type tenant struct {
 	mu sync.Mutex
 
-	name string
-	k, p int
-	cfg  core.Config
+	name    string
+	k, p    int
+	workers int // the Create-time lease request, preserved for Recover
+	cfg     core.Config
 
-	sess   *repart.Session
-	parked []byte
+	sess *repart.Session
+	// spilled: the store holds a current checkpoint for this tenant.
+	// True from eviction until the first mutating verb after restore
+	// invalidates it (the spill is then deleted, never left stale).
+	spilled bool
+	// lost: the tenant's state is unrecoverable — spill corrupt/missing
+	// or world broken with no spill. Sticky until Delete.
+	lost bool
 
 	n, dim int
 	bytes  int64 // estimated resident footprint (residentBytesEstimate)
@@ -138,6 +174,36 @@ type tenant struct {
 	deleted                    bool
 }
 
+// spillMeta is the JSON metadata record stored beside each spilled
+// checkpoint — everything Recover needs to re-register the tenant
+// (configuration is policy and is NOT inside the checkpoint payload,
+// so it travels here).
+type spillMeta struct {
+	K       int     `json:"k"`
+	P       int     `json:"p"`
+	Workers int     `json:"workers"`
+	Epsilon float64 `json:"epsilon"`
+	Seed    int64   `json:"seed"`
+	N       int     `json:"n"`
+	Dim     int     `json:"dim"`
+	Steps   int64   `json:"steps"`
+}
+
+// spillMetaJSON builds t's metadata record. Caller holds t.mu.
+func (t *tenant) spillMetaJSON() []byte {
+	m := spillMeta{
+		K: t.k, P: t.p, Workers: t.workers,
+		Epsilon: t.cfg.Epsilon, Seed: t.cfg.Seed,
+		N: t.n, Dim: t.dim, Steps: t.steps,
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		// spillMeta is a struct of scalars; Marshal cannot fail.
+		panic(err)
+	}
+	return b
+}
+
 // Registry is the tenant registry. All methods are safe for concurrent
 // use; verbs on distinct tenants run concurrently.
 type Registry struct {
@@ -145,12 +211,14 @@ type Registry struct {
 	cfg Config
 
 	pool    *sched.Pool
+	store   store.Store
 	tenants map[string]*tenant
 
 	clock         int64 // logical LRU clock, bumped per verb
 	residentBytes int64
 	evictions     int64
 	restores      int64
+	lostCount     int64
 	draining      bool
 }
 
@@ -160,7 +228,11 @@ func NewRegistry(cfg Config) *Registry {
 	if pool == nil {
 		pool = sched.Default()
 	}
-	return &Registry{cfg: cfg, pool: pool, tenants: make(map[string]*tenant)}
+	st := cfg.Store
+	if st == nil {
+		st = store.NewMemory()
+	}
+	return &Registry{cfg: cfg, pool: pool, store: st, tenants: make(map[string]*tenant)}
 }
 
 // residentBytesEstimate approximates a tenant's resident footprint: the
@@ -178,7 +250,9 @@ func residentBytesEstimate(n, dim, k, p int) int64 {
 
 // Create admits a new tenant and ingests its point set into a resident
 // session. The point set is cloned; the caller may reuse its slices.
-func (g *Registry) Create(name string, ps *geom.PointSet, opts TenantOptions) error {
+// Cancelling ctx mid-ingest aborts the build and the tenant is not
+// registered (nil ctx = not cancellable).
+func (g *Registry) Create(ctx context.Context, name string, ps *geom.PointSet, opts TenantOptions) error {
 	if name == "" {
 		return fmt.Errorf("serve: empty tenant name")
 	}
@@ -191,7 +265,7 @@ func (g *Registry) Create(name string, ps *geom.PointSet, opts TenantOptions) er
 	}
 
 	t := &tenant{
-		name: name, k: opts.K, p: p, cfg: cfg,
+		name: name, k: opts.K, p: p, workers: opts.Workers, cfg: cfg,
 		n: ps.Len(), dim: ps.Dim,
 		bytes: residentBytesEstimate(ps.Len(), ps.Dim, opts.K, p),
 	}
@@ -230,7 +304,7 @@ func (g *Registry) Create(name string, ps *geom.PointSet, opts TenantOptions) er
 	}
 	cfg.Lease = g.pool.Lease(opts.Workers)
 	t.cfg = cfg
-	sess, err := repart.NewSession(mpi.NewWorld(p), ps.Clone(), opts.K, cfg)
+	sess, err := repart.NewSessionCtx(ctx, mpi.NewWorld(p), ps.Clone(), opts.K, cfg)
 	if err != nil {
 		g.unadmit(t)
 		return abort(err)
@@ -306,17 +380,22 @@ func (g *Registry) victimLocked(t *tenant) *tenant {
 	return nil
 }
 
-// evictLocked parks a resident tenant as checkpoint bytes and releases
-// its session. Caller holds g.mu and v.mu.
+// evictLocked parks a resident tenant: its checkpoint is written
+// through the registry's store (spill), then the session is released.
+// If the spill write fails the tenant stays resident — never release
+// state whose only copy didn't land. Caller holds g.mu and v.mu.
 func (g *Registry) evictLocked(v *tenant) error {
 	data, err := v.sess.Checkpoint()
 	if err != nil {
 		return fmt.Errorf("serve: evict %s: %w", v.name, err)
 	}
+	if err := g.store.Put(v.name, data, v.spillMetaJSON()); err != nil {
+		return fmt.Errorf("serve: spill %s: %w", v.name, err)
+	}
 	v.sess.Close()
 	v.sess = nil
 	v.resident = false
-	v.parked = data
+	v.spilled = true
 	v.evictions++
 	g.evictions++
 	g.residentBytes -= v.bytes
@@ -341,11 +420,29 @@ func (g *Registry) lookup(name string, touch bool) (*tenant, error) {
 	return t, nil
 }
 
-// ensureResident restores a parked tenant (admission included). Caller
+// markLost flags t unrecoverable. Caller holds t.mu.
+func (g *Registry) markLost(t *tenant) {
+	g.mu.Lock()
+	if !t.lost {
+		t.lost = true
+		g.lostCount++
+	}
+	g.mu.Unlock()
+}
+
+// ensureResident restores a parked tenant from its spill (admission
+// included). A corrupt spill has already been quarantined by the store
+// when Get reports it; a checkpoint that passes the store's integrity
+// check but fails the session decode is quarantined here. Either way —
+// and for a missing spill — the tenant is marked lost and the error is
+// a typed ErrTenantLost; the registry itself stays healthy. Caller
 // holds t.mu.
 func (g *Registry) ensureResident(t *tenant) error {
 	if t.deleted {
 		return ErrNotFound
+	}
+	if t.lost {
+		return fmt.Errorf("%w: %s", ErrTenantLost, t.name)
 	}
 	if t.sess != nil {
 		return nil
@@ -353,13 +450,23 @@ func (g *Registry) ensureResident(t *tenant) error {
 	if err := g.admit(t); err != nil {
 		return err
 	}
-	sess, err := repart.NewSessionFromCheckpoint(mpi.NewWorld(t.p), t.parked, t.cfg)
+	data, _, err := g.store.Get(t.name)
 	if err != nil {
 		g.unadmit(t)
-		return fmt.Errorf("serve: restore %s: %w", t.name, err)
+		g.markLost(t)
+		return fmt.Errorf("%w: %s: spill unreadable: %v", ErrTenantLost, t.name, err)
 	}
+	sess, err := repart.NewSessionFromCheckpoint(mpi.NewWorld(t.p), data, t.cfg)
+	if err != nil {
+		g.unadmit(t)
+		_ = g.store.Quarantine(t.name)
+		g.markLost(t)
+		return fmt.Errorf("%w: %s: spill undecodable (quarantined): %v", ErrTenantLost, t.name, err)
+	}
+	// The spill stays in the store (t.spilled stays true): it is still
+	// the current state until a mutating verb lands, so a crash right
+	// after this restore loses nothing.
 	t.sess = sess
-	t.parked = nil
 	t.restores++
 	g.mu.Lock()
 	t.resident = true
@@ -368,9 +475,35 @@ func (g *Registry) ensureResident(t *tenant) error {
 	return nil
 }
 
+// handleBroken releases the session of a tenant whose world broke
+// mid-verb (rank panic, injected fault, or a cancelled request context
+// aborting the run): the resident state is unusable. With a current
+// spill the tenant simply re-parks — the next touch restores the
+// pre-verb state, the retry semantics RepartitionWithRetry gives a
+// single session. Without one, the only copy is gone: lost. Caller
+// holds t.mu.
+func (g *Registry) handleBroken(t *tenant) {
+	if t.sess == nil {
+		return
+	}
+	t.sess.Close()
+	t.sess = nil
+	g.mu.Lock()
+	t.resident = false
+	g.residentBytes -= t.bytes
+	g.mu.Unlock()
+	if !t.spilled {
+		g.markLost(t)
+	}
+}
+
 // withTenant runs fn on the (restored-if-parked) tenant's session,
-// under the tenant mutex.
-func (g *Registry) withTenant(name string, fn func(t *tenant) error) error {
+// under the tenant mutex. fn reports whether it mutated session state;
+// a successful mutation invalidates the tenant's spill (the store copy
+// is deleted so crash recovery can never resurrect the pre-mutation
+// state), and a world-breaking failure re-parks or loses the tenant
+// (see handleBroken).
+func (g *Registry) withTenant(name string, fn func(t *tenant) (mutated bool, err error)) error {
 	t, err := g.lookup(name, true)
 	if err != nil {
 		return err
@@ -380,77 +513,92 @@ func (g *Registry) withTenant(name string, fn func(t *tenant) error) error {
 	if err := g.ensureResident(t); err != nil {
 		return err
 	}
-	return fn(t)
+	mutated, err := fn(t)
+	if err != nil {
+		if errors.Is(err, mpi.ErrBroken) {
+			g.handleBroken(t)
+		}
+		return err
+	}
+	if mutated && t.spilled {
+		if derr := g.store.Delete(t.name); derr == nil {
+			t.spilled = false
+		}
+	}
+	return nil
 }
 
 // Partition computes the tenant's cold initial partition and returns
-// the assignment.
-func (g *Registry) Partition(name string) (partition.P, error) {
+// the assignment. Cancelling ctx aborts the verb mid-run (nil = not
+// cancellable); the context never influences the computed partition.
+func (g *Registry) Partition(ctx context.Context, name string) (partition.P, error) {
 	var p partition.P
-	err := g.withTenant(name, func(t *tenant) error {
+	err := g.withTenant(name, func(t *tenant) (bool, error) {
 		var err error
-		p, err = t.sess.Partition()
+		p, err = t.sess.PartitionCtx(ctx)
 		if err == nil {
 			t.steps++
 		}
-		return err
+		return err == nil, err
 	})
 	return p, err
 }
 
 // Repartition runs one warm repartitioning step.
-func (g *Registry) Repartition(name string) (partition.P, repart.Stats, error) {
+func (g *Registry) Repartition(ctx context.Context, name string) (partition.P, repart.Stats, error) {
 	var p partition.P
 	var st repart.Stats
-	err := g.withTenant(name, func(t *tenant) error {
+	err := g.withTenant(name, func(t *tenant) (bool, error) {
 		var err error
-		p, st, err = t.sess.Repartition()
+		p, st, err = t.sess.RepartitionCtx(ctx)
 		if err == nil {
 			t.steps++
 		}
-		return err
+		return err == nil, err
 	})
 	return p, st, err
 }
 
 // RepartitionIfAbove runs a warm step only when the current imbalance
 // exceeds eps, reporting whether it acted.
-func (g *Registry) RepartitionIfAbove(name string, eps float64) (partition.P, repart.Stats, bool, error) {
+func (g *Registry) RepartitionIfAbove(ctx context.Context, name string, eps float64) (partition.P, repart.Stats, bool, error) {
 	var p partition.P
 	var st repart.Stats
 	var acted bool
-	err := g.withTenant(name, func(t *tenant) error {
+	err := g.withTenant(name, func(t *tenant) (bool, error) {
 		var err error
-		p, st, acted, err = t.sess.RepartitionIfAbove(eps)
+		p, st, acted, err = t.sess.RepartitionIfAboveCtx(ctx, eps)
 		if err == nil && acted {
 			t.steps++
 		}
-		return err
+		return err == nil && acted, err
 	})
 	return p, st, acted, err
 }
 
 // UpdateWeights replaces the tenant's point weights (nil = unit).
 func (g *Registry) UpdateWeights(name string, weights []float64) error {
-	return g.withTenant(name, func(t *tenant) error {
-		return t.sess.UpdateWeights(weights)
+	return g.withTenant(name, func(t *tenant) (bool, error) {
+		err := t.sess.UpdateWeights(weights)
+		return err == nil, err
 	})
 }
 
 // UpdateCoords replaces the tenant's point coordinates (flat, n·dim).
 func (g *Registry) UpdateCoords(name string, coords []float64) error {
-	return g.withTenant(name, func(t *tenant) error {
-		return t.sess.UpdateCoords(coords)
+	return g.withTenant(name, func(t *tenant) (bool, error) {
+		err := t.sess.UpdateCoords(coords)
+		return err == nil, err
 	})
 }
 
 // Imbalance measures the tenant's current imbalance.
 func (g *Registry) Imbalance(name string) (float64, error) {
 	var imb float64
-	err := g.withTenant(name, func(t *tenant) error {
+	err := g.withTenant(name, func(t *tenant) (bool, error) {
 		var err error
 		imb, err = t.sess.Imbalance()
-		return err
+		return false, err
 	})
 	return imb, err
 }
@@ -458,15 +606,17 @@ func (g *Registry) Imbalance(name string) (float64, error) {
 // Blocks returns the tenant's current partition (nil if none yet).
 func (g *Registry) Blocks(name string) ([]int32, error) {
 	var b []int32
-	err := g.withTenant(name, func(t *tenant) error {
+	err := g.withTenant(name, func(t *tenant) (bool, error) {
 		b = t.sess.Blocks()
-		return nil
+		return false, nil
 	})
 	return b, err
 }
 
 // Checkpoint serializes the tenant's session. A parked tenant answers
-// from its stored bytes without being restored.
+// from its spilled bytes without being restored (the spill is verified
+// by the store; a corrupt one marks the tenant lost, exactly as a
+// restore would).
 func (g *Registry) Checkpoint(name string) ([]byte, error) {
 	t, err := g.lookup(name, true)
 	if err != nil {
@@ -477,8 +627,16 @@ func (g *Registry) Checkpoint(name string) ([]byte, error) {
 	if t.deleted {
 		return nil, ErrNotFound
 	}
+	if t.lost {
+		return nil, fmt.Errorf("%w: %s", ErrTenantLost, t.name)
+	}
 	if t.sess == nil {
-		return append([]byte(nil), t.parked...), nil
+		data, _, err := g.store.Get(t.name)
+		if err != nil {
+			g.markLost(t)
+			return nil, fmt.Errorf("%w: %s: spill unreadable: %v", ErrTenantLost, t.name, err)
+		}
+		return data, nil
 	}
 	return t.sess.Checkpoint()
 }
@@ -557,7 +715,10 @@ func (g *Registry) Delete(name string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.deleted = true
-	t.parked = nil
+	if t.spilled {
+		_ = g.store.Delete(t.name)
+		t.spilled = false
+	}
 	if t.sess != nil {
 		t.sess.Close()
 		t.sess = nil
@@ -578,6 +739,8 @@ type TenantInfo struct {
 	Dim      int    `json:"dim"`
 	Workers  int    `json:"workers"`
 	Resident bool   `json:"resident"`
+	Spilled  bool   `json:"spilled"`
+	Lost     bool   `json:"lost"`
 	Bytes    int64  `json:"bytes"`
 	Steps    int64  `json:"steps"`
 	Evicted  int64  `json:"evictions"`
@@ -601,7 +764,8 @@ func (g *Registry) List() []TenantInfo {
 		out = append(out, TenantInfo{
 			Name: t.name, K: t.k, P: t.p, N: t.n, Dim: t.dim,
 			Workers:  t.cfg.Lease.Budget(),
-			Resident: t.sess != nil, Bytes: t.bytes, Steps: t.steps,
+			Resident: t.sess != nil, Spilled: t.spilled, Lost: t.lost,
+			Bytes: t.bytes, Steps: t.steps,
 			Evicted: t.evictions, Restored: t.restores,
 		})
 		t.mu.Unlock()
@@ -614,6 +778,7 @@ type RegistryStats struct {
 	Tenants       int   `json:"tenants"`
 	Resident      int   `json:"resident"`
 	Parked        int   `json:"parked"`
+	Lost          int64 `json:"lost"`
 	ResidentBytes int64 `json:"resident_bytes"`
 	Evictions     int64 `json:"evictions"`
 	Restores      int64 `json:"restores"`
@@ -627,6 +792,7 @@ func (g *Registry) Stats() RegistryStats {
 	defer g.mu.Unlock()
 	st := RegistryStats{
 		Tenants:       len(g.tenants),
+		Lost:          g.lostCount,
 		ResidentBytes: g.residentBytes,
 		Evictions:     g.evictions,
 		Restores:      g.restores,
@@ -644,14 +810,18 @@ func (g *Registry) Stats() RegistryStats {
 }
 
 // Drain rejects all further verbs (ErrDraining), waits for every
-// in-flight verb to complete, and releases all tenant state — the
+// in-flight verb to complete, parks every resident tenant's state to
+// the store (best-effort — a tenant whose checkpoint or spill write
+// fails is released without one), and releases all sessions — the
 // graceful-shutdown half the HTTP server calls after it stops
-// accepting connections. Idempotent.
-func (g *Registry) Drain() {
+// accepting connections. With a disk store the spills survive the
+// process: the next daemon's Recover re-registers them. Returns how
+// many tenants it parked. Idempotent (later calls park nothing).
+func (g *Registry) Drain() int {
 	g.mu.Lock()
 	if g.draining {
 		g.mu.Unlock()
-		return
+		return 0
 	}
 	g.draining = true
 	ts := make([]*tenant, 0, len(g.tenants))
@@ -660,11 +830,16 @@ func (g *Registry) Drain() {
 	}
 	g.mu.Unlock()
 
+	parked := 0
 	for _, t := range ts {
 		t.mu.Lock() // waits out the in-flight verb
-		t.deleted = true
-		t.parked = nil
-		if t.sess != nil {
+		if t.sess != nil && !t.deleted {
+			if data, err := t.sess.Checkpoint(); err == nil {
+				if g.store.Put(t.name, data, t.spillMetaJSON()) == nil {
+					t.spilled = true
+					parked++
+				}
+			}
 			t.sess.Close()
 			t.sess = nil
 			g.mu.Lock()
@@ -672,9 +847,62 @@ func (g *Registry) Drain() {
 			g.residentBytes -= t.bytes
 			g.mu.Unlock()
 		}
+		t.deleted = true
 		t.mu.Unlock()
 	}
 	g.mu.Lock()
 	clear(g.tenants)
 	g.mu.Unlock()
+	return parked
+}
+
+// Recover scans the registry's store and registers a parked tenant for
+// every surviving spill — the crash-recovery half cmd/geographerd runs
+// at startup over its -spill-dir. Each recovered tenant is registered
+// cold (parked, LRU-oldest) and restores on first touch; its session
+// configuration is rebuilt from the spill's metadata record exactly as
+// Create built it, so the restored chain is bit-identical to the one
+// the dead process was running. Spills the store quarantines during
+// the scan, spills with undecodable metadata, and names already
+// registered are skipped. Returns how many tenants were registered.
+func (g *Registry) Recover() (int, error) {
+	entries, err := g.store.List()
+	if err != nil {
+		return 0, fmt.Errorf("serve: recover: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		var m spillMeta
+		if err := json.Unmarshal(e.Meta, &m); err != nil {
+			continue
+		}
+		cfg, p, err := TenantOptions{
+			K: m.K, Processes: m.P, Workers: m.Workers,
+			Epsilon: m.Epsilon, Seed: m.Seed,
+		}.config()
+		if err != nil || p != m.P || m.N < 1 || m.Dim < 1 {
+			continue
+		}
+		cfg.Lease = g.pool.Lease(m.Workers)
+		t := &tenant{
+			name: e.Key, k: m.K, p: p, workers: m.Workers, cfg: cfg,
+			n: m.N, dim: m.Dim,
+			bytes:   residentBytesEstimate(m.N, m.Dim, m.K, p),
+			spilled: true,
+			steps:   m.Steps,
+		}
+		g.mu.Lock()
+		if g.draining {
+			g.mu.Unlock()
+			return n, ErrDraining
+		}
+		if _, ok := g.tenants[e.Key]; ok {
+			g.mu.Unlock()
+			continue
+		}
+		g.tenants[e.Key] = t
+		g.mu.Unlock()
+		n++
+	}
+	return n, nil
 }

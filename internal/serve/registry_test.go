@@ -136,10 +136,10 @@ func TestRegistryChainMatchesSolo(t *testing.T) {
 	for _, workers := range []int{0, 1, 3} {
 		g := NewRegistry(Config{})
 		ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
-		if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p, Workers: workers}); err != nil {
+		if err := g.Create(nil, "sim", ps, TenantOptions{K: k, Processes: p, Workers: workers}); err != nil {
 			t.Fatal(err)
 		}
-		p0, err := g.Partition("sim")
+		p0, err := g.Partition(nil, "sim")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +148,7 @@ func TestRegistryChainMatchesSolo(t *testing.T) {
 			if err := g.UpdateWeights("sim", phaseWeights(m, step)); err != nil {
 				t.Fatal(err)
 			}
-			pt, st, acted, err := g.RepartitionIfAbove("sim", 0)
+			pt, st, acted, err := g.RepartitionIfAbove(nil, "sim", 0)
 			if err != nil {
 				t.Fatalf("workers=%d step %d: %v", workers, step, err)
 			}
@@ -191,10 +191,10 @@ func runEvictionRoundTrip(t *testing.T, base *geom.PointSet, weightsAt func(int)
 
 	g := NewRegistry(Config{})
 	ps := &geom.PointSet{Dim: base.Dim, Coords: base.Coords, Weight: weightsAt(0)}
-	if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p}); err != nil {
+	if err := g.Create(nil, "sim", ps, TenantOptions{K: k, Processes: p}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.Partition("sim"); err != nil {
+	if _, err := g.Partition(nil, "sim"); err != nil {
 		t.Fatal(err)
 	}
 	// Two warm steps so the carried Hamerly bounds are resident.
@@ -202,7 +202,7 @@ func runEvictionRoundTrip(t *testing.T, base *geom.PointSet, weightsAt func(int)
 		if err := g.UpdateWeights("sim", weightsAt(step)); err != nil {
 			t.Fatal(err)
 		}
-		if _, st, _, err := g.RepartitionIfAbove("sim", 0); err != nil {
+		if _, st, _, err := g.RepartitionIfAbove(nil, "sim", 0); err != nil {
 			t.Fatal(err)
 		} else if step > 1 && !st.Incremental {
 			t.Fatalf("step %d not incremental before eviction", step)
@@ -226,7 +226,7 @@ func runEvictionRoundTrip(t *testing.T, base *geom.PointSet, weightsAt func(int)
 
 	// Next touch restores and must reproduce the never-evicted step —
 	// same bits, same distance-evaluation count, still incremental.
-	pt, st, acted, err := g.RepartitionIfAbove("sim", 0)
+	pt, st, acted, err := g.RepartitionIfAbove(nil, "sim", 0)
 	if err != nil || !acted {
 		t.Fatalf("post-restore step: acted=%v err=%v", acted, err)
 	}
@@ -312,7 +312,7 @@ func TestRegistryRace(t *testing.T) {
 			m := meshes[id]
 			ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
 			if err := retryAdmission(t, name, func() error {
-				return g.Create(name, ps, TenantOptions{K: k, Processes: p, Workers: 2})
+				return g.Create(nil, name, ps, TenantOptions{K: k, Processes: p, Workers: 2})
 			}); err != nil {
 				errs <- fmt.Errorf("%s create: %w", name, err)
 				return
@@ -320,7 +320,7 @@ func TestRegistryRace(t *testing.T) {
 			var p0 partition.P
 			if err := retryAdmission(t, name, func() error {
 				var err error
-				p0, err = g.Partition(name)
+				p0, err = g.Partition(nil, name)
 				return err
 			}); err != nil {
 				errs <- fmt.Errorf("%s cold: %w", name, err)
@@ -343,7 +343,7 @@ func TestRegistryRace(t *testing.T) {
 				var acted bool
 				if err := retryAdmission(t, name, func() error {
 					var err error
-					pt, _, acted, err = g.RepartitionIfAbove(name, 0)
+					pt, _, acted, err = g.RepartitionIfAbove(nil, name, 0)
 					return err
 				}); err != nil || !acted {
 					errs <- fmt.Errorf("%s step %d: acted=%v err=%w", name, step, acted, err)
@@ -392,13 +392,13 @@ func TestAdmissionControl(t *testing.T) {
 	g := NewRegistry(Config{MaxResidentBytes: one + one/2})
 	psA := &geom.PointSet{Dim: mA.Points.Dim, Coords: mA.Points.Coords, Weight: phaseWeights(mA, 0)}
 	psB := &geom.PointSet{Dim: mB.Points.Dim, Coords: mB.Points.Coords, Weight: phaseWeights(mB, 0)}
-	if err := g.Create("a", psA, TenantOptions{K: k, Processes: p}); err != nil {
+	if err := g.Create(nil, "a", psA, TenantOptions{K: k, Processes: p}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.Partition("a"); err != nil {
+	if _, err := g.Partition(nil, "a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Create("b", psB, TenantOptions{K: k, Processes: p}); err != nil {
+	if err := g.Create(nil, "b", psB, TenantOptions{K: k, Processes: p}); err != nil {
 		t.Fatalf("second create should evict, got %v", err)
 	}
 	st := g.Stats()
@@ -420,7 +420,7 @@ func TestAdmissionControl(t *testing.T) {
 
 	// A budget below a single tenant admits nobody.
 	tiny := NewRegistry(Config{MaxResidentBytes: one / 2})
-	if err := tiny.Create("x", psA, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrAdmission) {
+	if err := tiny.Create(nil, "x", psA, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrAdmission) {
 		t.Fatalf("tiny budget: %v", err)
 	}
 	if st := tiny.Stats(); st.Tenants != 0 || st.ResidentBytes != 0 {
@@ -429,10 +429,10 @@ func TestAdmissionControl(t *testing.T) {
 
 	// Tenant-count cap.
 	capped := NewRegistry(Config{MaxTenants: 1})
-	if err := capped.Create("a", psA, TenantOptions{K: k, Processes: p}); err != nil {
+	if err := capped.Create(nil, "a", psA, TenantOptions{K: k, Processes: p}); err != nil {
 		t.Fatal(err)
 	}
-	if err := capped.Create("b", psB, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrAdmission) {
+	if err := capped.Create(nil, "b", psB, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrAdmission) {
 		t.Fatalf("count cap: %v", err)
 	}
 }
@@ -444,7 +444,7 @@ func TestRegistryErrors(t *testing.T) {
 	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
 
 	g := NewRegistry(Config{})
-	if _, err := g.Partition("ghost"); !errors.Is(err, ErrNotFound) {
+	if _, err := g.Partition(nil, "ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("missing tenant: %v", err)
 	}
 	if err := g.Evict("ghost"); !errors.Is(err, ErrNotFound) {
@@ -453,30 +453,30 @@ func TestRegistryErrors(t *testing.T) {
 	if err := g.Delete("ghost"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("delete missing: %v", err)
 	}
-	if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p}); err != nil {
+	if err := g.Create(nil, "sim", ps, TenantOptions{K: k, Processes: p}); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Create("sim", ps, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrExists) {
+	if err := g.Create(nil, "sim", ps, TenantOptions{K: k, Processes: p}); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate create: %v", err)
 	}
-	if err := g.Create("", ps, TenantOptions{K: k, Processes: p}); err == nil {
+	if err := g.Create(nil, "", ps, TenantOptions{K: k, Processes: p}); err == nil {
 		t.Fatal("empty name accepted")
 	}
-	if err := g.Create("bad", ps, TenantOptions{K: 0, Processes: p}); err == nil {
+	if err := g.Create(nil, "bad", ps, TenantOptions{K: 0, Processes: p}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if err := g.Create("bad", ps, TenantOptions{K: k, Workers: -1}); err == nil {
+	if err := g.Create(nil, "bad", ps, TenantOptions{K: k, Workers: -1}); err == nil {
 		t.Fatal("negative workers accepted")
 	}
-	if _, _, err := g.Repartition("sim"); err == nil {
+	if _, _, err := g.Repartition(nil, "sim"); err == nil {
 		t.Fatal("warm step without a partition accepted")
 	}
 
 	g.Drain()
-	if _, err := g.Partition("sim"); !errors.Is(err, ErrDraining) {
+	if _, err := g.Partition(nil, "sim"); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-drain verb: %v", err)
 	}
-	if err := g.Create("late", ps, TenantOptions{K: k}); !errors.Is(err, ErrDraining) {
+	if err := g.Create(nil, "late", ps, TenantOptions{K: k}); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-drain create: %v", err)
 	}
 	g.Drain() // idempotent
@@ -492,17 +492,17 @@ func TestSweepParksIdleTenants(t *testing.T) {
 	m := tenantMesh(t, n, 5)
 	ps := &geom.PointSet{Dim: m.Points.Dim, Coords: m.Points.Coords, Weight: phaseWeights(m, 0)}
 	g := NewRegistry(Config{})
-	if err := g.Create("idle", ps, TenantOptions{K: k, Processes: p}); err != nil {
+	if err := g.Create(nil, "idle", ps, TenantOptions{K: k, Processes: p}); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Create("busy", ps, TenantOptions{K: k, Processes: p}); err != nil {
+	if err := g.Create(nil, "busy", ps, TenantOptions{K: k, Processes: p}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := g.Partition("idle"); err != nil {
+	if _, err := g.Partition(nil, "idle"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := g.Partition("busy"); err != nil {
+		if _, err := g.Partition(nil, "busy"); err != nil {
 			t.Fatal(err)
 		}
 	}

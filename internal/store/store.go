@@ -1,0 +1,151 @@
+// Package store is the pluggable checkpoint store behind the serving
+// layer's tenant spills: parked tenants live here as opaque checkpoint
+// bytes plus a small metadata record, so tenant count is no longer
+// bound by process RAM and — with the disk backend — tenant state
+// survives the daemon process itself (DESIGN.md, "Durability
+// invariants").
+//
+// Two backends implement Store. Memory keeps entries in a map (the
+// pre-spill behavior; tests and the default registry use it). Disk
+// writes one file per entry under a spill directory with an atomic
+// temp-file + fsync + rename protocol and a CRC32-C checksum trailer
+// (core.SealChecksum) over the whole frame, verified on every read;
+// corrupt files are quarantined — renamed aside, never silently
+// deleted, never able to crash a reader — and reads of them return a
+// typed core.ErrCheckpointCorrupt.
+package store
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// ErrNotFound marks a Get/Quarantine of a key with no stored entry.
+// Matched with errors.Is.
+var ErrNotFound = errors.New("store: no such checkpoint")
+
+// Entry is one stored checkpoint as reported by List.
+type Entry struct {
+	// Key is the caller's name for the entry (the tenant name in the
+	// serving layer).
+	Key string
+	// Meta is the caller-defined metadata record stored alongside the
+	// payload (the serving layer keeps the tenant's shape and options
+	// here so a restart can re-register the tenant without decoding the
+	// checkpoint itself).
+	Meta []byte
+	// Size is the payload size in bytes.
+	Size int64
+}
+
+// Store is a keyed checkpoint store. Implementations are safe for
+// concurrent use. Get returns exactly the bytes Put stored — verified,
+// for backends with an integrity layer — or ErrNotFound /
+// core.ErrCheckpointCorrupt typed errors; it never panics on corrupt
+// input.
+type Store interface {
+	// Put stores (data, meta) under key, replacing any previous entry
+	// atomically: a reader never observes a half-written entry, even
+	// across a crash mid-Put.
+	Put(key string, data, meta []byte) error
+	// Get returns the entry's payload and metadata. A missing key is
+	// ErrNotFound; a corrupt entry is quarantined and returned as a
+	// typed core.ErrCheckpointCorrupt.
+	Get(key string) (data, meta []byte, err error)
+	// Delete removes the entry. Deleting a missing key is a no-op.
+	Delete(key string) error
+	// Quarantine moves the entry aside so it is no longer listed or
+	// readable, preserving the bytes for postmortem. Quarantining a
+	// missing key returns ErrNotFound.
+	Quarantine(key string) error
+	// List enumerates the readable entries in key order. Backends with
+	// an integrity layer verify each entry and quarantine corrupt ones
+	// rather than returning them.
+	List() ([]Entry, error)
+}
+
+// Memory is the in-process Store: entries live in a map and die with
+// the process. This is the serving layer's pre-spill behavior, kept as
+// the default backend and the fast path for tests.
+type Memory struct {
+	mu          sync.Mutex
+	entries     map[string]memEntry
+	quarantined map[string]memEntry
+}
+
+type memEntry struct {
+	data, meta []byte
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{entries: make(map[string]memEntry), quarantined: make(map[string]memEntry)}
+}
+
+// Put stores copies of data and meta under key.
+func (m *Memory) Put(key string, data, meta []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key] = memEntry{
+		data: append([]byte(nil), data...),
+		meta: append([]byte(nil), meta...),
+	}
+	return nil
+}
+
+// Get returns copies of the stored payload and metadata.
+func (m *Memory) Get(key string) ([]byte, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	return append([]byte(nil), e.data...), append([]byte(nil), e.meta...), nil
+}
+
+// Delete removes the entry (missing keys are a no-op).
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, key)
+	return nil
+}
+
+// Quarantine moves the entry to the quarantine map.
+func (m *Memory) Quarantine(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(m.entries, key)
+	m.quarantined[key] = e
+	return nil
+}
+
+// Quarantined returns the quarantined keys, sorted.
+func (m *Memory) Quarantined() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.quarantined))
+	for k := range m.quarantined {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// List enumerates entries in key order.
+func (m *Memory) List() ([]Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Entry, 0, len(m.entries))
+	for k, e := range m.entries {
+		out = append(out, Entry{Key: k, Meta: append([]byte(nil), e.meta...), Size: int64(len(e.data))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}

@@ -2,18 +2,20 @@
 // fails on regressions. It understands the soak report (BENCH_soak.json,
 // schema geographer-soak/v1), the chaos report (BENCH_chaos.json,
 // schema geographer-chaos/v1), the serving report (BENCH_serve.json,
-// schema geographer-serve/v1), and the feature-space report
-// (BENCH_highdim.json, schema geographer-highdim/v1), dispatching on the
-// schema field.
+// schema geographer-serve/v1), the durability report
+// (BENCH_durable.json, schema geographer-durable/v1), and the
+// feature-space report (BENCH_highdim.json, schema
+// geographer-highdim/v1), dispatching on the schema field.
 //
 //	benchdiff -old BENCH_soak.json -new /tmp/soak.json [-tol 0.10]
 //	benchdiff -old BENCH_chaos.json -new /tmp/chaos.json
 //	benchdiff -old BENCH_serve.json -new /tmp/serve.json
+//	benchdiff -old BENCH_durable.json -new /tmp/durable.json
 //	benchdiff -old BENCH_highdim.json -new /tmp/highdim.json
 //
 // Cells are matched by their configuration (soak: n/dim/k/p/steps;
 // chaos: graph/n/k/p/steps; serve: tenants/n/k/p/steps/pool/budget;
-// highdim: n/dim/m/k/p/steps).
+// durable: tenants/n/k/p/steps; highdim: n/dim/m/k/p/steps).
 // Deterministic metrics — for the soak the collective counts and bytes,
 // barriers, distance evaluations, modeled communication time, and final
 // imbalance; for the chaos run the fired fault count, recoveries, delay
@@ -90,6 +92,30 @@ func serveCells(rep experiments.ServeReport) []cellData {
 				{"p50_ms", false, c.P50Ms},
 				{"p95_ms", false, c.P95Ms},
 				{"p99_ms", false, c.P99Ms},
+			},
+		})
+	}
+	return out
+}
+
+func durableCells(rep experiments.DurableReport) []cellData {
+	out := make([]cellData, 0, len(rep.Cells))
+	for _, c := range rep.Cells {
+		out = append(out, cellData{
+			key: fmt.Sprintf("tenants=%d n=%d k=%d p=%d steps=%d", c.Tenants, c.N, c.K, c.P, c.Steps),
+			metrics: []metricVal{
+				{"parks", true, float64(c.Parks)},
+				{"restores", true, float64(c.Restores)},
+				{"injected_torn", true, float64(c.InjectedTorn)},
+				{"injected_flip", true, float64(c.InjectedFlip)},
+				{"injected_delete", true, float64(c.InjectedDelete)},
+				{"quarantined", true, float64(c.Quarantined)},
+				{"lost_typed", true, float64(c.LostTyped)},
+				{"survivor_chains", true, float64(c.SurvivorChains)},
+				{"recovered", true, float64(c.Recovered)},
+				{"recovered_chains", true, float64(c.RecoveredChains)},
+				{"dist_calcs", true, float64(c.DistCalcs)},
+				{"wall_sec", false, c.WallSec},
 			},
 		})
 	}
@@ -194,6 +220,12 @@ func loadCells(path string) (string, []cellData, error) {
 			return "", nil, fmt.Errorf("%s: %w", path, err)
 		}
 		return head.Schema, serveCells(rep), nil
+	case "geographer-durable/v1":
+		var rep experiments.DurableReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return "", nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return head.Schema, durableCells(rep), nil
 	case "geographer-highdim/v1":
 		var rep experiments.HighdimReport
 		if err := json.Unmarshal(data, &rep); err != nil {
